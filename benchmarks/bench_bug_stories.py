@@ -1,0 +1,108 @@
+"""E7/E8/E9/E10 — the paper's four bug narratives, end to end.
+
+* **E7, Bug1 (ghost response on MMU)**: "This bug was found by the FV tool in
+  less than a second, producing a 5-cycle trace ... the formal tool found a
+  proof in few seconds for the previously failing assertion."
+* **E8, Bug2 (deadlock in NoC buffer)**: "the FT was generated with just 3
+  lines of code ... After fixing the bug (adding a 'not-full' condition to
+  the ack signal), the formal tool resulted in a proof."
+* **E9, known bugs (LSU #538, I$ #474)**: "The LSU FT hit (in 1 second) a
+  bug that was recently discovered on a long FPGA run."
+* **E10, fairness CEX**: "an ITLB miss was never filled because the PTW was
+  always busy with DTLB misses ... the trace was quick (<1s) and short
+  (<4 cycles) ... add an assumption to remove it."
+
+Absolute runtimes differ (pure-Python engine vs JasperGold), but the shapes
+— which property fails, how short the trace is, and that the fix converts
+the CEX into a proof — are asserted below.
+"""
+
+import pytest
+
+from repro.designs import case_by_id
+
+from conftest import check_case
+
+
+def test_e7_bug1_mmu_ghost_response(benchmark):
+    case = case_by_id("A3")
+
+    def run():
+        _, buggy = check_case(case, "buggy")
+        _, fixed = check_case(case, "fixed")
+        return buggy, fixed
+
+    buggy, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    ghost = next(r for r in buggy.cex_results if "had_a_request" in r.name)
+    # The paper reports a 5-cycle trace; ours must be in the same ballpark.
+    assert ghost.trace.depth <= 8, ghost.trace.depth
+    # The ghost response arrives with no outstanding request: at the failing
+    # cycle the response fires while the sampled counter is zero.  (The
+    # response wire aliases lsu_valid_o, so the trace registers it under
+    # the DUT port name.)
+    last = ghost.trace.depth - 1
+    resp = ghost.trace.value("lsu_valid_o", last)
+    sampled = ghost.trace.value("u_mmu_sva.mmu_lsu_sampled", last)
+    assert resp == 1 and sampled == 0
+    # Bug-fix confidence: the fixed MMU proves everything.
+    assert fixed.proof_rate == 1.0, fixed.summary()
+    print(f"\nE7: ghost response CEX at cycle {last} "
+          f"({ghost.trace.depth}-cycle trace; paper: 5-cycle); "
+          f"fix -> 100% proof")
+
+
+def test_e8_bug2_noc_buffer_deadlock(benchmark):
+    from repro.core import generate_ft
+    case = case_by_id("O1")
+    # "The FT was generated with just 3 lines of code"
+    ft = generate_ft(case.buggy_source(), module_name=case.dut_module)
+    assert ft.annotation_loc == 3
+
+    def run():
+        _, buggy = check_case(case, "buggy")
+        _, fixed = check_case(case, "fixed")
+        return buggy, fixed
+
+    buggy, fixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    deadlock = next(r for r in buggy.cex_results
+                    if "eventual_response" in r.name)
+    assert deadlock.trace.loop_start is not None  # a genuine lasso
+    assert fixed.proof_rate == 1.0, fixed.summary()
+    print(f"\nE8: deadlock lasso at depth {deadlock.depth} "
+          f"(loop from cycle {deadlock.trace.loop_start}); "
+          f"not-full fix -> 100% proof")
+
+
+@pytest.mark.parametrize("case_id,issue", [("A4", "#538"), ("A5", "#474")])
+def test_e9_known_bugs(benchmark, case_id, issue):
+    case = case_by_id(case_id)
+
+    def run():
+        return check_case(case, "buggy")
+
+    _, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    cex = next(r for r in report.cex_results
+               if case.expect_buggy_cex in r.name)
+    assert cex.trace is not None
+    assert cex.depth <= 8
+    print(f"\nE9 {case_id}: hit known-bug analogue ({issue}) — "
+          f"{case.expect_buggy_cex} CEX, {cex.depth + 1}-cycle trace")
+
+
+def test_e10_fairness_cex_and_assumption(benchmark):
+    case = case_by_id("E10")
+
+    def run():
+        _, starving = check_case(case, "buggy")   # without the assumption
+        _, fair = check_case(case, "fixed")       # with the inline assumption
+        return starving, fair
+
+    starving, fair = benchmark.pedantic(run, rounds=1, iterations=1)
+    cex = next(r for r in starving.cex_results
+               if "eventual_response" in r.name)
+    # Paper: trace shorter than 4 cycles (ours: the lasso fits in a handful).
+    assert cex.depth <= 4, cex.depth
+    assert cex.trace.loop_start is not None
+    assert fair.proof_rate == 1.0, fair.summary()
+    print(f"\nE10: ITLB starvation lasso, {cex.depth + 1}-cycle trace "
+          f"(paper: <4 cycles); added assumption -> 100% proof")

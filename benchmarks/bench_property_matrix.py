@@ -1,0 +1,181 @@
+"""E4 — Table II: properties generated for each transaction attribute.
+
+Synthesizes minimal interfaces exercising each attribute and checks the
+generated property set matches the Table II matrix, including the
+assert/assume polarity rules of Section III-B (attributes marked * are
+asserted on incoming and assumed on outgoing transactions; stable and
+transid_unique are the opposite; active is always asserted).
+"""
+
+import pytest
+
+from repro.core import generate_ft
+
+
+def _module(annotations, direction="in"):
+    return f"""
+module m #(parameter W = 2)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: p -{direction}> q
+  {annotations}
+  */
+  input  wire p_port_val,
+  input  wire p_port_ack_in,
+  input  wire [W-1:0] p_port_id,
+  input  wire [W-1:0] p_port_payload,
+  input  wire p_port_act,
+  output wire q_port_val,
+  output wire [W-1:0] q_port_id,
+  output wire [W-1:0] q_port_payload
+);
+endmodule
+"""
+
+
+def _labels(ft):
+    return {a.full_label(): a for a in ft.prop.assertions if not a.xprop}
+
+
+def _generate(annotations, direction="in"):
+    return generate_ft(_module(annotations, direction))
+
+
+BASE = "p_val = p_port_val\n  q_val = q_port_val"
+
+
+class TestValAttribute:
+    def test_incoming_liveness_and_safety_asserted(self, benchmark):
+        ft = benchmark.pedantic(lambda: _generate(BASE), rounds=1,
+                                iterations=1)
+        labels = _labels(ft)
+        assert "as__t_eventual_response" in labels
+        assert labels["as__t_eventual_response"].liveness
+        assert "as__t_had_a_request" in labels
+
+    def test_outgoing_becomes_assumed(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(BASE, direction="out"))
+        assert "am__t_eventual_response" in labels
+        assert "am__t_had_a_request" in labels
+
+
+class TestAckAttribute:
+    ANN = BASE + "\n  p_ack = p_port_ack_in"
+
+    def test_hsk_or_drop_incoming_assert(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN))
+        assert "as__t_hsk_or_drop" in labels
+        # without stable, a dropped request is allowed
+        assert "!p_val || p_ack" in labels["as__t_hsk_or_drop"].body
+
+    def test_hsk_or_drop_outgoing_assume(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN, direction="out"))
+        assert "am__t_hsk_or_drop" in labels
+
+
+class TestStableAttribute:
+    ANN = BASE + ("\n  p_ack = p_port_ack_in"
+                  "\n  [W-1:0] p_stable = p_port_payload")
+
+    def test_incoming_stability_assumed(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN))
+        assert "am__t_stability" in labels
+        assert "$stable" in labels["am__t_stability"].body
+
+    def test_outgoing_stability_asserted(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN, direction="out"))
+        assert "as__t_stability" in labels
+
+    def test_stable_strengthens_hsk_or_drop(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN))
+        # a stable request may not be dropped: discharge is the ack alone
+        assert labels["as__t_hsk_or_drop"].body.endswith("p_ack")
+
+
+class TestTransidAttributes:
+    ANN = BASE + ("\n  [W-1:0] p_transid = p_port_id"
+                  "\n  [W-1:0] q_transid = q_port_id")
+
+    def test_symbolic_tracking_generated(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ft = _generate(self.ANN)
+        assert "symb_t_transid" in ft.prop_sv
+        labels = _labels(ft)
+        assert "am__symb_t_transid_stable" in labels
+
+    def test_transid_unique_incoming_assumed(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ann = self.ANN.replace("p_transid", "p_transid_unique")
+        labels = _labels(_generate(ann))
+        assert "am__t_transid_unique" in labels
+
+    def test_transid_unique_outgoing_asserted(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ann = self.ANN.replace("p_transid", "p_transid_unique")
+        labels = _labels(_generate(ann, direction="out"))
+        assert "as__t_transid_unique" in labels
+
+
+class TestDataAttribute:
+    ANN = BASE + ("\n  [W-1:0] p_data = p_port_payload"
+                  "\n  [W-1:0] q_data = q_port_payload")
+
+    def test_incoming_integrity_asserted(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN))
+        assert "as__t_data_integrity" in labels
+        assert "as__t_data_integrity_same_cycle" in labels
+
+    def test_outgoing_integrity_assumed(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(self.ANN, direction="out"))
+        assert "am__t_data_integrity" in labels
+
+
+class TestActiveAttribute:
+    ANN = BASE + "\n  p_active = p_port_act"
+
+    def test_always_asserted(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for direction in ("in", "out"):
+            labels = _labels(_generate(self.ANN, direction))
+            assert "as__t_active" in labels
+
+
+class TestCoverAndXprop:
+    def test_cover_always_generated(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        labels = _labels(_generate(BASE))
+        assert "co__t_happens" in labels
+
+    def test_xprop_behind_macro(self, benchmark):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ft = _generate(BASE + "\n  [W-1:0] p_data = p_port_payload"
+                              "\n  [W-1:0] q_data = q_port_payload")
+        assert "`ifdef XPROP" in ft.prop_sv
+        xprop = [a for a in ft.prop.assertions if a.xprop]
+        assert xprop and all(a.directive == "assert" for a in xprop)
+        assert all("$isunknown" in a.body for a in xprop)
+
+
+def test_assert_inputs_flip(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The ASSERT_INPUTS mode converts flippable assumptions to assertions
+    (used for -AS submodule linking)."""
+    from repro.core import render_propfile
+    ft = _generate(BASE, direction="out")
+    flipped = render_propfile(ft.prop, assert_inputs=True)
+    assert "as__t_eventual_response" in flipped
+    assert "am__t_eventual_response" not in flipped
+    # symbolic stability stays an assumption even when flipping
+    ft2 = _generate(BASE + "\n  [W-1:0] p_transid = p_port_id"
+                           "\n  [W-1:0] q_transid = q_port_id")
+    flipped2 = render_propfile(ft2.prop, assert_inputs=True)
+    assert "am__symb_t_transid_stable" in flipped2

@@ -1,0 +1,109 @@
+"""E1 — Table III: outcomes of the 7 evaluated RTL modules.
+
+Paper (Table III):
+
+    A1. Page Table Walker (PTW)    100% liveness/safety properties proof
+    A2. Trans. Look. Buffer (TLB)  100% liveness/safety properties proof
+    A3. Memory Mgmt. Unit (MMU)    Bug found and fixed -> 100% proof
+    A4. Load Store Unit (LSU)      Hit known bug (issue #538)
+    A5. L1-I$ (write-back)         Hit known bug (issue #474)
+    O1. NoC Buffer                 Bug found and fixed -> 100% proof
+    O2. L1.5$ (private)            NoC Buffer proof, other CEXs
+
+Each benchmark runs the generated FT on the corresponding corpus module and
+asserts the same outcome *shape*; the printed table is the reproduction of
+Table III (captured by EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.designs import CORPUS, case_by_id
+
+from conftest import check_case, default_config
+
+RESULTS = {}
+
+
+def _record(case_id, text):
+    RESULTS[case_id] = text
+
+
+@pytest.mark.parametrize("case_id", ["A1", "A2"])
+def test_full_proof_modules(benchmark, case_id):
+    """A1/A2: every liveness and safety property is proven."""
+    case = case_by_id(case_id)
+
+    def run():
+        return check_case(case, "fixed")
+
+    ft, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.proof_rate == 1.0, report.summary()
+    assert report.num_cex == 0
+    _record(case_id, "100% liveness/safety properties proof")
+
+
+@pytest.mark.parametrize("case_id", ["A3", "O1"])
+def test_bug_found_and_fixed(benchmark, case_id):
+    """A3/O1: the buggy variant yields a CEX; the fix reaches 100% proof."""
+    case = case_by_id(case_id)
+
+    def run():
+        _, buggy_report = check_case(case, "buggy")
+        _, fixed_report = check_case(case, "fixed")
+        return buggy_report, fixed_report
+
+    buggy_report, fixed_report = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    failing = [r.name for r in buggy_report.cex_results]
+    assert any(case.expect_buggy_cex in name for name in failing), failing
+    assert fixed_report.proof_rate == 1.0, fixed_report.summary()
+    _record(case_id, f"Bug found ({case.expect_buggy_cex} CEX) and fixed "
+                     f"-> 100% proof")
+
+
+@pytest.mark.parametrize("case_id", ["A4", "A5"])
+def test_hit_known_bugs(benchmark, case_id):
+    """A4/A5: the FT hits the known bug (liveness CEX on the buggy RTL)."""
+    case = case_by_id(case_id)
+
+    def run():
+        return check_case(case, "buggy")
+
+    ft, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    failing = [r.name for r in report.cex_results]
+    assert any(case.expect_buggy_cex in name for name in failing), failing
+    # The CEX is a short trace, as the paper stresses.
+    cex = next(r for r in report.cex_results
+               if case.expect_buggy_cex in r.name)
+    assert cex.trace is not None and cex.depth <= 8
+    _record(case_id, f"Hit known bug ({case.expect_buggy_cex}, "
+                     f"{cex.depth + 1}-cycle trace)")
+
+
+def test_l15_mixed_outcome(benchmark):
+    """O2: buffer-instance properties prove; the miss transaction has CEXs
+    from under-constrained message types."""
+    case = case_by_id("O2")
+
+    def run():
+        return check_case(case, "fixed")
+
+    ft, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    buffer_results = [r for r in report.results if "nocbuf" in r.name]
+    assert buffer_results
+    assert all(r.ok or r.status == "proven" for r in buffer_results), \
+        [f"{r.name}:{r.status}" for r in buffer_results]
+    miss_cexs = [r for r in report.cex_results if "l15_miss" in r.name]
+    assert miss_cexs, report.summary()
+    _record("O2", "NoC Buffer proof, other CEXs")
+
+
+def test_zzz_print_table3(benchmark):
+    """Assemble and print the reproduced Table III."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {case.case_id: case for case in CORPUS if case.case_id != "E10"}
+    print("\n=== Reproduced Table III ===")
+    print(f"{'Module':<34} {'Paper result':<40} Reproduced")
+    for case_id, case in rows.items():
+        ours = RESULTS.get(case_id, "(not run in this session)")
+        print(f"{case_id}. {case.name:<30} {case.paper_result:<40} {ours}")

@@ -1,0 +1,129 @@
+"""E11 — Property Reuse in simulation (Section III-B).
+
+"AutoSVA property files can be utilized in a simulation testbench ... all
+control-safety properties and X-propagation assertions can be checked during
+simulation.  AutoSVA generates X-propagation assertions, which check that
+when the val signal of an interface is asserted, none of the other
+attributes have value X ... these assertions are only checked during
+simulation (under a XPROP macro)."
+
+Three reproduced facts:
+
+1. binding a generated property file into the 4-state simulator and driving
+   random stimulus produces no violations on a correct design;
+2. a design with an un-reset payload register (a classic X bug, invisible to
+   two-valued formal) trips the XPROP assertion in simulation;
+3. with ``XPROP`` undefined (the formal parse) the X assertions vanish.
+"""
+
+from repro.core import generate_ft
+from repro.designs import case_by_id
+from repro.rtl.preprocess import strip_ifdefs
+from repro.sim import Simulator, simulate_random
+
+# A response payload register without a reset value: after reset the first
+# response exposes X on q_data while q_val is high.
+XBUG = """
+module xleaky #(
+  parameter W = 4
+)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: a_req -in> a_res
+  a_req_val = req_i
+  [W-1:0] a_req_data = data_i
+  a_res_val = res_val_o
+  [W-1:0] a_res_data = res_data_o
+  */
+  input  wire req_i,
+  input  wire data_en_i,
+  input  wire [W-1:0] data_i,
+  output wire res_val_o,
+  output wire [W-1:0] res_data_o
+);
+  reg        val_q;
+  reg [W-1:0] data_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      val_q <= 1'b0;
+      // BUG: data_q has no reset value, and its load enable is not tied to
+      // the request: a request without data_en_i exposes X on the response.
+    end else begin
+      val_q <= req_i;
+      if (req_i && data_en_i)
+        data_q <= data_i;
+    end
+  end
+  assign res_val_o = val_q;
+  assign res_data_o = data_q;
+endmodule
+"""
+
+
+def test_clean_design_has_no_violations(benchmark):
+    case = case_by_id("O1")
+    source = case.dut_source()
+    ft = generate_ft(source, module_name=case.dut_module)
+
+    def run():
+        return simulate_random(source, case.dut_module,
+                               ft.testbench_sources(), cycles=200, seed=7)
+
+    violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert violations == [], [str(v) for v in violations]
+
+
+def test_xprop_assertion_catches_unreset_register(benchmark):
+    ft = generate_ft(XBUG)
+
+    def run():
+        sim = Simulator(XBUG, "xleaky",
+                        extra_sources=tuple(ft.testbench_sources()),
+                        defines=("XPROP",), seed=1)
+        sim.step()  # reset
+        # Directed stimulus: a request whose data enable is low — the
+        # response next cycle carries the never-written X payload while
+        # res_val is high, exactly what the XPROP assertion watches for.
+        violations = []
+        for _ in range(4):
+            violations.extend(sim.step(
+                inputs={"req_i": 1, "data_en_i": 0, "data_i": 5}))
+        return violations
+
+    violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    xprop = [v for v in violations if v.xprop]
+    assert xprop, "expected an XPROP violation on the un-reset payload"
+    assert any("a_res_xprop" in v.label for v in xprop)
+
+
+def test_xprop_stripped_for_formal(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ft = generate_ft(XBUG)
+    formal_view = strip_ifdefs(ft.prop_sv, defines=())
+    sim_view = strip_ifdefs(ft.prop_sv, defines=("XPROP",))
+    assert "$isunknown" not in formal_view
+    assert "$isunknown" in sim_view
+
+
+def test_safety_properties_checked_in_simulation(benchmark):
+    """A buggy design violates generated *safety* properties in simulation
+    too (the had_a_request analogue shows up without any formal run)."""
+    case = case_by_id("A3")
+    source = case.buggy_source()
+    ft = generate_ft(source, module_name=case.dut_module)
+
+    def run():
+        found = []
+        for seed in range(6):
+            sim = Simulator(source, case.dut_module,
+                            extra_sources=tuple(case.extra_sources())
+                            + tuple(ft.testbench_sources()),
+                            defines=("XPROP",), seed=seed)
+            sim.step()
+            found.extend(sim.run(300))
+        return found
+
+    violations = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert any("had_a_request" in v.label for v in violations), \
+        sorted({v.label for v in violations})

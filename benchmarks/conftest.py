@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation (see
+DESIGN.md's per-experiment index).  Model-checking benchmarks run one round
+only (``pedantic``): the quantity of interest is the reproduced *outcome*
+(who proves, who fails, at what depth), with wall time recorded for context.
+"""
+
+import pytest
+
+from repro.core import generate_ft, run_fv
+from repro.formal import EngineConfig
+
+
+def default_config() -> EngineConfig:
+    return EngineConfig(max_bound=8, max_frames=30)
+
+
+def check_case(case, variant: str, config: EngineConfig = None):
+    """Generate the FT for a corpus case variant and run the engine."""
+    source = case.dut_source() if variant == "fixed" else case.buggy_source()
+    assert source is not None, f"{case.case_id} has no {variant} variant"
+    ft = generate_ft(source, module_name=case.dut_module)
+    report = run_fv(ft, [source] + case.extra_sources(),
+                    config or default_config())
+    return ft, report
+
+
+@pytest.fixture
+def engine_config():
+    return default_config()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bug1 walkthrough: the MMU "ghost response" (paper Section IV).
+
+Reproduces the paper's strongest anecdote end to end:
+
+  "within 1 hour, AutoSVA generated a FT for Ariane's MMU, discovered a
+   bug, and verified the bug-fix. [...] The MMU responds immediately with a
+   bad alignment response, but the DTLB still misses and the PTW is
+   activated (bad behavior). In the case of a page fault, the MMU generates
+   a second 'ghost' response to the LSU [...] producing a 5-cycle trace"
+
+The script generates the MMU's FT once, runs it against the buggy RTL (CEX
+on `had_a_request`, with the waveform printed), then against the fixed RTL
+(everything proven) — the paper's "bug-fix confidence" metric.
+
+Run:  python examples/mmu_bughunt.py
+"""
+
+import time
+
+from repro.core import generate_ft, run_fv
+from repro.designs import case_by_id
+from repro.formal import EngineConfig
+
+KEY_SIGNALS = [
+    "lsu_req_i", "lsu_misaligned_i", "lsu_ready_o", "lsu_valid_o",
+    "lsu_exception_o", "req_port_data_req_o", "req_port_data_gnt_i",
+    "req_port_data_rvalid_i", "data_err_i",
+    "u_mmu_sva.mmu_lsu_sampled",
+]
+
+
+def main() -> None:
+    case = case_by_id("A3")
+    config = EngineConfig(max_bound=8, max_frames=30)
+
+    print("=== Buggy MMU: PTW not masked on misaligned requests ===")
+    buggy = case.buggy_source()
+    ft = generate_ft(buggy, module_name=case.dut_module)
+    print(f"FT: {ft.property_count} properties from {ft.annotation_loc} "
+          f"annotation lines\n")
+
+    begin = time.perf_counter()
+    report = run_fv(ft, [buggy] + case.extra_sources(), config)
+    print(report.summary())
+    ghost = next(r for r in report.cex_results if "had_a_request" in r.name)
+    print(f"\nGhost response found in {time.perf_counter() - begin:.1f}s, "
+          f"{ghost.trace.depth}-cycle trace (paper: <1s, 5-cycle trace):\n")
+    trace = ghost.trace
+    for name in KEY_SIGNALS:
+        if name in trace.cycles:
+            values = " ".join(f"{v:>2x}" for v in trace.cycles[name])
+            print(f"  {name:<28} {values}")
+    print("\nReading the trace: the misaligned request is answered "
+          "immediately (cycle 0), yet the walk proceeds; when it faults, "
+          "lsu_valid_o pulses again with the outstanding counter at 0 — "
+          "a response nobody asked for.")
+
+    print("\n=== Fixed MMU: ptw_start masked with !lsu_misaligned_i ===")
+    fixed = case.dut_source()
+    ft_fixed = generate_ft(fixed, module_name=case.dut_module)
+    begin = time.perf_counter()
+    report_fixed = run_fv(ft_fixed, [fixed] + case.extra_sources(), config)
+    print(report_fixed.summary())
+    assert report_fixed.proof_rate == 1.0
+    print(f"\nBug-fix verified in {time.perf_counter() - begin:.1f}s: the "
+          f"previously failing assertion is proven (paper: 'the formal tool "
+          f"found a proof in few seconds ... the MMU FT proof-rate was "
+          f"100%').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bug2 walkthrough: the NoC-buffer deadlock (paper Section IV).
+
+The OpenPiton NoC1 buffer was written for the L1.5$, whose MSHR logic never
+issues more requests than the buffer has entries.  Reused under the new Mem
+Engine, that implicit contract broke: the buffer acks unconditionally, a
+burst overflows it, an entry is silently overwritten, and the overwritten
+request never reaches the NoC — deadlock.
+
+"Since the interfaces mostly matched the AutoSVA language, the FT was
+generated with just 3 lines of code. [...] After fixing the bug (adding a
+'not-full' condition to the ack signal), the formal tool resulted in a
+proof."
+
+This script shows (1) the 3-line FT, (2) the liveness lasso on the buggy
+buffer, (3) the proof on the fixed one, and (4) the Mem Engine system
+context that motivated the hunt.
+
+Run:  python examples/noc_deadlock.py
+"""
+
+from repro.core import generate_ft, run_fv
+from repro.designs import case_by_id, load
+from repro.formal import EngineConfig
+
+
+def main() -> None:
+    case = case_by_id("O1")
+    config = EngineConfig(max_bound=8, max_frames=30)
+
+    print("=== The 3-line annotation (paper Fig. 7, mem-engine_noc) ===")
+    buggy = case.buggy_source()
+    for line in buggy.splitlines():
+        if "AUTOSVA" in line or "-in>" in line or "transid" in line:
+            print(f"  {line.strip()}")
+    ft = generate_ft(buggy, module_name=case.dut_module)
+    print(f"\n-> {ft.property_count} properties generated from "
+          f"{ft.annotation_loc} annotation lines "
+          f"(val/ack picked up implicitly from the port names)\n")
+
+    print("=== Buggy buffer (ack ignores fullness) ===")
+    report = run_fv(ft, [buggy], config)
+    print(report.summary())
+    deadlock = next(r for r in report.cex_results
+                    if "eventual_response" in r.name)
+    print(f"\nDeadlock lasso (loop back to cycle "
+          f"{deadlock.trace.loop_start}):\n")
+    trace = deadlock.trace
+    for name in ("noc1buffer_req_val", "noc1buffer_req_ack",
+                 "noc1buffer_req_mshrid", "noc1buffer_enc_val",
+                 "noc1buffer_enc_ack", "noc1buffer_enc_mshrid",
+                 "u_noc_buffer_sva.symb_nocbuf_transid",
+                 "u_noc_buffer_sva.nocbuf_sampled"):
+        if name in trace.cycles:
+            values = " ".join(f"{v:>2x}" for v in trace.cycles[name])
+            print(f"  {name:<38} {values}")
+    print("\nReading the trace: the tracked mshrid is pushed while the "
+          "buffer is already full; the overwritten entry never appears on "
+          "the encoder side, so the transaction can never complete.")
+
+    print("\n=== Fixed buffer (ack = !full) ===")
+    fixed = case.dut_source()
+    ft_fixed = generate_ft(fixed, module_name=case.dut_module)
+    report_fixed = run_fv(ft_fixed, [fixed], config)
+    print(report_fixed.summary())
+    assert report_fixed.proof_rate == 1.0
+    print("\nAll properties proven — the not-full condition is exactly the "
+          "paper's fix.")
+
+    print("\n=== System context: the Mem Engine that triggered the bug ===")
+    engine_src = load("openpiton/mem_engine.sv")
+    print("mem_engine.sv issues a 4-beat burst against a 2-entry buffer, "
+          "trusting noc1buffer_req_ack; with the buggy ack it overflows "
+          "exactly as the unconstrained formal environment does.")
+    assert "beats_q <= 3'd4" in engine_src
+
+
+if __name__ == "__main__":
+    main()

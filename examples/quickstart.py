@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: annotate an RTL interface, generate a formal testbench, run it.
+
+This walks the paper's Fig. 3 -> Fig. 2 path on a small load-store unit:
+
+1. the designer annotates the module's interface with AutoSVA's transaction
+   language (the ``/*AUTOSVA ... */`` block below — six lines);
+2. ``generate_ft`` produces the property file, bind file and tool scripts;
+3. ``run_fv`` hands the testbench to the built-in formal engine, which
+   proves liveness ("every load eventually gets its response") and safety
+   ("every response had a request") — or returns a counterexample trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import generate_ft, run_fv
+from repro.formal import EngineConfig
+
+LSU = """
+module lsu #(
+  parameter TRANS_ID_BITS = 2
+)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  lsu_load: lsu_req -in> lsu_res
+  lsu_req_val = lsu_valid_i
+  lsu_req_rdy = lsu_ready_o
+  [TRANS_ID_BITS-1:0] lsu_req_transid = lsu_trans_id_i
+  lsu_res_val = load_valid_o
+  [TRANS_ID_BITS-1:0] lsu_res_transid = load_trans_id_o
+  */
+  input  wire lsu_valid_i,
+  output wire lsu_ready_o,
+  input  wire [TRANS_ID_BITS-1:0] lsu_trans_id_i,
+  output wire load_valid_o,
+  output wire [TRANS_ID_BITS-1:0] load_trans_id_o
+);
+  // Single outstanding load, answered one cycle later.
+  reg busy;
+  reg [TRANS_ID_BITS-1:0] id_q;
+  assign lsu_ready_o  = !busy;
+  assign load_valid_o = busy;
+  assign load_trans_id_o = id_q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy <= 1'b0;
+      id_q <= '0;
+    end else begin
+      if (lsu_valid_i && lsu_ready_o) begin
+        busy <= 1'b1;
+        id_q <= lsu_trans_id_i;
+      end else begin
+        busy <= 1'b0;
+      end
+    end
+  end
+endmodule
+"""
+
+
+def main() -> None:
+    print("=== Step 1-5: generate the formal testbench ===")
+    ft = generate_ft(LSU)
+    print(f"DUT: {ft.dut_name} — {ft.property_count} properties from "
+          f"{ft.annotation_loc} annotation lines "
+          f"in {ft.generation_time_s * 1000:.1f} ms\n")
+
+    print("--- generated property file (lsu_prop.sv) ---")
+    print(ft.prop_sv)
+    print("--- generated bind file (lsu_bind.sv) ---")
+    print(ft.bind_sv)
+    print("--- SymbiYosys / JasperGold configs are in ft.files() ---")
+    for name in ft.files():
+        print(f"  {name}")
+
+    print("\n=== Run the built-in formal engine ===")
+    report = run_fv(ft, [LSU], EngineConfig(max_bound=8))
+    print(report.summary())
+    if report.proof_rate == 1.0:
+        print("\nAll liveness and safety properties proven: the LSU cannot "
+              "hang, and every response matches a request.")
+    else:
+        for result in report.cex_results:
+            print()
+            print(result.trace.render())
+
+
+if __name__ == "__main__":
+    main()

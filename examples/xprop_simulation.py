@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Property reuse in simulation (paper Section III-B).
+
+Formal tools are two-valued, so AutoSVA emits X-propagation assertions under
+an ``XPROP`` macro for the *simulation* side of the flow.  This example
+binds a generated property file into the 4-state simulator and shows an
+un-reset payload register being caught by the generated XPROP assertion —
+a bug class that formal verification cannot see at all.
+
+Run:  python examples/xprop_simulation.py
+"""
+
+from repro.core import generate_ft
+from repro.designs import case_by_id
+from repro.sim import Simulator, simulate_random
+
+XLEAKY = """
+module xleaky #(
+  parameter W = 4
+)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: a_req -in> a_res
+  a_req_val = req_i
+  [W-1:0] a_req_data = data_i
+  a_res_val = res_val_o
+  [W-1:0] a_res_data = res_data_o
+  */
+  input  wire req_i,
+  input  wire data_en_i,
+  input  wire [W-1:0] data_i,
+  output wire res_val_o,
+  output wire [W-1:0] res_data_o
+);
+  reg        val_q;
+  reg [W-1:0] data_q;   // BUG: never reset, load enable not tied to req
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      val_q <= 1'b0;
+    end else begin
+      val_q <= req_i;
+      if (req_i && data_en_i)
+        data_q <= data_i;
+    end
+  end
+  assign res_val_o  = val_q;
+  assign res_data_o = data_q;
+endmodule
+"""
+
+
+def main() -> None:
+    print("=== A clean design: no violations under random stimulus ===")
+    case = case_by_id("O1")
+    source = case.dut_source()
+    ft = generate_ft(source, module_name=case.dut_module)
+    violations = simulate_random(source, case.dut_module,
+                                 ft.testbench_sources(), cycles=300, seed=7)
+    print(f"noc_buffer (fixed): {len(violations)} violations in 300 "
+          f"random cycles\n")
+
+    print("=== An X bug formal cannot see ===")
+    ft_leaky = generate_ft(XLEAKY)
+    xprop_lines = [line for line in ft_leaky.prop_sv.splitlines()
+                   if "isunknown" in line or "XPROP" in line]
+    print("Generated X-propagation checks (simulation-only):")
+    for line in xprop_lines:
+        print(f"  {line.strip()}")
+
+    sim = Simulator(XLEAKY, "xleaky",
+                    extra_sources=tuple(ft_leaky.testbench_sources()),
+                    defines=("XPROP",), seed=1)
+    sim.step()  # reset cycle
+    print("\nDriving a request whose data enable is low...")
+    for _ in range(3):
+        for violation in sim.step(inputs={"req_i": 1, "data_en_i": 0,
+                                          "data_i": 5}):
+            print(f"  VIOLATION {violation}")
+    caught = [v for v in sim.violations if v.xprop]
+    assert caught, "the XPROP assertion should have fired"
+    print(f"\nThe response went valid with an X payload — caught by "
+          f"{caught[0].label}.")
+    print("Formal proves this design's control properties (X is just 0/1 "
+          "there); only the simulation reuse path exposes the X bug — "
+          "which is precisely why AutoSVA generates both.")
+
+
+if __name__ == "__main__":
+    main()

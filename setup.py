@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandbox this reproduction runs in has no network and no `wheel` package,
+so PEP 660 editable installs (`pip install -e .` with build isolation) cannot
+build. This shim enables the classic `pip install -e . --no-use-pep517
+--no-build-isolation` path. All metadata lives in pyproject.toml; setuptools
+>= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

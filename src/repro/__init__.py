@@ -1,0 +1,27 @@
+"""repro — a full reproduction of AutoSVA (DAC 2021).
+
+AutoSVA generates formal-verification testbenches (liveness + safety SVA)
+from transaction annotations on RTL module interfaces.  This package contains
+the generator (:mod:`repro.core`) plus every substrate the paper's evaluation
+depends on, built from scratch:
+
+* :mod:`repro.rtl` — SystemVerilog-subset frontend (lexer → synthesis);
+* :mod:`repro.formal` — SAT-based model checker (BMC, k-induction,
+  liveness-to-safety) standing in for JasperGold/SymbiYosys;
+* :mod:`repro.sim` — 4-state simulator for X-propagation property reuse;
+* :mod:`repro.designs` — reduced models of the 7 evaluated Ariane/OpenPiton
+  modules, with the paper's bugs and bug-fixes.
+
+Quickstart::
+
+    from repro.core import generate_ft, run_fv
+    ft = generate_ft(open("lsu.sv").read())
+    report = run_fv(ft, [open("lsu.sv").read()])
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import core, formal, rtl
+
+__all__ = ["core", "formal", "rtl", "__version__"]

@@ -1,0 +1,42 @@
+"""AutoSVA core: the paper's contribution.
+
+Annotated RTL interface in, formal testbench out (paper Fig. 5):
+
+1. :mod:`repro.core.rtl_scan` + :mod:`repro.core.parser` — Parser;
+2. :mod:`repro.core.transactions` — Transaction Builder;
+3. :mod:`repro.core.signals` — Signal Generator;
+4. :mod:`repro.core.properties` + :mod:`repro.core.render` — Property
+   Generator;
+5. :mod:`repro.core.toolcfg` + :mod:`repro.core.bindfile` — FV Tool Setup.
+
+Use :func:`repro.core.generate_ft` / :func:`repro.core.run_fv` for the
+end-to-end flow, or the ``autosva`` CLI.
+"""
+
+from .bindfile import render_bindfile
+from .flow import FormalTestbench, SubmoduleLink, generate_ft, run_fv
+from .language import (AttributeDef, AutoSVAError, Direction, RelationSpec,
+                       SUFFIXES, split_field)
+from .parser import ParsedInterface, parse_annotations
+from .properties import generate_properties
+from .render import render_propfile
+from .rtl_scan import InterfaceScan, ParamInfo, PortInfo, find_clock_reset, scan_rtl
+from .signals import TransactionSignals, generate_signals
+from .sva import Assertion, Comment, FFBlock, PropFile, RegDecl, WireDecl
+from .toolcfg import ToolConfig, render_jg_tcl, render_sby
+from .transactions import SideAttrs, Transaction, build_transactions
+
+__all__ = [
+    "render_bindfile",
+    "FormalTestbench", "SubmoduleLink", "generate_ft", "run_fv",
+    "AttributeDef", "AutoSVAError", "Direction", "RelationSpec", "SUFFIXES",
+    "split_field",
+    "ParsedInterface", "parse_annotations",
+    "generate_properties",
+    "render_propfile",
+    "InterfaceScan", "ParamInfo", "PortInfo", "find_clock_reset", "scan_rtl",
+    "TransactionSignals", "generate_signals",
+    "Assertion", "Comment", "FFBlock", "PropFile", "RegDecl", "WireDecl",
+    "ToolConfig", "render_jg_tcl", "render_sby",
+    "SideAttrs", "Transaction", "build_transactions",
+]

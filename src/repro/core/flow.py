@@ -1,0 +1,165 @@
+"""End-to-end AutoSVA flow: annotated RTL in, runnable formal testbench out.
+
+This is the public API most users touch:
+
+* :func:`generate_ft` — the five generator steps (scan/parse → transactions
+  → signals → properties → tool setup), returning a
+  :class:`FormalTestbench` with every generated file;
+* :func:`run_fv` — hand the FT to the built-in formal engine and get a
+  :class:`~repro.formal.engine.CheckReport` (proofs / CEX traces), the
+  offline equivalent of "AutoSVA invokes the FV tool";
+* submodule linking (``-AM``/``-AS`` script parameters in the paper): merge
+  previously generated FTs of submodules into a parent run, optionally
+  flipping their assumptions into assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formal.engine import CheckReport, EngineConfig, FormalEngine
+from ..rtl.synth import Synthesizer, synthesize
+from ..rtl.parser import parse_design
+from ..rtl.preprocess import strip_ifdefs
+from .bindfile import render_bindfile
+from .language import AutoSVAError
+from .parser import parse_annotations
+from .properties import generate_properties
+from .render import render_propfile
+from .rtl_scan import find_clock_reset, scan_rtl
+from .signals import generate_signals
+from .sva import PropFile
+from .toolcfg import ToolConfig, render_jg_tcl, render_sby
+from .transactions import Transaction, build_transactions
+
+__all__ = ["FormalTestbench", "SubmoduleLink", "generate_ft", "run_fv"]
+
+
+@dataclass
+class SubmoduleLink:
+    """A previously generated FT linked into a parent run.
+
+    ``mode`` follows the paper's script parameters: ``"am"`` includes the
+    submodule's properties as generated (its environment assumptions stay
+    assumptions), ``"as"`` converts all its assumptions into assertions so
+    the parent logic is checked against them.
+    """
+
+    ft: "FormalTestbench"
+    mode: str = "am"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("am", "as"):
+            raise AutoSVAError(f"submodule link mode must be 'am' or 'as', "
+                               f"got {self.mode!r}")
+
+
+@dataclass
+class FormalTestbench:
+    """Everything AutoSVA generates for one DUT."""
+
+    dut_name: str
+    prop: PropFile
+    transactions: List[Transaction]
+    prop_sv: str
+    bind_sv: str
+    sby: str
+    jg_tcl: str
+    annotation_loc: int
+    generation_time_s: float
+    submodules: List[SubmoduleLink] = field(default_factory=list)
+
+    @property
+    def property_count(self) -> int:
+        """Properties in this FT only (excludes linked submodules)."""
+        return self.prop.property_count
+
+    @property
+    def total_property_count(self) -> int:
+        return self.property_count + sum(
+            link.ft.total_property_count for link in self.submodules)
+
+    def files(self) -> Dict[str, str]:
+        """All generated files, named as they would land on disk."""
+        out = {
+            f"{self.dut_name}_prop.sv": self.prop_sv,
+            f"{self.dut_name}_bind.sv": self.bind_sv,
+            f"{self.dut_name}.sby": self.sby,
+            f"{self.dut_name}.tcl": self.jg_tcl,
+        }
+        for link in self.submodules:
+            for name, text in link.ft.files().items():
+                if name.endswith("_prop.sv") or name.endswith("_bind.sv"):
+                    out.setdefault(name, text)
+        return out
+
+    def testbench_sources(self) -> List[str]:
+        """Property + bind sources for this FT and linked submodule FTs."""
+        sources = [self.prop_sv, self.bind_sv]
+        for link in self.submodules:
+            sources.extend(link.ft.testbench_sources())
+        return sources
+
+
+def generate_ft(source: str, module_name: Optional[str] = None,
+                assert_inputs: bool = False,
+                submodules: Sequence[SubmoduleLink] = (),
+                tool_config: ToolConfig = ToolConfig(),
+                rtl_files: Optional[List[str]] = None) -> FormalTestbench:
+    """Run the full generator (paper Fig. 5, steps 1-5) on annotated RTL.
+
+    ``assert_inputs`` renders this FT's own flippable assumptions as
+    assertions (the ``ASSERT_INPUTS`` parameter of the paper); submodule
+    links carry their own mode.
+    """
+    begin = time.perf_counter()
+    scan = scan_rtl(source, module_name)
+    clock, reset, active_low = find_clock_reset(scan)
+    parsed = parse_annotations(scan)
+    transactions = build_transactions(parsed)
+
+    prop = PropFile(module_name=f"{scan.module_name}_prop",
+                    dut_name=scan.module_name,
+                    clock=clock, reset=reset, reset_active_low=active_low,
+                    params=list(scan.params), ports=list(scan.ports))
+    handles = generate_signals(prop, transactions)
+    generate_properties(prop, handles)
+
+    prop_sv = render_propfile(prop, assert_inputs=assert_inputs)
+    bind_sv = render_bindfile(prop)
+    files = rtl_files if rtl_files is not None else [f"{scan.module_name}.sv"]
+    sby = render_sby(prop, files, tool_config)
+    jg_tcl = render_jg_tcl(prop, files, tool_config)
+    elapsed = time.perf_counter() - begin
+    ft = FormalTestbench(
+        dut_name=scan.module_name, prop=prop, transactions=transactions,
+        prop_sv=prop_sv, bind_sv=bind_sv, sby=sby, jg_tcl=jg_tcl,
+        annotation_loc=scan.annotation_loc, generation_time_s=elapsed,
+        submodules=list(submodules))
+    # Submodule property files honour their link mode at render time.
+    for link in ft.submodules:
+        if link.mode == "as":
+            link.ft.prop_sv = render_propfile(link.ft.prop,
+                                              assert_inputs=True)
+    return ft
+
+
+def run_fv(ft: FormalTestbench, rtl_sources: Sequence[str],
+           config: Optional[EngineConfig] = None,
+           defines: Tuple[str, ...] = ()) -> CheckReport:
+    """Compile the DUT with the generated testbench and run all properties.
+
+    ``rtl_sources`` must contain the DUT module and any submodules it
+    instantiates.  Returns the engine's per-property report; this is the
+    offline stand-in for launching JasperGold/SymbiYosys.
+    """
+    sources = list(rtl_sources) + ft.testbench_sources()
+    merged = "\n".join(sources)
+
+    def factory():
+        return synthesize(merged, ft.dut_name, defines=defines)
+
+    engine = FormalEngine(factory, config or EngineConfig())
+    return engine.check_all()

@@ -1,0 +1,198 @@
+"""Step 4 (paper Fig. 5): the Property Generator.
+
+Implements the Table II property matrix.  The directive of each property
+depends on the transaction direction (Section III-B):
+
+* attributes marked ``*`` in Table II (val, ack, transid, data) describe the
+  *responder's* obligations — asserted when the transaction is **incoming**
+  (the DUT must respond) and assumed when **outgoing** (fairness of the
+  environment);
+* ``stable`` and ``transid_unique`` describe the *requester's* behaviour —
+  the opposite polarity: assumed on incoming requests (legal stimulus),
+  asserted on outgoing ones (the DUT's own requests must be well formed);
+* ``active`` is always asserted; covers are always covers.
+
+X-propagation assertions are generated under ``\\`ifdef XPROP`` for
+simulation reuse (Section III-B "Property Reuse").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .signals import (SAMPLED_MAX, SAMPLED_ZERO, TransactionSignals)
+from .sva import Assertion, Comment, PropFile
+from .transactions import SideAttrs, Transaction
+
+__all__ = ["generate_properties"]
+
+
+def _responder_directive(tx: Transaction) -> str:
+    """Directive for DUT-must-respond (``*``) properties."""
+    return "assert" if tx.incoming else "assume"
+
+
+def _requester_directive(tx: Transaction) -> str:
+    """Directive for request-well-formedness properties."""
+    return "assume" if tx.incoming else "assert"
+
+
+def generate_properties(prop: PropFile,
+                        handles: List[TransactionSignals]) -> None:
+    """Append the Table II properties for every transaction."""
+    for sig in handles:
+        tx = sig.tx
+        prop.items.append(Comment(
+            f"Properties for transaction {tx.name} "
+            f"({'incoming' if tx.incoming else 'outgoing'})"))
+        _gen_cover(prop, sig)
+        _gen_request_side(prop, sig)
+        _gen_response_side(prop, sig)
+        _gen_val_properties(prop, sig)
+        _gen_transid_unique(prop, sig)
+        _gen_data_integrity(prop, sig)
+        _gen_active(prop, sig)
+        _gen_xprop(prop, sig)
+
+
+def _gen_cover(prop: PropFile, sig: TransactionSignals) -> None:
+    """Sanity cover: the transaction can actually happen (anti-vacuity)."""
+    prop.items.append(Assertion(
+        directive="cover", label=f"{sig.name}_happens",
+        body=f"{sig.sampled} > 0"))
+
+
+def _gen_request_side(prop: PropFile, sig: TransactionSignals) -> None:
+    """ack (hsk-or-drop liveness) and stable properties of the P side."""
+    tx = sig.tx
+    p = tx.p
+    if p.ack is not None:
+        if p.stable is not None:
+            # A stable request cannot be dropped: it must be accepted.
+            body = f"{sig.p_val} |-> s_eventually {sig.p_ack}"
+        else:
+            body = (f"{sig.p_val} |-> s_eventually "
+                    f"(!{sig.p_val} || {sig.p_ack})")
+        prop.items.append(Assertion(
+            directive=_responder_directive(tx),
+            label=f"{sig.name}_hsk_or_drop", body=body, liveness=True,
+            flippable=True))
+    if p.stable is not None:
+        prop.items.append(Assertion(
+            directive=_requester_directive(tx),
+            label=f"{sig.name}_stability",
+            body=(f"{sig.p_val} && !{sig.p_ack} |=> "
+                  f"$stable({p.signal('stable')})"),
+            flippable=True))
+
+
+def _gen_response_side(prop: PropFile, sig: TransactionSignals) -> None:
+    """Mirror properties of the Q side: the response handshake must also
+    complete, and a held response can be required to stay stable."""
+    tx = sig.tx
+    q = tx.q
+    if q.ack is not None:
+        if q.stable is not None:
+            body = f"{sig.q_val} |-> s_eventually {sig.q_ack}"
+        else:
+            body = (f"{sig.q_val} |-> s_eventually "
+                    f"(!{sig.q_val} || {sig.q_ack})")
+        # The *environment* accepts the DUT's responses on incoming
+        # transactions, so the polarity mirrors the request side.
+        prop.items.append(Assertion(
+            directive=_requester_directive(tx),
+            label=f"{sig.name}_res_hsk_or_drop", body=body, liveness=True,
+            flippable=True))
+    if q.stable is not None:
+        prop.items.append(Assertion(
+            directive=_responder_directive(tx),
+            label=f"{sig.name}_res_stability",
+            body=(f"{sig.q_val} && !{sig.q_ack} |=> "
+                  f"$stable({q.signal('stable')})"),
+            flippable=True))
+
+
+def _gen_val_properties(prop: PropFile, sig: TransactionSignals) -> None:
+    """The heart of the framework: liveness (every request eventually gets a
+    response) and safety (every response had a request), Fig. 2."""
+    tx = sig.tx
+    directive = _responder_directive(tx)
+    prop.items.append(Assertion(
+        directive=directive, label=f"{sig.name}_eventual_response",
+        body=f"{sig.set_name} |-> s_eventually {sig.response_name}",
+        liveness=True, flippable=True))
+    prop.items.append(Assertion(
+        directive=directive, label=f"{sig.name}_had_a_request",
+        body=(f"{sig.response_name} |-> "
+              f"{sig.set_name} || {sig.sampled} > 0"),
+        flippable=True))
+    # Counter saturation guard: the requester must not exceed the tracking
+    # depth (would wrap the outstanding counter and break the model).
+    prop.items.append(Assertion(
+        directive=_requester_directive(tx),
+        label=f"{sig.name}_no_pending_overflow",
+        body=f"{sig.sampled} == {SAMPLED_MAX} |-> !{sig.set_name}",
+        flippable=True))
+
+
+def _gen_transid_unique(prop: PropFile, sig: TransactionSignals) -> None:
+    tx = sig.tx
+    if not tx.p.transid_unique:
+        return
+    prop.items.append(Assertion(
+        directive=_requester_directive(tx),
+        label=f"{sig.name}_transid_unique",
+        body=f"{sig.set_name} |-> {sig.sampled} == {SAMPLED_ZERO}",
+        flippable=True))
+
+
+def _gen_data_integrity(prop: PropFile, sig: TransactionSignals) -> None:
+    tx = sig.tx
+    if not tx.has_data:
+        return
+    directive = _responder_directive(tx)
+    q_data = tx.q.signal("data")
+    p_data = tx.p.signal("data")
+    prop.items.append(Assertion(
+        directive=directive, label=f"{sig.name}_data_integrity",
+        body=(f"{sig.response_name} && {sig.sampled} > 0 |-> "
+              f"{q_data} == {sig.data_sampled}"),
+        flippable=True))
+    prop.items.append(Assertion(
+        directive=directive, label=f"{sig.name}_data_integrity_same_cycle",
+        body=(f"{sig.response_name} && {sig.set_name} && "
+              f"{sig.sampled} == {SAMPLED_ZERO} |-> {q_data} == {p_data}"),
+        flippable=True))
+
+
+def _gen_active(prop: PropFile, sig: TransactionSignals) -> None:
+    """``active`` is asserted while the transaction is ongoing — always an
+    assertion regardless of direction (Table II)."""
+    tx = sig.tx
+    for side, tag in ((tx.p, ""), (tx.q, "_res")):
+        if side.active is None:
+            continue
+        prop.items.append(Assertion(
+            directive="assert", label=f"{sig.name}{tag}_active",
+            body=f"{sig.sampled} > 0 |-> {side.signal('active')}"))
+
+
+def _gen_xprop(prop: PropFile, sig: TransactionSignals) -> None:
+    """X-propagation checks: when val is asserted no other attribute of the
+    interface may be X.  Only meaningful in simulation (formal assigns 0/1),
+    hence the XPROP guard."""
+    existing = {a.label for a in prop.assertions}
+    for side in (sig.tx.p, sig.tx.q):
+        label = f"{side.prefix}_xprop"
+        if label in existing:
+            continue  # interface shared by several transactions
+        others = [side.signal(suffix) for suffix in
+                  ("ack", "transid", "data", "stable", "active")
+                  if getattr(side, suffix) is not None]
+        if not others:
+            continue
+        concat = ", ".join(dict.fromkeys(others))
+        prop.items.append(Assertion(
+            directive="assert", label=label,
+            body=f"{side.signal('val')} |-> !$isunknown({{{concat}}})",
+            xprop=True))

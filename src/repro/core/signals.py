@@ -1,0 +1,158 @@
+"""Step 3 (paper Fig. 5): the Signal Generator.
+
+Before properties can be expressed, AutoSVA generates auxiliary modeling
+signals (Section III-C):
+
+* wires that materialize explicit attribute definitions
+  (``wire lsu_req_val = lsu_valid_i && ...``);
+* handshake wires (conjunction of ``val`` and ``ack``);
+* *symbolic* variables — undriven wires the FV tool treats as free, made
+  rigid by a stability assumption, so one assertion tracks every transaction
+  ID at once;
+* the outstanding-transaction counter (``X_sampled``) and the data-integrity
+  sampling register.
+
+The result is a :class:`TransactionSignals` handle per transaction carrying
+the names the Property Generator builds assertions from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from .language import AttributeDef
+from .sva import Assertion, Comment, FFBlock, PropFile, RegDecl, WireDecl
+from .transactions import SideAttrs, Transaction
+
+__all__ = ["TransactionSignals", "SAMPLED_MSB", "generate_signals"]
+
+#: msb of the outstanding counter: 4 bits = up to 15 in flight, matching the
+#: released tool's default tracking depth.
+SAMPLED_MSB = "3"
+SAMPLED_MAX = "4'd15"
+SAMPLED_ZERO = "4'd0"
+
+
+@dataclass
+class TransactionSignals:
+    """Signal names backing one transaction's properties."""
+
+    tx: Transaction
+    p_val: str
+    q_val: str
+    p_ack: Optional[str]
+    q_ack: Optional[str]
+    p_hsk: str               # request handshake (val when no ack)
+    q_hsk: str               # response handshake
+    set_name: str            # request event, symbolic-filtered
+    response_name: str       # response event, symbolic-filtered
+    sampled: str             # outstanding counter register
+    symb: Optional[str]      # symbolic transid wire
+    data_sampled: Optional[str]
+
+    @property
+    def name(self) -> str:
+        return self.tx.name
+
+
+def _attr_wire(attr: AttributeDef) -> Optional[WireDecl]:
+    """Materialize an explicit definition; implicit ports need no wire."""
+    if attr.implicit or attr.rhs is None:
+        return None
+    return WireDecl(name=attr.field, width_text=attr.width_text,
+                    expr_text=attr.rhs)
+
+
+def _emit_side_wires(prop: PropFile, side: SideAttrs,
+                     emitted: Set[str]) -> None:
+    for suffix in ("val", "ack", "transid", "data", "stable", "active"):
+        attr: Optional[AttributeDef] = getattr(side, suffix)
+        if attr is None:
+            continue
+        wire = _attr_wire(attr)
+        if wire is not None and wire.name not in emitted:
+            emitted.add(wire.name)
+            prop.items.append(wire)
+
+
+def generate_signals(prop: PropFile, transactions: List[Transaction]
+                     ) -> List[TransactionSignals]:
+    """Append modeling items for every transaction; return their handles."""
+    emitted: Set[str] = set()
+    handles: List[TransactionSignals] = []
+    for tx in transactions:
+        prop.items.append(Comment(
+            f"Modeling for transaction {tx.name}: "
+            f"{tx.p.prefix} {tx.direction.arrow} {tx.q.prefix}"))
+        _emit_side_wires(prop, tx.p, emitted)
+        _emit_side_wires(prop, tx.q, emitted)
+        handles.append(_generate_one(prop, tx, emitted))
+    return handles
+
+
+def _hsk_wire(prop: PropFile, side: SideAttrs, emitted: Set[str]) -> str:
+    """Handshake wire: val && ack, or just val when always accepted."""
+    val = side.signal("val")
+    if side.ack is None:
+        return val
+    name = f"{side.prefix}_hsk"
+    if name not in emitted:
+        emitted.add(name)
+        prop.items.append(WireDecl(
+            name=name, expr_text=f"{val} && {side.signal('ack')}"))
+    return name
+
+
+def _generate_one(prop: PropFile, tx: Transaction,
+                  emitted: Set[str]) -> TransactionSignals:
+    p_hsk = _hsk_wire(prop, tx.p, emitted)
+    q_hsk = _hsk_wire(prop, tx.q, emitted)
+
+    symb = None
+    set_expr = p_hsk
+    response_expr = q_hsk
+    if tx.has_transid:
+        symb = f"symb_{tx.name}_transid"
+        prop.items.append(WireDecl(name=symb,
+                                   width_text=tx.transid_width_text,
+                                   expr_text=None))
+        prop.items.append(Assertion(
+            directive="assume", label=f"{symb}_stable",
+            body=f"##1 $stable({symb})", flippable=False))
+        set_expr = f"{p_hsk} && {tx.p.signal('transid')} == {symb}"
+        response_expr = f"{q_hsk} && {tx.q.signal('transid')} == {symb}"
+
+    set_name = f"{tx.name}_set"
+    response_name = f"{tx.name}_response"
+    sampled = f"{tx.name}_sampled"
+    prop.items.append(WireDecl(name=set_name, expr_text=set_expr))
+    prop.items.append(WireDecl(name=response_name, expr_text=response_expr))
+    prop.items.append(RegDecl(name=sampled, width_text=SAMPLED_MSB))
+    prop.items.append(FFBlock(
+        reset_assigns=[(sampled, "'0")],
+        body_lines=[
+            f"if ({set_name} || {response_name})",
+            f"  {sampled} <= {sampled} + {set_name} - {response_name};",
+        ]))
+
+    data_sampled = None
+    if tx.has_data:
+        data_sampled = f"{tx.name}_data_sampled"
+        prop.items.append(RegDecl(name=data_sampled,
+                                  width_text=tx.p.data.width_text))
+        prop.items.append(FFBlock(
+            reset_assigns=[(data_sampled, "'0")],
+            body_lines=[
+                f"if ({set_name} && {sampled} == {SAMPLED_ZERO})",
+                f"  {data_sampled} <= {tx.p.signal('data')};",
+            ]))
+
+    return TransactionSignals(
+        tx=tx,
+        p_val=tx.p.signal("val"), q_val=tx.q.signal("val"),
+        p_ack=tx.p.signal("ack") if tx.p.ack else None,
+        q_ack=tx.q.signal("ack") if tx.q.ack else None,
+        p_hsk=p_hsk, q_hsk=q_hsk,
+        set_name=set_name, response_name=response_name,
+        sampled=sampled, symb=symb, data_sampled=data_sampled)

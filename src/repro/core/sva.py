@@ -1,0 +1,125 @@
+"""Structured model of a generated property file.
+
+AutoSVA writes its properties explicitly ("does not use SVA macros or
+checkers to provide better readability", Section III-C step 4).  To keep the
+generator honest and the output testable, the property file is first built as
+a structured item list, then rendered to SystemVerilog text by
+:mod:`repro.core.render`.  The structure is also what lets the flow flip
+assumptions into assertions for the ``ASSERT_INPUTS`` / ``-AS`` submodule
+modes without string surgery, and what the property-count metrics (paper:
+"236 unique properties") are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .rtl_scan import ParamInfo, PortInfo
+
+__all__ = ["Comment", "WireDecl", "RegDecl", "FFBlock", "Assertion",
+           "PropFile", "DIRECTIVE_PREFIX"]
+
+DIRECTIVE_PREFIX = {"assert": "as", "assume": "am", "cover": "co"}
+
+
+@dataclass
+class Comment:
+    """A full-line ``//`` comment in the generated file."""
+
+    text: str
+
+
+@dataclass
+class WireDecl:
+    """``wire [msb:0] name = expr;`` — expr None leaves the wire undriven,
+    which is how symbolic variables are introduced (free for the FV tool)."""
+
+    name: str
+    width_text: Optional[str] = None    # msb expression text; None = 1 bit
+    expr_text: Optional[str] = None
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.expr_text is None
+
+
+@dataclass
+class RegDecl:
+    """``reg [msb:0] name;`` — modeling state (sampled counters etc.)."""
+
+    name: str
+    width_text: Optional[str] = None
+
+
+@dataclass
+class FFBlock:
+    """An ``always_ff`` modeling block with reset and update sections.
+
+    ``reset_assigns`` are (lhs, rhs) pairs for the reset branch;
+    ``body_lines`` are raw statement lines for the else branch.
+    """
+
+    reset_assigns: List[Tuple[str, str]] = field(default_factory=list)
+    body_lines: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Assertion:
+    """One property statement.
+
+    ``directive`` is the directive *when the module is the DUT*; rendering
+    with ``assert_inputs=True`` flips flippable assumptions into assertions
+    (the paper's ``ASSERT_INPUTS`` parameter / ``-AS`` submodule mode).
+    ``liveness`` marks ``s_eventually`` properties (classification for the
+    engine and for reporting); ``xprop`` guards the property behind
+    ``\\`ifdef XPROP`` (simulation-only X-propagation checks).
+    """
+
+    directive: str              # assert | assume | cover
+    label: str                  # base label without as__/am__/co__ prefix
+    body: str                   # property expression text
+    liveness: bool = False
+    xprop: bool = False
+    flippable: bool = False
+
+    def directive_for(self, assert_inputs: bool) -> str:
+        if assert_inputs and self.flippable and self.directive == "assume":
+            return "assert"
+        return self.directive
+
+    def full_label(self, assert_inputs: bool = False) -> str:
+        prefix = DIRECTIVE_PREFIX[self.directive_for(assert_inputs)]
+        return f"{prefix}__{self.label}"
+
+
+@dataclass
+class PropFile:
+    """The complete generated property module."""
+
+    module_name: str
+    dut_name: str
+    clock: str
+    reset: str
+    reset_active_low: bool
+    params: List[ParamInfo] = field(default_factory=list)
+    ports: List[PortInfo] = field(default_factory=list)
+    items: List[object] = field(default_factory=list)
+
+    @property
+    def assertions(self) -> List[Assertion]:
+        return [item for item in self.items if isinstance(item, Assertion)]
+
+    @property
+    def property_count(self) -> int:
+        """Unique properties, excluding simulation-only XPROP ones (matching
+        how the paper counts the 236 generated properties for FV)."""
+        return sum(1 for a in self.assertions if not a.xprop)
+
+    @property
+    def reset_guard(self) -> str:
+        """The ``disable iff`` expression text."""
+        return f"!{self.reset}" if self.reset_active_low else self.reset
+
+    def find(self, label_fragment: str) -> List[Assertion]:
+        return [a for a in self.assertions if label_fragment in a.label]

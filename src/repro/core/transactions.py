@@ -1,0 +1,198 @@
+"""Step 2 (paper Fig. 5): the Transaction Builder.
+
+Builds :class:`Transaction` objects from the parsed relations and attribute
+definitions, and performs the semantic checks the paper calls out: "AutoSVA
+can detect syntax errors in annotations, e.g. when transid or data fields are
+defined in only one of the interfaces of a transaction, or with mismatched
+data widths."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rtl.elaborate import ElabError, const_eval
+from ..rtl.parser import ParseError, parse_expr_text
+from .language import AttributeDef, AutoSVAError, Direction, RelationSpec
+from .parser import ParsedInterface
+
+__all__ = ["SideAttrs", "Transaction", "build_transactions"]
+
+
+@dataclass
+class SideAttrs:
+    """Attributes attached to one interface (P or Q) of a transaction."""
+
+    prefix: str
+    val: Optional[AttributeDef] = None
+    ack: Optional[AttributeDef] = None
+    transid: Optional[AttributeDef] = None
+    transid_unique: bool = False
+    data: Optional[AttributeDef] = None
+    stable: Optional[AttributeDef] = None
+    active: Optional[AttributeDef] = None
+
+    def signal(self, suffix: str) -> str:
+        """Name of the wire/port carrying an attribute of this side."""
+        attr: Optional[AttributeDef] = getattr(self, suffix)
+        if attr is None:
+            raise KeyError(f"{self.prefix} has no {suffix!r} attribute")
+        return attr.field
+
+    @property
+    def defined(self) -> List[str]:
+        out = []
+        for name in ("val", "ack", "transid", "data", "stable", "active"):
+            if getattr(self, name) is not None:
+                out.append(name)
+        return out
+
+
+@dataclass
+class Transaction:
+    """A request/response pair with its attribute map (Section III-A)."""
+
+    name: str
+    direction: Direction
+    p: SideAttrs
+    q: SideAttrs
+    line: int = 0
+
+    @property
+    def incoming(self) -> bool:
+        return self.direction is Direction.IN
+
+    @property
+    def has_transid(self) -> bool:
+        return self.p.transid is not None
+
+    @property
+    def has_data(self) -> bool:
+        return self.p.data is not None and self.q.data is not None
+
+    @property
+    def transid_width_text(self) -> Optional[str]:
+        if self.p.transid is None:
+            return None
+        return self.p.transid.width_text
+
+
+def _width_value(width_text: Optional[str],
+                 params: Dict[str, int]) -> Optional[int]:
+    """Numeric msb value when the width expression is evaluable."""
+    if width_text is None:
+        return 0
+    try:
+        expr = parse_expr_text(width_text)
+        return const_eval(expr, params)
+    except (ParseError, ElabError):
+        return None
+
+
+def _check_width_match(kind: str, name: str, p_attr: AttributeDef,
+                       q_attr: AttributeDef, params: Dict[str, int]) -> None:
+    p_width = _width_value(p_attr.width_text, params)
+    q_width = _width_value(q_attr.width_text, params)
+    if p_width is not None and q_width is not None:
+        if p_width != q_width:
+            raise AutoSVAError(
+                f"transaction {name}: {kind} width mismatch "
+                f"([{p_attr.width_text}:0] vs [{q_attr.width_text}:0])")
+        return
+    normalize = lambda text: "".join((text or "0").split())
+    if normalize(p_attr.width_text) != normalize(q_attr.width_text):
+        raise AutoSVAError(
+            f"transaction {name}: {kind} width mismatch "
+            f"([{p_attr.width_text}:0] vs [{q_attr.width_text}:0])")
+
+
+def build_transactions(parsed: ParsedInterface) -> List[Transaction]:
+    """Build and validate all transactions declared in the annotations."""
+    params: Dict[str, int] = {}
+    for info in parsed.scan.params:
+        value = _width_value(info.default_text, params)
+        if value is not None:
+            params[info.name] = value
+
+    transactions: List[Transaction] = []
+    for relation in parsed.relations:
+        p_side = _collect_side(parsed, relation, relation.p)
+        q_side = _collect_side(parsed, relation, relation.q)
+        transaction = Transaction(name=relation.name,
+                                  direction=relation.direction,
+                                  p=p_side, q=q_side, line=relation.line)
+        _validate(transaction, params)
+        transactions.append(transaction)
+    return transactions
+
+
+def _collect_side(parsed: ParsedInterface, relation: RelationSpec,
+                  prefix: str) -> SideAttrs:
+    side = SideAttrs(prefix=prefix)
+    for attr in parsed.attributes_of(prefix):
+        if attr.suffix == "transid_unique":
+            if side.transid is not None and not side.transid_unique:
+                raise AutoSVAError(
+                    f"transaction {relation.name}: {prefix} defines both "
+                    f"transid and transid_unique")
+            side.transid = attr
+            side.transid_unique = True
+            continue
+        if attr.suffix == "transid" and side.transid_unique:
+            raise AutoSVAError(
+                f"transaction {relation.name}: {prefix} defines both "
+                f"transid and transid_unique")
+        setattr(side, attr.suffix, attr)
+    return side
+
+
+def _validate(transaction: Transaction, params: Dict[str, int]) -> None:
+    name = transaction.name
+    p, q = transaction.p, transaction.q
+    if p.val is None:
+        raise AutoSVAError(
+            f"transaction {name}: request interface {p.prefix!r} has no "
+            f"val attribute")
+    if q.val is None:
+        raise AutoSVAError(
+            f"transaction {name}: response interface {q.prefix!r} has no "
+            f"val attribute")
+    # transid / data must be two-sided with matching widths.
+    if (p.transid is None) != (q.transid is None):
+        only = p.prefix if p.transid is not None else q.prefix
+        raise AutoSVAError(
+            f"transaction {name}: transid defined only on {only!r}")
+    if p.transid is not None:
+        _check_width_match("transid", name, p.transid, q.transid, params)
+    if (p.data is None) != (q.data is None):
+        only = p.prefix if p.data is not None else q.prefix
+        raise AutoSVAError(
+            f"transaction {name}: data defined only on {only!r}")
+    if p.data is not None:
+        _check_width_match("data", name, p.data, q.data, params)
+    # stable needs an ack to define "until acknowledged".
+    if p.stable is not None and p.ack is None:
+        raise AutoSVAError(
+            f"transaction {name}: {p.prefix}_stable requires "
+            f"{p.prefix}_ack (stability holds until acknowledged)")
+    if q.stable is not None and q.ack is None:
+        raise AutoSVAError(
+            f"transaction {name}: {q.prefix}_stable requires "
+            f"{q.prefix}_ack (stability holds until acknowledged)")
+    # Uniqueness is about request IDs; it needs a transid.
+    if q.transid_unique:
+        raise AutoSVAError(
+            f"transaction {name}: transid_unique belongs on the request "
+            f"interface {p.prefix!r}")
+    # Explicit definitions must be parseable Verilog expressions.
+    for side in (p, q):
+        for attr_name in side.defined:
+            attr: AttributeDef = getattr(side, attr_name)
+            if attr.rhs is not None:
+                try:
+                    parse_expr_text(attr.rhs)
+                except ParseError as exc:
+                    raise AutoSVAError(
+                        f"transaction {name}: bad expression for "
+                        f"{attr.field}: {exc}") from exc

@@ -1,0 +1,9 @@
+"""Reduced, annotated models of the paper's evaluated RTL corpus.
+
+See :mod:`repro.designs.corpus` for the Table III case registry; the RTL
+itself lives under ``repro/designs/verilog/``.
+"""
+
+from .corpus import CORPUS, DesignCase, case_by_id, load, verilog_path
+
+__all__ = ["CORPUS", "DesignCase", "case_by_id", "load", "verilog_path"]

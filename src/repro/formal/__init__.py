@@ -1,0 +1,36 @@
+"""SAT-based formal verification engine (the JasperGold/SymbiYosys stand-in).
+
+Layers, bottom to top:
+
+* :mod:`repro.formal.sat` — CDCL SAT solver.
+* :mod:`repro.formal.aig` — and-inverter graph for bit-level logic.
+* :mod:`repro.formal.transition` — sequential circuit + proof obligations.
+* :mod:`repro.formal.cnf` — Tseitin encoding / time-frame unrolling.
+* :mod:`repro.formal.bmc` / :mod:`repro.formal.kinduction` /
+  :mod:`repro.formal.liveness` — the checking algorithms.
+* :mod:`repro.formal.engine` — per-property orchestration and reports.
+"""
+
+from .aig import AIG, FALSE, TRUE
+from .bmc import BmcResult, bmc_cover, bmc_safety
+from .cnf import Unroller
+from .engine import (CheckReport, EngineConfig, FormalEngine, PropertyResult,
+                     CEX, COVERED, PROVEN, UNKNOWN, UNREACHABLE)
+from .kinduction import InductionResult, prove_safety
+from .liveness import LivenessCompilation, compile_liveness
+from .sat import Solver, SolverStats
+from .trace import Trace, extract_trace
+from .transition import Latch, Property, TransitionSystem
+
+__all__ = [
+    "AIG", "FALSE", "TRUE",
+    "BmcResult", "bmc_cover", "bmc_safety",
+    "Unroller",
+    "CheckReport", "EngineConfig", "FormalEngine", "PropertyResult",
+    "CEX", "COVERED", "PROVEN", "UNKNOWN", "UNREACHABLE",
+    "InductionResult", "prove_safety",
+    "LivenessCompilation", "compile_liveness",
+    "Solver", "SolverStats",
+    "Trace", "extract_trace",
+    "Latch", "Property", "TransitionSystem",
+]

@@ -1,0 +1,215 @@
+"""And-Inverter Graph (AIG) used as the bit-level logic representation.
+
+The RTL synthesizer (:mod:`repro.rtl.synth`) lowers word-level designs into
+this structure; the model-checking algorithms unroll it into CNF.
+
+Representation
+--------------
+A *node* is an AND gate or an input, identified by an even integer.  A
+*literal* is a node id optionally OR'ed with 1 to denote negation — the
+standard AIGER convention:
+
+* ``FALSE = 0``, ``TRUE = 1``
+* node ``n``: positive literal ``n``, negated literal ``n ^ 1``
+
+Structural hashing makes the graph canonical enough that repeated subterms
+(ubiquitous in unrolled transition relations) are shared, and the constant
+folding rules keep trivial gates out of the CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["AIG", "TRUE", "FALSE"]
+
+FALSE = 0
+TRUE = 1
+
+
+class AIG:
+    """A mutable and-inverter graph with structural hashing.
+
+    >>> g = AIG()
+    >>> a = g.new_input("a")
+    >>> b = g.new_input("b")
+    >>> g.AND(a, b) == g.AND(b, a)   # hash-consed, commutative
+    True
+    >>> g.AND(a, FALSE)
+    0
+    """
+
+    def __init__(self) -> None:
+        # _gates[i] = (lhs_lit, rhs_lit) for node id 2*(i+1) ... but we keep a
+        # flat dict keyed by node id for clarity; node ids grow by 2.
+        self._next_node = 2
+        self._and_of: Dict[int, Tuple[int, int]] = {}
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self._inputs: List[int] = []
+        self._input_set: set = set()
+        self._input_names: Dict[int, str] = {}
+
+    # -- construction --------------------------------------------------
+    def new_input(self, name: str = "") -> int:
+        node = self._next_node
+        self._next_node += 2
+        self._inputs.append(node)
+        self._input_set.add(node)
+        if name:
+            self._input_names[node] = name
+        return node
+
+    def AND(self, a: int, b: int) -> int:
+        """AND of two literals with constant folding and hash-consing."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE:
+            return a
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return FALSE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._next_node
+            self._next_node += 2
+            self._and_of[node] = key
+            self._strash[key] = node
+        return node
+
+    @staticmethod
+    def NOT(a: int) -> int:
+        return a ^ 1
+
+    def OR(self, a: int, b: int) -> int:
+        return self.AND(a ^ 1, b ^ 1) ^ 1
+
+    def XOR(self, a: int, b: int) -> int:
+        return self.OR(self.AND(a, b ^ 1), self.AND(a ^ 1, b))
+
+    def XNOR(self, a: int, b: int) -> int:
+        return self.XOR(a, b) ^ 1
+
+    def MUX(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """``sel ? then_lit : else_lit``."""
+        if sel == TRUE:
+            return then_lit
+        if sel == FALSE:
+            return else_lit
+        if then_lit == else_lit:
+            return then_lit
+        return self.OR(self.AND(sel, then_lit), self.AND(sel ^ 1, else_lit))
+
+    def IMPLIES(self, a: int, b: int) -> int:
+        return self.OR(a ^ 1, b)
+
+    def and_many(self, lits: Sequence[int]) -> int:
+        out = TRUE
+        for lit in lits:
+            out = self.AND(out, lit)
+        return out
+
+    def or_many(self, lits: Sequence[int]) -> int:
+        out = FALSE
+        for lit in lits:
+            out = self.OR(out, lit)
+        return out
+
+    # -- word-level helpers (little-endian bit vectors) ------------------
+    def eq_vec(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        """Equality of two equal-width bit vectors as a single literal."""
+        if len(xs) != len(ys):
+            raise ValueError("eq_vec width mismatch")
+        return self.and_many([self.XNOR(x, y) for x, y in zip(xs, ys)])
+
+    def const_vec(self, value: int, width: int) -> List[int]:
+        return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+    def add_vec(self, xs: Sequence[int], ys: Sequence[int],
+                carry_in: int = FALSE) -> List[int]:
+        """Ripple-carry addition, result truncated to the operand width."""
+        if len(xs) != len(ys):
+            raise ValueError("add_vec width mismatch")
+        out: List[int] = []
+        carry = carry_in
+        for x, y in zip(xs, ys):
+            out.append(self.XOR(self.XOR(x, y), carry))
+            carry = self.OR(self.AND(x, y), self.AND(carry, self.XOR(x, y)))
+        return out
+
+    def sub_vec(self, xs: Sequence[int], ys: Sequence[int]) -> List[int]:
+        return self.add_vec(xs, [y ^ 1 for y in ys], carry_in=TRUE)
+
+    def ult_vec(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        """Unsigned less-than: borrow out of xs - ys."""
+        if len(xs) != len(ys):
+            raise ValueError("ult_vec width mismatch")
+        carry = TRUE
+        for x, y in zip(xs, ys):
+            ny = y ^ 1
+            carry = self.OR(self.AND(x, ny), self.AND(carry, self.XOR(x, ny)))
+        return carry ^ 1
+
+    def mux_vec(self, sel: int, thens: Sequence[int],
+                elses: Sequence[int]) -> List[int]:
+        if len(thens) != len(elses):
+            raise ValueError("mux_vec width mismatch")
+        return [self.MUX(sel, t, e) for t, e in zip(thens, elses)]
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def inputs(self) -> List[int]:
+        return list(self._inputs)
+
+    def input_name(self, node: int) -> str:
+        return self._input_names.get(node, f"i{node}")
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._and_of)
+
+    def is_input(self, node: int) -> bool:
+        return node in self._input_set
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """The two fanin literals of an AND node."""
+        return self._and_of[node]
+
+    def is_and(self, node: int) -> bool:
+        return node in self._and_of
+
+    def eval_literal(self, lit: int, input_values: Dict[int, bool]) -> bool:
+        """Concretely evaluate a literal given input-node truth values.
+
+        Used by the trace extractor to fill in combinational values and by
+        tests as a reference semantics for the gate constructors.  Iterative
+        (explicit stack) so unrolled graphs cannot overflow Python's stack.
+        """
+        cache: Dict[int, bool] = {FALSE: False}
+        stack = [lit & ~1]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            pair = self._and_of.get(node)
+            if pair is None:
+                cache[node] = input_values.get(node, False)
+                stack.pop()
+                continue
+            lhs_node, rhs_node = pair[0] & ~1, pair[1] & ~1
+            pending = [n for n in (lhs_node, rhs_node) if n not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            lhs_val = cache[pair[0] & ~1] ^ bool(pair[0] & 1)
+            rhs_val = cache[pair[1] & ~1] ^ bool(pair[1] & 1)
+            cache[node] = lhs_val and rhs_val
+            stack.pop()
+        value = cache[lit & ~1]
+        return (not value) if lit & 1 else value

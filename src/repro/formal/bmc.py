@@ -1,0 +1,71 @@
+"""Bounded model checking (BMC) of safety properties and cover reachability.
+
+BMC unrolls the transition relation ``k`` cycles from the reset state and asks
+the SAT solver for a path violating an assertion (or reaching a cover target)
+at cycle ``k``.  It is the bug-finding half of the engine; proofs are the job
+of :mod:`repro.formal.kinduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cnf import Unroller
+from .sat import Solver
+from .trace import Trace, extract_trace
+from .transition import TransitionSystem
+
+__all__ = ["BmcResult", "bmc_safety", "bmc_cover"]
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded check.
+
+    ``failed`` — a violating/reaching path exists; ``depth`` is its length
+    (cycles from reset); ``trace`` the extracted waveform.  When ``failed``
+    is False the property held up to ``depth`` cycles (no conclusion beyond).
+    """
+
+    failed: bool
+    depth: int
+    trace: Optional[Trace] = None
+    solver_stats: Optional[dict] = None
+
+
+def bmc_safety(system: TransitionSystem, assert_lit: int, max_depth: int,
+               property_name: str = "assertion",
+               unroller: Optional[Unroller] = None) -> BmcResult:
+    """Search for a violation of ``assert_lit`` within ``max_depth`` cycles.
+
+    The unroller may be shared across properties of the same system so that
+    learned clauses and frame encodings are reused (this mirrors how a formal
+    tool proves a property *set*, not one property at a time).
+    """
+    unroller = unroller or Unroller(system)
+    solver = unroller.solver
+    for k in range(max_depth + 1):
+        bad = -unroller.sat_literal(assert_lit, k)
+        if solver.solve(assumptions=[bad]):
+            trace = extract_trace(property_name, system, unroller, depth=k)
+            return BmcResult(failed=True, depth=k, trace=trace,
+                             solver_stats=solver.stats.as_dict())
+    return BmcResult(failed=False, depth=max_depth,
+                     solver_stats=solver.stats.as_dict())
+
+
+def bmc_cover(system: TransitionSystem, cover_lit: int, max_depth: int,
+              property_name: str = "cover",
+              unroller: Optional[Unroller] = None) -> BmcResult:
+    """Search for a path reaching ``cover_lit`` within ``max_depth`` cycles."""
+    unroller = unroller or Unroller(system)
+    solver = unroller.solver
+    for k in range(max_depth + 1):
+        target = unroller.sat_literal(cover_lit, k)
+        if solver.solve(assumptions=[target]):
+            trace = extract_trace(property_name, system, unroller, depth=k)
+            return BmcResult(failed=True, depth=k, trace=trace,
+                             solver_stats=solver.stats.as_dict())
+    return BmcResult(failed=False, depth=max_depth,
+                     solver_stats=solver.stats.as_dict())

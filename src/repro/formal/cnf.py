@@ -1,0 +1,153 @@
+"""Tseitin encoding of AIG time-frames into the CDCL solver.
+
+The :class:`Unroller` is the bridge between the symbolic circuit
+(:class:`~repro.formal.transition.TransitionSystem`) and the SAT solver: each
+call to :meth:`Unroller.frame` materializes one clock cycle, wiring latch
+inputs of frame *k+1* to the encoded next-state literals of frame *k* and
+giving free inputs fresh SAT variables.  AND gates are encoded lazily and
+memoized per frame, so only logic in the cone of influence of a queried
+property ever reaches the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .aig import FALSE, TRUE
+from .sat import Solver
+from .transition import TransitionSystem
+
+__all__ = ["FrameEnv", "Unroller"]
+
+
+class FrameEnv:
+    """SAT environment of one time frame: AIG input node -> SAT literal."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.input_sat: Dict[int, int] = {}
+        self._gate_cache: Dict[int, int] = {}
+
+
+class Unroller:
+    """Incrementally unrolls a transition system into a SAT instance."""
+
+    def __init__(self, system: TransitionSystem, solver: Optional[Solver] = None,
+                 symbolic_init: bool = False) -> None:
+        self.system = system
+        self.solver = solver or Solver()
+        self.symbolic_init = symbolic_init
+        self._frames: List[FrameEnv] = []
+        # SAT literals for the constants.
+        self._true_sat = self.solver.new_var()
+        self.solver.add_clause([self._true_sat])
+
+    @property
+    def num_frames(self) -> int:
+        return len(self._frames)
+
+    def frame(self, k: int) -> FrameEnv:
+        """Return frame ``k``, materializing frames up to it as needed."""
+        while len(self._frames) <= k:
+            self._push_frame()
+        return self._frames[k]
+
+    def _push_frame(self) -> None:
+        index = len(self._frames)
+        env = FrameEnv(index)
+        system = self.system
+        if index == 0:
+            for node in system.inputs:
+                env.input_sat[node] = self.solver.new_var()
+            for latch in system.latches:
+                var = self.solver.new_var()
+                env.input_sat[latch.node] = var
+                if latch.init is not None and not self.symbolic_init:
+                    self.solver.add_clause([var if latch.init else -var])
+        else:
+            prev = self._frames[index - 1]
+            for node in system.inputs:
+                env.input_sat[node] = self.solver.new_var()
+            for latch in system.latches:
+                # Current value of the latch in this frame is the previous
+                # frame's next-state function.
+                env.input_sat[latch.node] = self._encode(latch.next_lit, prev)
+        self._frames.append(env)
+        # Invariant constraints hold in every materialized frame.
+        for prop in system.constraints:
+            sat_lit = self._encode(prop.lit, env)
+            self.solver.add_clause([sat_lit])
+
+    # ------------------------------------------------------------------
+    def sat_literal(self, aig_lit: int, k: int) -> int:
+        """SAT literal for AIG literal ``aig_lit`` evaluated at frame ``k``."""
+        return self._encode(aig_lit, self.frame(k))
+
+    def _encode(self, aig_lit: int, env: FrameEnv) -> int:
+        node = aig_lit & ~1
+        negated = aig_lit & 1
+        sat = self._encode_node(node, env)
+        return -sat if negated else sat
+
+    def _encode_node(self, node: int, env: FrameEnv) -> int:
+        if node == FALSE:
+            return -self._true_sat
+        cached = env._gate_cache.get(node)
+        if cached is not None:
+            return cached
+        sat_in = env.input_sat.get(node)
+        if sat_in is not None:
+            return sat_in
+        aig = self.system.aig
+        # Iterative post-order encoding of the AND cone.
+        stack = [node]
+        while stack:
+            cur = stack[-1]
+            if cur in env._gate_cache or cur in env.input_sat:
+                stack.pop()
+                continue
+            if not aig.is_and(cur):
+                # Unconstrained node (e.g. a symbolic variable created after
+                # this frame): give it a free SAT variable.
+                env.input_sat[cur] = self.solver.new_var()
+                stack.pop()
+                continue
+            lhs, rhs = aig.fanins(cur)
+            pending = [n for n in (lhs & ~1, rhs & ~1)
+                       if n != FALSE and n not in env._gate_cache
+                       and n not in env.input_sat]
+            if pending:
+                stack.extend(pending)
+                continue
+            lhs_sat = self._leaf(lhs, env)
+            rhs_sat = self._leaf(rhs, env)
+            out = self.solver.new_var()
+            # Tseitin clauses for out <-> lhs & rhs.
+            self.solver.add_clause([-out, lhs_sat])
+            self.solver.add_clause([-out, rhs_sat])
+            self.solver.add_clause([out, -lhs_sat, -rhs_sat])
+            env._gate_cache[cur] = out
+            stack.pop()
+        return env._gate_cache.get(node) or env.input_sat[node]
+
+    def _leaf(self, aig_lit: int, env: FrameEnv) -> int:
+        node = aig_lit & ~1
+        if node == FALSE:
+            sat = -self._true_sat
+        else:
+            sat = env._gate_cache.get(node)
+            if sat is None:
+                sat = env.input_sat[node]
+        return -sat if aig_lit & 1 else sat
+
+    # ------------------------------------------------------------------
+    # Trace support
+    # ------------------------------------------------------------------
+    def input_values(self, k: int) -> Dict[int, bool]:
+        """After SAT, the model's values for frame ``k`` input/latch nodes."""
+        env = self.frame(k)
+        values: Dict[int, bool] = {}
+        for node, sat in env.input_sat.items():
+            val = self.solver.value(sat)
+            values[node] = bool(val)
+        return values

@@ -1,0 +1,75 @@
+"""Cone-of-influence (COI) reduction.
+
+Formal tools prune every state bit that cannot affect a property before
+solving ("AutoSVA reduces the state-explosion problem because it deliberately
+focuses on control logic and FV tools can be instructed to automatically
+ignore datapaths", Section III).  Two consumers:
+
+* :mod:`repro.formal.pdr` restricts its cubes/clauses to COI latches;
+* :mod:`repro.formal.liveness` snapshots only COI latches in the L2S
+  loop-closure check.
+
+Both are exact reductions: the closure includes the support of all invariant
+constraints (and fairness, for liveness), so excluded latches can influence
+neither the property nor the feasibility of paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from .aig import FALSE
+from .transition import Latch, TransitionSystem
+
+__all__ = ["latch_support", "coi_latches"]
+
+
+def latch_support(system: TransitionSystem,
+                  lits: Iterable[int]) -> Set[int]:
+    """Latch nodes appearing in the combinational cones of ``lits``."""
+    aig = system.aig
+    seen: Set[int] = set()
+    support: Set[int] = set()
+    stack = [lit & ~1 for lit in lits]
+    while stack:
+        node = stack.pop()
+        if node == FALSE or node in seen:
+            continue
+        seen.add(node)
+        if aig.is_and(node):
+            lhs, rhs = aig.fanins(node)
+            stack.append(lhs & ~1)
+            stack.append(rhs & ~1)
+        elif system.is_latch_node(node):
+            support.add(node)
+    return support
+
+
+def coi_latches(system: TransitionSystem,
+                seed_lits: Iterable[int],
+                include_constraints: bool = True,
+                include_fairness: bool = False) -> List[Latch]:
+    """Transitive closure of latch support starting from ``seed_lits``.
+
+    The closure follows next-state functions until a fixpoint, optionally
+    seeding with constraint and fairness literals (both influence which paths
+    are legal, so excluding their support would be unsound for CEX search).
+    Returns latches in the system's declaration order.
+    """
+    seeds = list(seed_lits)
+    if include_constraints:
+        seeds.extend(prop.lit for prop in system.constraints)
+    if include_fairness:
+        seeds.extend(prop.lit for prop in system.fairness)
+    frontier = latch_support(system, seeds)
+    closed: Set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        if node in closed:
+            continue
+        closed.add(node)
+        latch = system.latch_of(node)
+        for dep in latch_support(system, [latch.next_lit]):
+            if dep not in closed:
+                frontier.add(dep)
+    return [latch for latch in system.latches if latch.node in closed]

@@ -1,0 +1,337 @@
+"""The proof engine: per-property orchestration of BMC, k-induction and L2S.
+
+This module plays the role JasperGold/SymbiYosys play in the paper's flow
+(Fig. 4): it takes a compiled formal testbench (a
+:class:`~repro.formal.transition.TransitionSystem` carrying asserts, assumes,
+covers, liveness and fairness) and returns, per property, one of:
+
+* ``proven``      — invariant proof closed by k-induction (or L2S+induction),
+* ``cex``         — a counterexample trace (safety violation or liveness
+  lasso),
+* ``covered``     — a witness trace reaching a cover target,
+* ``unreachable`` — a cover target proven unreachable,
+* ``unknown``     — bound exhausted without a verdict.
+
+The engine mirrors the paper's usage model: run everything, report a proof
+rate, and hand short CEX traces to the designer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .bmc import bmc_cover, bmc_safety
+from .cnf import Unroller
+from .kinduction import prove_safety
+from .liveness import (SAVED_OBSERVABLE, compile_kliveness, compile_liveness,
+                       find_loop_start)
+from .pdr import pdr_prove
+from .trace import Trace
+from .transition import TransitionSystem
+
+__all__ = ["PropertyResult", "CheckReport", "FormalEngine", "EngineConfig"]
+
+PROVEN = "proven"
+CEX = "cex"
+COVERED = "covered"
+UNREACHABLE = "unreachable"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class EngineConfig:
+    """Bounds and strategy knobs for the proof engine.
+
+    ``max_bound`` limits BMC bug hunting; ``proof_engine`` selects the proof
+    algorithm — ``"pdr"`` (IC3, the default and what production tools use)
+    or ``"kind"`` (k-induction, kept for the ablation study E12);
+    ``max_frames`` bounds PDR frames, ``max_k`` bounds induction depth;
+    ``simple_path`` toggles the path-uniqueness strengthening of k-induction;
+    ``liveness_strategy`` selects L2S+proof (``"l2s"``) or pure bounded lasso
+    search (``"bounded"``, bug-hunting only).
+    """
+
+    max_bound: int = 20
+    max_k: int = 20
+    simple_path: bool = True
+    liveness_strategy: str = "l2s"
+    proof_engine: str = "pdr"
+    max_frames: int = 80
+    kliveness_rounds: tuple = (1, 2, 4)
+
+
+@dataclass
+class PropertyResult:
+    name: str
+    kind: str            # assert | cover | live
+    status: str          # proven | cex | covered | unreachable | unknown
+    depth: int = 0
+    trace: Optional[Trace] = None
+    time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the property's obligation is met (proof or coverage)."""
+        return self.status in (PROVEN, COVERED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PropertyResult({self.name!r}, {self.kind}, {self.status}, "
+                f"depth={self.depth}, {self.time_s:.3f}s)")
+
+
+@dataclass
+class CheckReport:
+    """Results for one verification run over a whole testbench."""
+
+    design: str
+    results: List[PropertyResult] = field(default_factory=list)
+    total_time_s: float = 0.0
+
+    def by_name(self, name: str) -> PropertyResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    @property
+    def num_properties(self) -> int:
+        return len(self.results)
+
+    @property
+    def num_proven(self) -> int:
+        return sum(1 for r in self.results if r.status == PROVEN)
+
+    @property
+    def num_cex(self) -> int:
+        return sum(1 for r in self.results if r.status == CEX)
+
+    @property
+    def proof_rate(self) -> float:
+        """Fraction of assert/live properties that were proven."""
+        checkable = [r for r in self.results if r.kind in ("assert", "live")]
+        if not checkable:
+            return 1.0
+        return sum(1 for r in checkable if r.status == PROVEN) / len(checkable)
+
+    @property
+    def cex_results(self) -> List[PropertyResult]:
+        return [r for r in self.results if r.status == CEX]
+
+    def summary(self) -> str:
+        lines = [f"== {self.design}: {self.num_properties} properties, "
+                 f"{self.num_proven} proven, {self.num_cex} CEX, "
+                 f"proof rate {self.proof_rate:.0%}, "
+                 f"{self.total_time_s:.2f}s =="]
+        for result in self.results:
+            mark = {"proven": "PASS ", "covered": "COVER",
+                    "unreachable": "UNREA", "cex": "FAIL ",
+                    "unknown": "?    "}[result.status]
+            depth = f" depth={result.depth}" if result.status in (CEX, COVERED) else ""
+            lines.append(f"  [{mark}] {result.kind:<6} {result.name}{depth}")
+        return "\n".join(lines)
+
+
+class FormalEngine:
+    """Runs all properties of a testbench and collates a report.
+
+    ``system_factory`` must return a *fresh* TransitionSystem on each call;
+    the engine builds separate instances for safety and liveness so the L2S
+    monitor state never weakens safety induction.
+    """
+
+    def __init__(self, system_factory: Callable[[], TransitionSystem],
+                 config: Optional[EngineConfig] = None) -> None:
+        self._factory = system_factory
+        self.config = config or EngineConfig()
+
+    # -- public API -------------------------------------------------------
+    def check_all(self) -> CheckReport:
+        start = time.perf_counter()
+        probe = self._factory()
+        report = CheckReport(design=probe.name)
+        report.results.extend(self._check_safety(probe))
+        report.results.extend(self._check_covers(probe))
+        if probe.liveness:
+            live_system = self._factory()
+            report.results.extend(self._check_liveness(live_system))
+        report.total_time_s = time.perf_counter() - start
+        return report
+
+    def check_property(self, name: str) -> PropertyResult:
+        """Check a single property by name (assert, cover or liveness)."""
+        system = self._factory()
+        for prop in system.asserts:
+            if prop.name == name:
+                return self._check_one_safety(system, prop,
+                                              Unroller(system))
+        for prop in system.covers:
+            if prop.name == name:
+                return self._check_one_cover(system, prop, Unroller(system))
+        for prop in system.liveness:
+            if prop.name == name:
+                results = self._check_liveness(system, only=name)
+                if results:
+                    return results[0]
+        raise KeyError(f"no property named {name!r}")
+
+    # -- safety -------------------------------------------------------------
+    def _check_safety(self, system: TransitionSystem) -> List[PropertyResult]:
+        results = []
+        shared = Unroller(system)
+        for prop in system.asserts:
+            results.append(self._check_one_safety(system, prop, shared))
+        return results
+
+    def _check_one_safety(self, system: TransitionSystem, prop,
+                          shared: Unroller) -> PropertyResult:
+        begin = time.perf_counter()
+        result = self._hunt_then_prove(system, prop.lit, prop.name, "assert",
+                                       shared)
+        result.time_s = time.perf_counter() - begin
+        return result
+
+    def _hunt_then_prove(self, system: TransitionSystem, assert_lit: int,
+                         name: str, kind: str,
+                         shared: Unroller) -> PropertyResult:
+        """BMC bug hunt up to max_bound, then a full proof attempt."""
+        hunt = bmc_safety(system, assert_lit, self.config.max_bound,
+                          property_name=name, unroller=shared)
+        if hunt.failed:
+            return PropertyResult(name, kind, CEX, depth=hunt.depth,
+                                  trace=hunt.trace)
+        if self.config.proof_engine == "kind":
+            outcome = prove_safety(system, assert_lit,
+                                   max_k=self.config.max_k,
+                                   property_name=name,
+                                   simple_path=self.config.simple_path)
+            if outcome.failed:
+                return PropertyResult(name, kind, CEX,
+                                      depth=outcome.cex_trace.depth - 1,
+                                      trace=outcome.cex_trace)
+            if outcome.proven:
+                return PropertyResult(name, kind, PROVEN, depth=outcome.k)
+            return PropertyResult(name, kind, UNKNOWN,
+                                  depth=self.config.max_k)
+        outcome = pdr_prove(system, assert_lit,
+                            max_frames=self.config.max_frames)
+        if outcome.proven:
+            return PropertyResult(name, kind, PROVEN, depth=outcome.frames)
+        if outcome.failed:
+            # Regenerate the trace via BMC at the discovered depth.
+            deep = bmc_safety(system, assert_lit,
+                              max(outcome.cex_depth, self.config.max_bound),
+                              property_name=name, unroller=shared)
+            if deep.failed:
+                return PropertyResult(name, kind, CEX, depth=deep.depth,
+                                      trace=deep.trace)
+        return PropertyResult(name, kind, UNKNOWN,
+                              depth=self.config.max_frames)
+
+    # -- covers ---------------------------------------------------------------
+    def _check_covers(self, system: TransitionSystem) -> List[PropertyResult]:
+        results = []
+        shared = Unroller(system)
+        for prop in system.covers:
+            results.append(self._check_one_cover(system, prop, shared))
+        return results
+
+    def _check_one_cover(self, system: TransitionSystem, prop,
+                         shared: Unroller) -> PropertyResult:
+        begin = time.perf_counter()
+        outcome = bmc_cover(system, prop.lit, self.config.max_bound,
+                            property_name=prop.name, unroller=shared)
+        elapsed = time.perf_counter() - begin
+        if outcome.failed:  # "failed" = target reached = covered
+            return PropertyResult(prop.name, "cover", COVERED,
+                                  depth=outcome.depth, trace=outcome.trace,
+                                  time_s=elapsed)
+        # Try to prove the cover unreachable (negation invariant).
+        proof = pdr_prove(system, prop.lit ^ 1,
+                          max_frames=self.config.max_frames)
+        elapsed = time.perf_counter() - begin
+        if proof.proven:
+            return PropertyResult(prop.name, "cover", UNREACHABLE,
+                                  depth=proof.frames, time_s=elapsed)
+        if proof.failed:
+            deep = bmc_cover(system, prop.lit,
+                             max(proof.cex_depth, self.config.max_bound),
+                             property_name=prop.name, unroller=shared)
+            if deep.failed:
+                return PropertyResult(prop.name, "cover", COVERED,
+                                      depth=deep.depth, trace=deep.trace,
+                                      time_s=time.perf_counter() - begin)
+        return PropertyResult(prop.name, "cover", UNKNOWN,
+                              depth=self.config.max_bound, time_s=elapsed)
+
+    # -- liveness ---------------------------------------------------------------
+    def _check_liveness(self, system: TransitionSystem,
+                        only: Optional[str] = None) -> List[PropertyResult]:
+        compilation = compile_liveness(system)
+        results = []
+        shared = Unroller(system)
+        for name, bad_lit in compilation.bad_lits.items():
+            if only is not None and name != only:
+                continue
+            begin = time.perf_counter()
+            result = self._check_one_liveness(system, name, bad_lit, shared)
+            result.time_s = time.perf_counter() - begin
+            results.append(result)
+        return results
+
+    def _check_one_liveness(self, system: TransitionSystem, name: str,
+                            bad_lit: int, shared: Unroller) -> PropertyResult:
+        hunt = bmc_cover(system, bad_lit, self.config.max_bound,
+                         property_name=name, unroller=shared)
+        if hunt.failed:  # lasso found: liveness CEX
+            trace = hunt.trace
+            saved = trace.cycles.get(SAVED_OBSERVABLE, [])
+            trace.loop_start = find_loop_start(saved)
+            return PropertyResult(name, "live", CEX, depth=hunt.depth,
+                                  trace=trace)
+        if self.config.liveness_strategy != "l2s":
+            return PropertyResult(name, "live", UNKNOWN,
+                                  depth=self.config.max_bound)
+        if self.config.proof_engine == "kind":
+            proof = prove_safety(system, bad_lit ^ 1, max_k=self.config.max_k,
+                                 property_name=name,
+                                 simple_path=self.config.simple_path)
+            if proof.proven:
+                return PropertyResult(name, "live", PROVEN, depth=proof.k)
+            if proof.failed:
+                trace = proof.cex_trace
+                saved = trace.cycles.get(SAVED_OBSERVABLE, [])
+                trace.loop_start = find_loop_start(saved)
+                return PropertyResult(name, "live", CEX,
+                                      depth=trace.depth - 1, trace=trace)
+            return PropertyResult(name, "live", UNKNOWN,
+                                  depth=self.config.max_k)
+        # Proof ladder: k-liveness monitors first (tiny state, usually easy
+        # for PDR), then full L2S as the complete fallback.
+        for rounds in self.config.kliveness_rounds:
+            fresh = self._factory()
+            bad_k = compile_kliveness(fresh, name, rounds)
+            attempt = pdr_prove(fresh, bad_k ^ 1,
+                                max_frames=self.config.max_frames)
+            if attempt.proven:
+                return PropertyResult(name, "live", PROVEN,
+                                      depth=attempt.frames)
+            if not attempt.failed:
+                break  # frame bound exhausted: a bigger k will not help
+        proof = pdr_prove(system, bad_lit ^ 1,
+                          max_frames=self.config.max_frames)
+        if proof.proven:
+            return PropertyResult(name, "live", PROVEN, depth=proof.frames)
+        if proof.failed:
+            deep = bmc_cover(system, bad_lit,
+                             max(proof.cex_depth, self.config.max_bound),
+                             property_name=name, unroller=shared)
+            if deep.failed:
+                trace = deep.trace
+                saved = trace.cycles.get(SAVED_OBSERVABLE, [])
+                trace.loop_start = find_loop_start(saved)
+                return PropertyResult(name, "live", CEX, depth=deep.depth,
+                                      trace=trace)
+        return PropertyResult(name, "live", UNKNOWN,
+                              depth=self.config.max_frames)

@@ -1,0 +1,173 @@
+"""Liveness checking via the liveness-to-safety (L2S) transformation.
+
+AutoSVA's flagship properties are liveness: *every request eventually gets a
+response* (``s_eventually`` in the generated SVA).  A liveness assertion on a
+finite-state system is violated exactly by a *lasso*: a reachable loop in
+which the justice literal never holds while every fairness constraint holds
+at least once.  The classic Biere/Artho/Schuppan construction reduces this to
+a safety/reachability problem on an augmented system:
+
+* a one-shot oracle input guesses the loop start and snapshots all latches
+  into shadow registers;
+* per-fairness "seen" latches record that each fairness fired inside the
+  suspected loop;
+* a per-property "justice seen" latch records whether the asserted justice
+  literal fired inside the loop;
+* the *bad* state for a property is: snapshot taken, state equals snapshot,
+  all fairness seen, justice never seen.
+
+Reaching a bad state exhibits a genuine infinite counterexample (stem +
+loop); proving it unreachable (k-induction) proves the liveness property.
+All liveness assertions of a system share the oracle and shadow registers —
+only the small justice monitor is per-property — mirroring how production
+tools amortize the transformation across a property set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .aig import TRUE
+from .coi import coi_latches
+from .transition import Latch, TransitionSystem
+
+__all__ = ["LivenessCompilation", "compile_liveness", "find_loop_start"]
+
+_L2S_PREFIX = "__l2s_"
+SAVED_OBSERVABLE = "__l2s_saved"
+
+
+@dataclass
+class LivenessCompilation:
+    """L2S augmentation result for a whole transition system.
+
+    ``bad_lits`` maps each liveness-assertion name to its reachability
+    target.  The ``SAVED_OBSERVABLE`` observable is 1 from the cycle after
+    the loop snapshot, letting the trace printer mark the loop start.
+    """
+
+    system: TransitionSystem
+    bad_lits: Dict[str, int] = field(default_factory=dict)
+    saved_node: int = 0
+
+
+def compile_liveness(base: TransitionSystem) -> LivenessCompilation:
+    """Extend ``base`` in place with the L2S monitor for all its liveness
+    assertions and return the per-property bad literals.
+
+    Callers give each check its own system instance (the RTL synthesizer is
+    deterministic and cheap to re-run), so in-place extension is safe.
+    """
+    g = base.aig
+    save_input = base.add_input(f"{_L2S_PREFIX}save")
+    saved = base.add_latch(f"{_L2S_PREFIX}saved", init=False)
+    base.set_next(saved, g.OR(saved.node, save_input))
+    snap_now = g.AND(save_input, g.NOT(saved.node))
+
+    # Shadow registers snapshot the latches that can influence the justice
+    # literals, fairness constraints or invariant constraints — the exact
+    # cone of influence.  Latches outside it cannot change what happens in
+    # the loop, so omitting them from the closure check is lossless and
+    # keeps the augmented state small.
+    seeds = [live.lit for live in base.liveness]
+    original_latches: List[Latch] = [
+        lat for lat in coi_latches(base, seeds, include_constraints=True,
+                                   include_fairness=True)
+        if not lat.name.startswith(_L2S_PREFIX)]
+    match_bits: List[int] = []
+    for lat in original_latches:
+        shadow = base.add_latch(f"{_L2S_PREFIX}shadow__{lat.name}", init=None)
+        base.set_next(shadow, g.MUX(snap_now, lat.node, shadow.node))
+        match_bits.append(g.XNOR(lat.node, shadow.node))
+    state_matches = g.and_many(match_bits) if match_bits else TRUE
+
+    # "Inside the suspected loop" is true from the snapshot cycle onward.
+    in_loop = g.OR(saved.node, snap_now)
+
+    # Each fairness constraint must fire at least once *inside the loop*:
+    # the "seen" latch accumulates cycles t..u-1 for a loop snapshotted at t
+    # and closed at u.  The closure cycle u itself is NOT part of the
+    # repeated input sequence, so its combinational fairness/justice values
+    # must not be counted — doing so admits spurious lassos (the closing
+    # cycle could use inputs that never recur).
+    fair_ok_bits: List[int] = []
+    for idx, fair in enumerate(base.fairness):
+        seen = base.add_latch(f"{_L2S_PREFIX}fairseen{idx}", init=False)
+        base.set_next(seen, g.AND(in_loop, g.OR(seen.node, fair.lit)))
+        fair_ok_bits.append(seen.node)
+    all_fair = g.and_many(fair_ok_bits) if fair_ok_bits else TRUE
+
+    close_base = g.and_many([saved.node, state_matches, all_fair])
+
+    compilation = LivenessCompilation(system=base, saved_node=saved.node)
+    for idx, live in enumerate(base.liveness):
+        jseen = base.add_latch(f"{_L2S_PREFIX}justice_seen{idx}", init=False)
+        base.set_next(jseen, g.AND(in_loop, g.OR(jseen.node, live.lit)))
+        compilation.bad_lits[live.name] = g.AND(close_base,
+                                                g.NOT(jseen.node))
+    base.add_observable(SAVED_OBSERVABLE, [saved.node])
+    return compilation
+
+
+def compile_kliveness(base: TransitionSystem, live_name: str,
+                      k: int) -> int:
+    """Claessen–Sörensson k-liveness monitor for one justice assertion.
+
+    Returns a *bad* literal that is reachable only if the justice literal
+    ``j`` of the named liveness property can stay false for ``k`` complete
+    fairness rounds (a round = every fairness constraint fired at least once
+    since the last round/justice occurrence).
+
+    Soundness (proofs only): on any fair path where ``j`` eventually never
+    holds again, rounds keep completing and the saturating counter reaches
+    ``k`` — so *bad unreachable* implies the liveness property.  A reachable
+    bad is NOT a counterexample (``j`` might recur later); the engine keeps
+    hunting lassos with BMC on the L2S encoding for that.
+
+    Compared to L2S the monitor adds only ``ceil(log2(k+1))`` counter bits
+    plus one latch per fairness constraint — no shadow state — which is why
+    modern tools prove liveness this way.
+    """
+    g = base.aig
+    live = next(p for p in base.liveness if p.name == live_name)
+    justice = live.lit
+
+    # Fairness bookkeeping: seen-latches accumulate between round boundaries.
+    fair_seen_nodes: List[int] = []
+    fair_latches = []
+    for idx, fair in enumerate(base.fairness):
+        seen = base.add_latch(f"__kl_fairseen{idx}", init=False)
+        fair_latches.append((seen, fair.lit))
+        fair_seen_nodes.append(seen.node)
+    all_fair = g.and_many(fair_seen_nodes) if fair_seen_nodes else TRUE
+
+    tick = g.AND(g.NOT(justice), all_fair)
+    width = max(1, (k + 1).bit_length())
+    cnt = base.add_latch_vec("__kl_cnt", width, init=0)
+    cnt_bits = [lat.node for lat in cnt]
+    at_k = g.eq_vec(cnt_bits, g.const_vec(k, width))
+    inc = g.add_vec(cnt_bits, g.const_vec(1, width))
+    # Saturate at k; reset whenever justice fires.
+    held = g.mux_vec(g.AND(tick, g.NOT(at_k)), inc, cnt_bits)
+    nxt = g.mux_vec(justice, g.const_vec(0, width), held)
+    for lat, bit in zip(cnt, nxt):
+        base.set_next(lat, bit)
+    # Fairness latches reset on a round boundary or when justice fires.
+    reset_seen = g.OR(tick, justice)
+    for seen, fair_lit in fair_latches:
+        base.set_next(seen, g.AND(g.NOT(reset_seen),
+                                  g.OR(seen.node, fair_lit)))
+    return at_k
+
+
+def find_loop_start(trace_saved_values: List[int]) -> Optional[int]:
+    """Locate the loop start in a lasso trace.
+
+    The ``saved`` latch is 1 from the cycle *after* the snapshot, so the loop
+    starts at the first 1-cycle minus one (the snapshot cycle itself).
+    """
+    for cycle, value in enumerate(trace_saved_values):
+        if value:
+            return max(0, cycle - 1)
+    return None

@@ -1,0 +1,407 @@
+"""IC3/PDR: property-directed reachability, the engine's proof workhorse.
+
+k-induction (kept in :mod:`repro.formal.kinduction` for the ablation study)
+cannot close liveness-to-safety proofs in practice: the shadow registers of
+the L2S construction admit arbitrarily long spurious inductive paths.  Real
+formal tools (the JasperGold engines and ABC's ``suprove`` behind SymbiYosys)
+rely on IC3/PDR, which incrementally learns a *relative inductive* clause set
+per time frame until a safety invariant emerges.  This is a from-scratch
+implementation of the standard algorithm (Bradley 2011, Een/Mishchenko/
+Brayton 2011):
+
+* frames ``F_0 (init), F_1, ..., F_N`` of blocked-cube clauses over latch
+  variables, with the usual monotone clause-set representation;
+* counterexamples-to-induction blocked recursively with unsat-core based
+  literal dropping (plus a bounded literal-elimination pass);
+* clause propagation and fixpoint detection (``F_i == F_{i+1}`` proves the
+  property).
+
+Invariant-style assumptions (``constraints``) are enforced at both sides of
+the transition; the caller is expected to have bug-hunted with BMC first (the
+0/1-step base cases), as :class:`repro.formal.engine.FormalEngine` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .aig import FALSE, TRUE
+from .cnf import Unroller
+from .coi import coi_latches
+from .sat import Solver
+from .transition import Latch, TransitionSystem
+
+__all__ = ["PdrResult", "Pdr", "pdr_prove"]
+
+
+@dataclass
+class PdrResult:
+    """``proven`` with the closing frame, or ``failed`` with the CEX depth
+    (regenerate the trace with BMC at that depth), or neither (bound hit)."""
+
+    proven: bool
+    frames: int
+    failed: bool = False
+    cex_depth: int = 0
+    num_clauses: int = 0
+    solver_stats: Optional[dict] = None
+
+
+class _Clause:
+    """A blocked-cube clause with its frame level and activation literal."""
+
+    __slots__ = ("lits", "level", "act", "retired")
+
+    def __init__(self, lits: Tuple[int, ...], level: int, act: int) -> None:
+        self.lits = lits        # clause literals over frame-0 latch SAT vars
+        self.level = level
+        self.act = act
+        self.retired = False
+
+
+class Pdr:
+    """One PDR run for a single bad literal on a transition system."""
+
+    def __init__(self, system: TransitionSystem, bad_lit: int,
+                 max_frames: int = 60) -> None:
+        self.system = system
+        self.bad_lit = bad_lit
+        self.max_frames = max_frames
+        # Two-frame unrolling with symbolic init: frame 0 = current state,
+        # frame 1 = successor.  Constraints are asserted in both frames by
+        # the Unroller itself.
+        self.unroller = Unroller(system, symbolic_init=True)
+        self.solver: Solver = self.unroller.solver
+        self.unroller.frame(1)
+        self._bad_sat = self.unroller.sat_literal(bad_lit, 0)
+        # Latch variable maps, restricted to the property's cone of
+        # influence (constraint support included — exact reduction).
+        self._latches: List[Latch] = coi_latches(system, [bad_lit])
+        self._cur: Dict[int, int] = {}   # latch node -> frame-0 SAT var
+        self._nxt: Dict[int, int] = {}   # latch node -> frame-1 SAT literal
+        for latch in self._latches:
+            self._cur[latch.node] = self.unroller.sat_literal(latch.node, 0)
+            self._nxt[latch.node] = self.unroller.sat_literal(latch.node, 1)
+        self._init_value: Dict[int, Optional[bool]] = {
+            latch.node: latch.init for latch in self._latches}
+        self._var_to_node: Dict[int, int] = {
+            abs(sat): node for node, sat in self._cur.items()}
+        # F_0 is the init predicate, guarded by one activation literal.
+        self._init_act = self.solver.new_var()
+        for latch in self._latches:
+            if latch.init is None:
+                continue
+            sat = self._cur[latch.node]
+            self.solver.add_clause(
+                [-self._init_act, sat if latch.init else -sat])
+        self._clauses: List[_Clause] = []
+        self._num_frames = 1
+
+    # -- ternary-simulation lifting ------------------------------------------
+    # Predecessor cubes from the SAT model assign *every* COI latch; most of
+    # those literals are irrelevant to why the successor is reached.  The
+    # standard IC3 trick (Een/Mishchenko/Brayton 2011) drops a latch literal
+    # when three-valued simulation shows the required outputs stay determined
+    # with that latch set to X.  This shrinks proof obligations by orders of
+    # magnitude on control logic.
+    _X = 2
+
+    def _ternary_eval(self, lit: int, values: Dict[int, int]) -> int:
+        """Three-valued evaluation of an AIG literal; 0, 1 or X(2).
+
+        ``values`` maps input/latch nodes to 0/1/X and doubles as the memo
+        table for internal nodes.
+        """
+        aig = self.system.aig
+        X = self._X
+        stack = [lit & ~1]
+        while stack:
+            node = stack[-1]
+            if node == FALSE or node in values:
+                stack.pop()
+                continue
+            if not aig.is_and(node):
+                values[node] = X  # unconstrained node
+                stack.pop()
+                continue
+            lhs, rhs = aig.fanins(node)
+            pending = [n for n in (lhs & ~1, rhs & ~1)
+                       if n != FALSE and n not in values]
+            if pending:
+                stack.extend(pending)
+                continue
+
+            def lit_val(l: int) -> int:
+                v = values.get(l & ~1, 0) if (l & ~1) != FALSE else 0
+                if v == X:
+                    return X
+                return v ^ (l & 1)
+
+            a, b = lit_val(lhs), lit_val(rhs)
+            if a == 0 or b == 0:
+                values[node] = 0
+            elif a == X or b == X:
+                values[node] = X
+            else:
+                values[node] = 1
+            stack.pop()
+        base = values.get(lit & ~1, 0) if (lit & ~1) != FALSE else 0
+        if base == X:
+            return X
+        return base ^ (lit & 1)
+
+    def _lift_cube(self, cube: Tuple[int, ...],
+                   required: List[Tuple[int, bool]]) -> Tuple[int, ...]:
+        """Drop cube literals while all required (lit, value) stay determined."""
+        if not required:
+            return cube
+        # Concrete model values for inputs and all latches.
+        base_values: Dict[int, int] = {}
+        for node in self.system.inputs:
+            sat = self.unroller.frame(0).input_sat.get(node)
+            if sat is None:
+                continue
+            base_values[node] = 1 if self.solver.value(sat) else 0
+        for latch in self.system.latches:
+            sat = self.unroller.frame(0).input_sat.get(latch.node)
+            if sat is not None:
+                base_values[latch.node] = 1 if self.solver.value(sat) else 0
+        kept: List[int] = []
+        dropped: set = set()
+        for idx, lit in enumerate(cube):
+            node = self._var_to_node[abs(lit)]
+            trial = dict(base_values)
+            trial[node] = self._X
+            for other in dropped:
+                trial[other] = self._X
+            ok = True
+            for req_lit, req_val in required:
+                result = self._ternary_eval(req_lit, trial)
+                if result == self._X or bool(result) != req_val:
+                    ok = False
+                    break
+            if ok:
+                dropped.add(node)
+            else:
+                kept.append(lit)
+        return tuple(kept) if kept else cube
+
+    def _constraint_requirements(self) -> List[Tuple[int, bool]]:
+        return [(prop.lit, True) for prop in self.system.constraints]
+
+    # -- init handling ------------------------------------------------------
+    def _cube_intersects_init(self, cube: Sequence[int]) -> bool:
+        """Does the cube (over frame-0 latch SAT literals) contain an init
+        state?  True unless some literal contradicts a defined init value."""
+        for lit in cube:
+            var = abs(lit)
+            node = self._var_to_node.get(var)
+            if node is None:
+                continue
+            init = self._init_value[node]
+            if init is None:
+                continue
+            if (lit > 0) != init:
+                return False
+        return True
+
+    # -- frame queries ------------------------------------------------------
+    def _frame_assumptions(self, level: int) -> List[int]:
+        acts = [c.act for c in self._clauses
+                if not c.retired and c.level >= level]
+        if level == 0:
+            acts.append(self._init_act)
+        return acts
+
+    def _add_frame_clause(self, lits: Tuple[int, ...], level: int) -> None:
+        act = self.solver.new_var()
+        self.solver.add_clause([-act] + list(lits))
+        self._clauses.append(_Clause(lits, level, act))
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> PdrResult:
+        if self.bad_lit == FALSE:
+            return PdrResult(proven=True, frames=0)
+        while True:
+            # Find a bad state inside the outermost frame.
+            assumptions = self._frame_assumptions(self._num_frames)
+            assumptions.append(self._bad_sat)
+            # Frame N also requires the init predicate when N == 0 — the
+            # engine's BMC pass already covered the concrete init cases.
+            if not self.solver.solve(assumptions=assumptions):
+                # Bad unreachable from F_N: add a frame and propagate.
+                self._num_frames += 1
+                if self._propagate():
+                    return PdrResult(
+                        proven=True, frames=self._num_frames,
+                        num_clauses=len(self._clauses),
+                        solver_stats=self.solver.stats.as_dict())
+                if self._num_frames > self.max_frames:
+                    return PdrResult(
+                        proven=False, frames=self._num_frames,
+                        num_clauses=len(self._clauses),
+                        solver_stats=self.solver.stats.as_dict())
+                continue
+            cube = self._model_cube()
+            cube = self._lift_cube(
+                cube, [(self.bad_lit, True)] + self._constraint_requirements())
+            chain = self._block(cube, self._num_frames, chain_len=0)
+            if chain is not None:
+                # chain = number of transitions from an init state to the
+                # bad cube, i.e. the cycle index where the property fails.
+                return PdrResult(
+                    proven=False, frames=self._num_frames, failed=True,
+                    cex_depth=chain,
+                    num_clauses=len(self._clauses),
+                    solver_stats=self.solver.stats.as_dict())
+
+    def _model_cube(self) -> Tuple[int, ...]:
+        """Full cube of current-state latch values from the SAT model."""
+        cube = []
+        for latch in self._latches:
+            sat = self._cur[latch.node]
+            value = self.solver.value(sat)
+            cube.append(sat if value else -sat)
+        return tuple(cube)
+
+    # -- recursive blocking ----------------------------------------------------
+    def _block(self, cube: Tuple[int, ...], level: int,
+               chain_len: int) -> Optional[int]:
+        """Block ``cube`` at ``level``.  Returns None on success, or the
+        length of the counterexample chain when the cube reaches init."""
+        if not cube:
+            # Empty cube = the bad condition holds in *every* state
+            # (possible when its cone of influence has no latches at all):
+            # the initial state itself is bad.
+            return chain_len
+        if self._cube_intersects_init(cube):
+            # Lifting preserves "every state in the cube steps into the
+            # parent obligation under the recorded inputs", so an init state
+            # inside the cube is a genuine counterexample at any level.
+            return chain_len
+        if level == 0:
+            return None
+        while True:
+            # Relative induction: F_{level-1} ∧ ¬cube ∧ T ∧ cube'
+            not_cube_act = self.solver.new_var()
+            self.solver.add_clause([-not_cube_act] + [-lit for lit in cube])
+            assumptions = self._frame_assumptions(level - 1)
+            assumptions.append(not_cube_act)
+            assumptions.extend(self._prime(cube))
+            sat = self.solver.solve(assumptions=assumptions)
+            if not sat:
+                core = set(self.solver.core)
+                self.solver.add_clause([-not_cube_act])  # retire
+                reduced = self._generalize(cube, core, level)
+                self._add_frame_clause(
+                    tuple(-lit for lit in reduced), level)
+                return None
+            predecessor = self._model_cube()
+            required = self._constraint_requirements()
+            for lit in cube:
+                node = self._var_to_node[abs(lit)]
+                latch = self.system.latch_of(node)
+                required.append((latch.next_lit, lit > 0))
+            predecessor = self._lift_cube(predecessor, required)
+            self.solver.add_clause([-not_cube_act])  # retire
+            result = self._block(predecessor, level - 1, chain_len + 1)
+            if result is not None:
+                return result
+
+    def _prime(self, cube: Sequence[int]) -> List[int]:
+        """Map a frame-0 latch cube to the corresponding frame-1 literals."""
+        primed = []
+        for lit in cube:
+            node = self._var_to_node[abs(lit)]
+            nxt = self._nxt[node]
+            primed.append(-nxt if lit < 0 else nxt)
+        return primed
+
+    # -- generalization -----------------------------------------------------
+    def _generalize(self, cube: Tuple[int, ...], core: set,
+                    level: int) -> Tuple[int, ...]:
+        """Shrink the blocked cube: first with the unsat core over the primed
+        assumption literals, then with a bounded literal-dropping pass."""
+        primed = self._prime(cube)
+        keep = []
+        for lit, primed_lit in zip(cube, primed):
+            if primed_lit in core:
+                keep.append(lit)
+        if not keep:
+            keep = list(cube)
+        if self._cube_intersects_init(keep):
+            keep = self._restore_init_blocking(cube, keep)
+        keep = self._drop_literals(tuple(keep), level)
+        return tuple(keep)
+
+    def _restore_init_blocking(self, cube: Tuple[int, ...],
+                               keep: List[int]) -> List[int]:
+        """Re-add a literal that separates the cube from the init states."""
+        present = set(keep)
+        for lit in cube:
+            if lit in present:
+                continue
+            node = self._var_to_node[abs(lit)]
+            init = self._init_value[node]
+            if init is not None and (lit > 0) != init:
+                return keep + [lit]
+        return list(cube)
+
+    def _drop_literals(self, cube: Tuple[int, ...], level: int,
+                       max_attempts: int = 3) -> Tuple[int, ...]:
+        """Try removing individual literals while the clause stays relatively
+        inductive (bounded pass: PDR works without it, just slower)."""
+        current = list(cube)
+        attempts = 0
+        idx = 0
+        while idx < len(current) and attempts < max_attempts:
+            if len(current) == 1:
+                break
+            candidate = current[:idx] + current[idx + 1:]
+            if self._cube_intersects_init(candidate):
+                idx += 1
+                continue
+            attempts += 1
+            not_cube_act = self.solver.new_var()
+            self.solver.add_clause([-not_cube_act]
+                                   + [-lit for lit in candidate])
+            assumptions = self._frame_assumptions(level - 1)
+            assumptions.append(not_cube_act)
+            assumptions.extend(self._prime(candidate))
+            sat = self.solver.solve(assumptions=assumptions)
+            self.solver.add_clause([-not_cube_act])
+            if sat:
+                idx += 1
+            else:
+                current = candidate
+        return tuple(current)
+
+    # -- propagation -----------------------------------------------------------
+    def _propagate(self) -> bool:
+        """Push clauses forward; True when a fixpoint frame is found."""
+        for clause in self._clauses:
+            if clause.retired or clause.level >= self._num_frames:
+                continue
+            # Does the clause hold one frame later?  F_level ∧ T ∧ ¬c'
+            cube = tuple(-lit for lit in clause.lits)
+            assumptions = self._frame_assumptions(clause.level)
+            assumptions.extend(self._prime(cube))
+            if not self.solver.solve(assumptions=assumptions):
+                clause.level += 1
+        # Fixpoint: some frame 1..N-1 has no clause at exactly its level.
+        active = [c for c in self._clauses if not c.retired]
+        for level in range(1, self._num_frames):
+            if not any(c.level == level for c in active):
+                return True
+        return False
+
+
+def pdr_prove(system: TransitionSystem, assert_lit: int,
+              max_frames: int = 60) -> PdrResult:
+    """Prove ``assert_lit`` invariant (or find it violable) with PDR.
+
+    ``assert_lit`` is the property literal (must always hold); PDR works on
+    its negation as the bad state.
+    """
+    return Pdr(system, bad_lit=assert_lit ^ 1, max_frames=max_frames).run()

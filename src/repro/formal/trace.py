@@ -1,0 +1,86 @@
+"""Counterexample traces and their text rendering.
+
+FV tools answer a failed property with a counterexample (CEX) waveform.  The
+paper leans on short traces ("a 5-cycle trace that allowed us to quickly
+identify the problem"), so the trace machinery records, per cycle, the value
+of every *observable* — named signals registered on the transition system —
+and renders them as a compact waveform table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .aig import AIG
+from .transition import TransitionSystem
+
+__all__ = ["Trace", "extract_trace"]
+
+
+@dataclass
+class Trace:
+    """A finite (optionally lasso-shaped) counterexample.
+
+    ``cycles`` maps each observable name to a list of per-cycle integer
+    values.  ``loop_start`` is the index the execution returns to for
+    liveness CEXs, or None for plain safety CEXs.
+    """
+
+    property_name: str
+    cycles: Dict[str, List[int]] = field(default_factory=dict)
+    depth: int = 0
+    loop_start: Optional[int] = None
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def value(self, signal: str, cycle: int) -> int:
+        return self.cycles[signal][cycle]
+
+    def render(self, signals: Optional[List[int]] = None) -> str:
+        """Render the waveform as a fixed-width text table."""
+        names = list(self.cycles)
+        if not names or self.depth == 0:
+            return f"<empty trace for {self.property_name}>"
+        name_w = max(len(n) for n in names)
+        val_w = max(3, max(len(f"{v:x}") for vals in self.cycles.values()
+                           for v in vals))
+        header = " " * name_w + " |" + "".join(
+            f" {c:>{val_w}}" for c in range(self.depth))
+        lines = [f"CEX for {self.property_name} "
+                 f"({self.depth} cycles"
+                 + (f", loop back to cycle {self.loop_start}" if
+                    self.loop_start is not None else "") + ")",
+                 header,
+                 "-" * len(header)]
+        for name in names:
+            row = "".join(f" {v:>{val_w}x}" for v in self.cycles[name])
+            lines.append(f"{name:<{name_w}} |{row}")
+        return "\n".join(lines)
+
+
+def extract_trace(property_name: str, system: TransitionSystem, unroller,
+                  depth: int, loop_start: Optional[int] = None) -> Trace:
+    """Build a :class:`Trace` from a satisfied unrolling.
+
+    Reads back the SAT model for each frame's input/latch nodes and evaluates
+    every observable's bits through the AIG.
+    """
+    trace = Trace(property_name=property_name, depth=depth + 1,
+                  loop_start=loop_start)
+    aig: AIG = system.aig
+    per_cycle_values: List[Dict[int, bool]] = [
+        unroller.input_values(k) for k in range(depth + 1)
+    ]
+    for name, bits in system.observables.items():
+        values: List[int] = []
+        for k in range(depth + 1):
+            env = per_cycle_values[k]
+            word = 0
+            for i, bit_lit in enumerate(bits):
+                if aig.eval_literal(bit_lit, env):
+                    word |= 1 << i
+            values.append(word)
+        trace.cycles[name] = values
+    return trace

@@ -1,0 +1,164 @@
+"""Bit-level transition systems: the model-checker's view of a design.
+
+A :class:`TransitionSystem` wraps an :class:`~repro.formal.aig.AIG` with the
+sequential interpretation the checker needs:
+
+* **inputs** — free symbolic bits, fresh every cycle (this is how FV tools
+  treat module inputs, per Section II of the paper);
+* **latches** — state bits with an initial (reset) value and a next-state
+  function given as an AIG literal;
+* **constraints** — invariant assumptions (from ``assume property`` without
+  ``s_eventually``) restricting the explored paths;
+* **safety assertions** — literals that must hold in every reachable state;
+* **liveness assertions** (justice) — literals that must hold *infinitely
+  often*; ``assert property (A |-> s_eventually B)`` compiles to a pending
+  monitor latch whose negation is asserted to recur;
+* **fairness constraints** — the assumed counterpart (``assume property``
+  with ``s_eventually``), restricting liveness CEXs to fair paths;
+* **covers** — reachability targets (``cover property``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .aig import AIG, FALSE, TRUE
+
+__all__ = ["Latch", "Property", "TransitionSystem"]
+
+
+@dataclass
+class Latch:
+    """A single state bit.
+
+    ``node`` is the AIG input node representing the latch's *current* value;
+    ``next_lit`` the AIG literal computing its *next* value; ``init`` the
+    reset value (None leaves the initial value symbolic).
+    """
+
+    name: str
+    node: int
+    next_lit: int = FALSE
+    init: Optional[bool] = False
+
+
+@dataclass
+class Property:
+    """A named property literal with its source directive."""
+
+    name: str
+    lit: int
+    kind: str  # "assert" | "assume" | "cover" | "live" | "fair"
+
+
+class TransitionSystem:
+    """A sequential circuit plus its proof obligations."""
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self.aig = AIG()
+        self.inputs: List[int] = []          # free primary-input nodes
+        self.input_names: Dict[int, str] = {}
+        self.latches: List[Latch] = []
+        self._latch_by_node: Dict[int, Latch] = {}
+        self.constraints: List[Property] = []
+        self.asserts: List[Property] = []
+        self.covers: List[Property] = []
+        self.liveness: List[Property] = []   # justice assertions
+        self.fairness: List[Property] = []   # justice assumptions
+        # Named observable signals (for trace rendering), name -> [bit lits].
+        self.observables: Dict[str, List[int]] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_input(self, name: str) -> int:
+        node = self.aig.new_input(name)
+        self.inputs.append(node)
+        self.input_names[node] = name
+        return node
+
+    def add_input_vec(self, name: str, width: int) -> List[int]:
+        return [self.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def add_latch(self, name: str, init: Optional[bool] = False) -> Latch:
+        node = self.aig.new_input(name)
+        latch = Latch(name=name, node=node, init=init)
+        self.latches.append(latch)
+        self._latch_by_node[node] = latch
+        return latch
+
+    def add_latch_vec(self, name: str, width: int,
+                      init: Optional[int] = 0) -> List[Latch]:
+        latches = []
+        for i in range(width):
+            bit_init = None if init is None else bool((init >> i) & 1)
+            latches.append(self.add_latch(f"{name}[{i}]", init=bit_init))
+        return latches
+
+    def set_next(self, latch: Latch, next_lit: int) -> None:
+        latch.next_lit = next_lit
+
+    def is_latch_node(self, node: int) -> bool:
+        return node in self._latch_by_node
+
+    def latch_of(self, node: int) -> Latch:
+        return self._latch_by_node[node]
+
+    def add_constraint(self, name: str, lit: int) -> None:
+        self.constraints.append(Property(name, lit, "assume"))
+
+    def add_assert(self, name: str, lit: int) -> None:
+        self.asserts.append(Property(name, lit, "assert"))
+
+    def add_cover(self, name: str, lit: int) -> None:
+        self.covers.append(Property(name, lit, "cover"))
+
+    def add_liveness(self, name: str, justice_lit: int) -> None:
+        """Assert that ``justice_lit`` holds infinitely often."""
+        self.liveness.append(Property(name, justice_lit, "live"))
+
+    def add_fairness(self, name: str, justice_lit: int) -> None:
+        """Assume that ``justice_lit`` holds infinitely often."""
+        self.fairness.append(Property(name, justice_lit, "fair"))
+
+    def add_observable(self, name: str, bits: List[int]) -> None:
+        self.observables[name] = list(bits)
+
+    # -- helpers ----------------------------------------------------------
+    def pending_monitor(self, name: str, trigger: int, discharge: int,
+                        same_cycle: bool = True) -> int:
+        """Build the standard obligation monitor for ``trigger |-> s_eventually
+        discharge`` and return the *pending* literal.
+
+        ``pending`` rises when the trigger fires without an immediate
+        discharge and stays up until discharged.  The liveness condition is
+        that ``!pending`` recurs.  With ``same_cycle=False`` the discharge may
+        not happen in the trigger cycle itself (``|=>`` semantics).
+        """
+        g = self.aig
+        latch = self.add_latch(f"{name}__pending", init=False)
+        raised = g.OR(latch.node, trigger)
+        if same_cycle:
+            pending_next = g.AND(raised, g.NOT(discharge))
+        else:
+            pending_next = g.OR(g.AND(latch.node, g.NOT(discharge)), trigger)
+        self.set_next(latch, pending_next)
+        if same_cycle:
+            return g.AND(raised, g.NOT(discharge))
+        return latch.node
+
+    def stats(self) -> dict:
+        return {
+            "inputs": len(self.inputs),
+            "latches": len(self.latches),
+            "ands": self.aig.num_ands,
+            "constraints": len(self.constraints),
+            "asserts": len(self.asserts),
+            "covers": len(self.covers),
+            "liveness": len(self.liveness),
+            "fairness": len(self.fairness),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.stats().items())
+        return f"TransitionSystem({self.name!r}, {inner})"

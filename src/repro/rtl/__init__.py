@@ -1,0 +1,24 @@
+"""SystemVerilog-subset frontend: lexer, parser, elaboration, synthesis.
+
+The frontend exists so that the formal testbenches AutoSVA generates (plain
+SVA property files + bind files) and the evaluated RTL corpus can be compiled
+and model-checked entirely offline.  :func:`repro.rtl.synth.synthesize` is
+the one-call entry point from source text to a
+:class:`~repro.formal.transition.TransitionSystem`.
+"""
+
+from . import ast
+from .elaborate import ElabError, clog2, const_eval, range_width
+from .lexer import LexError, Lexer, Token
+from .parser import ParseError, Parser, parse_design, parse_expr_text
+from .preprocess import strip_ifdefs
+from .synth import SynthError, Synthesizer, expr_key, synthesize
+
+__all__ = [
+    "ast",
+    "ElabError", "clog2", "const_eval", "range_width",
+    "LexError", "Lexer", "Token",
+    "ParseError", "Parser", "parse_design", "parse_expr_text",
+    "strip_ifdefs",
+    "SynthError", "Synthesizer", "expr_key", "synthesize",
+]

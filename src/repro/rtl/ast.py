@@ -1,0 +1,337 @@
+"""Abstract syntax tree for the SystemVerilog subset.
+
+Expressions and statements are plain dataclasses; widths and parameter values
+are resolved later by :mod:`repro.rtl.elaborate`.  SVA-specific nodes
+(implication, ``s_eventually``, ``$past``/``$stable``) live in the same
+expression tree — the synthesizer decides what is legal where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Expr", "Num", "Id", "Unary", "Binary", "Ternary", "Concat", "Repl",
+    "Index", "RangeSelect", "SysCall", "Delay", "Implication", "SEventually",
+    "Stmt", "Block", "If", "Case", "CaseItem", "NonBlocking", "Blocking",
+    "Range", "NetDecl", "ParamDecl", "Port", "Assign", "AlwaysFF",
+    "AlwaysComb", "Instance", "AssertionItem", "Bind", "Module", "Design",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    """Base class of all expression nodes."""
+
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    """A literal: ``value`` (int), explicit ``width`` (or None if unsized),
+    and ``is_fill`` for '0/'1 context-determined fills."""
+
+    value: int
+    width: Optional[int] = None
+    is_fill: bool = False
+    line: int = 0
+
+
+@dataclass
+class Id(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str          # ! ~ & | ^ ~& ~| ~^ + -
+    operand: Expr = None
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    op: str          # && || == != < <= > >= & | ^ + - * / % << >> === !==
+    lhs: Expr = None
+    rhs: Expr = None
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then_expr: Expr
+    else_expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Concat(Expr):
+    parts: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Repl(Expr):
+    count: Expr = None
+    value: Expr = None
+    line: int = 0
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — bit select or unpacked-array element select."""
+
+    base: Expr = None
+    index: Expr = None
+    line: int = 0
+
+
+@dataclass
+class RangeSelect(Expr):
+    """``base[msb:lsb]`` (constant part select)."""
+
+    base: Expr = None
+    msb: Expr = None
+    lsb: Expr = None
+    line: int = 0
+
+
+@dataclass
+class SysCall(Expr):
+    """System function call: $stable, $past, $rose, $fell, $onehot,
+    $onehot0, $countones, $signed, $unsigned, $clog2, $initstate."""
+
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Delay(Expr):
+    """Sequence delay ``##N expr`` (supported as a property prefix)."""
+
+    cycles: int
+    expr: Expr = None
+    line: int = 0
+
+
+@dataclass
+class Implication(Expr):
+    """SVA implication ``antecedent |-> consequent`` (or ``|=>``)."""
+
+    op: str          # "|->" or "|=>"
+    antecedent: Expr = None
+    consequent: Expr = None
+    line: int = 0
+
+
+@dataclass
+class SEventually(Expr):
+    """SVA strong eventually: ``s_eventually expr``."""
+
+    expr: Expr = None
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Statements (inside always blocks)
+# ---------------------------------------------------------------------------
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_stmt: Stmt
+    else_stmt: Optional[Stmt] = None
+    line: int = 0
+
+
+@dataclass
+class CaseItem:
+    labels: List[Expr]         # empty list = default
+    stmt: Stmt = None
+
+
+@dataclass
+class Case(Stmt):
+    subject: Expr
+    items: List[CaseItem] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class NonBlocking(Stmt):
+    """``target <= value`` inside always_ff."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Blocking(Stmt):
+    """``target = value`` inside always_comb."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+@dataclass
+class Range:
+    """A packed or unpacked range ``[msb:lsb]`` (expressions, pre-elab)."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    default: Expr
+    is_local: bool = False
+    line: int = 0
+
+
+@dataclass
+class Port:
+    direction: str                  # input | output
+    name: str
+    packed: Optional[Range] = None  # None = 1-bit scalar
+    net_type: str = "wire"
+    line: int = 0
+
+
+@dataclass
+class NetDecl:
+    name: str
+    net_type: str = "wire"          # wire | reg | logic | integer
+    packed: Optional[Range] = None
+    unpacked: Optional[Range] = None  # memories: name [0:N-1]
+    init: Optional[Expr] = None      # wire x = expr; sugar for assign
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class AlwaysFF:
+    """``always_ff @(posedge clk [or negedge rst_n])`` with its body.
+
+    ``reset_name``/``reset_active_low`` capture an async reset edge if one is
+    present in the sensitivity list.
+    """
+
+    clock: str
+    body: Stmt
+    reset_name: Optional[str] = None
+    reset_active_low: bool = True
+    line: int = 0
+
+
+@dataclass
+class AlwaysComb:
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    module_name: str
+    instance_name: str
+    param_overrides: List[Tuple[str, Expr]] = field(default_factory=list)
+    # connections: (port, expr); expr None for .name shorthand; a single
+    # ("*", None) entry means .* (connect-by-name).
+    connections: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class AssertionItem:
+    """``label: assert/assume/cover property ( [@(posedge clk)]
+    [disable iff (expr)] property_expr );``"""
+
+    directive: str                # assert | assume | cover | restrict
+    label: str
+    prop: Expr = None
+    clock: Optional[str] = None
+    disable_iff: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Bind(Stmt):
+    """``bind target_module checker_module inst (.*);``"""
+
+    target_module: str
+    checker_module: str
+    instance_name: str
+    param_overrides: List[Tuple[str, Expr]] = field(default_factory=list)
+    connections: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Module:
+    name: str
+    params: List[ParamDecl] = field(default_factory=list)
+    ports: List[Port] = field(default_factory=list)
+    nets: List[NetDecl] = field(default_factory=list)
+    assigns: List[Assign] = field(default_factory=list)
+    always_ffs: List[AlwaysFF] = field(default_factory=list)
+    always_combs: List[AlwaysComb] = field(default_factory=list)
+    instances: List[Instance] = field(default_factory=list)
+    assertions: List[AssertionItem] = field(default_factory=list)
+    line: int = 0
+
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"{self.name}: no port {name!r}")
+
+
+@dataclass
+class Design:
+    """A set of parsed modules plus bind directives."""
+
+    modules: List[Module] = field(default_factory=list)
+    binds: List[Bind] = field(default_factory=list)
+
+    def module(self, name: str) -> Module:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"no module named {name!r}")
+
+    def merge(self, other: "Design") -> "Design":
+        merged = Design(modules=list(self.modules), binds=list(self.binds))
+        existing = {m.name for m in merged.modules}
+        for module in other.modules:
+            if module.name in existing:
+                raise ValueError(f"duplicate module {module.name!r}")
+            merged.modules.append(module)
+            existing.add(module.name)
+        merged.binds.extend(other.binds)
+        return merged

@@ -1,0 +1,112 @@
+"""Elaboration helpers: constant evaluation and width resolution.
+
+Parameters, range bounds and replication counts must be compile-time
+constants.  :func:`const_eval` folds the expression subset over a parameter
+environment; :func:`range_width` turns a packed/unpacked range into a size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from . import ast
+
+__all__ = ["ElabError", "const_eval", "range_width", "range_bounds", "clog2"]
+
+
+class ElabError(ValueError):
+    """Raised for design errors found during elaboration/synthesis."""
+
+
+def clog2(value: int) -> int:
+    """Ceiling log2 as defined by SystemVerilog $clog2 (``$clog2(1) == 0``)."""
+    if value <= 1:
+        return 0
+    result = 0
+    value -= 1
+    while value > 0:
+        value >>= 1
+        result += 1
+    return result
+
+
+def const_eval(expr: ast.Expr, params: Dict[str, int]) -> int:
+    """Evaluate a compile-time-constant expression to a Python int."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Id):
+        if expr.name not in params:
+            raise ElabError(f"line {expr.line}: {expr.name!r} is not a "
+                            f"parameter (constant context)")
+        return params[expr.name]
+    if isinstance(expr, ast.Unary):
+        val = const_eval(expr.operand, params)
+        if expr.op == "-":
+            return -val
+        if expr.op == "+":
+            return val
+        if expr.op == "!":
+            return 0 if val else 1
+        if expr.op == "~":
+            return ~val
+        raise ElabError(f"line {expr.line}: unary {expr.op!r} not constant")
+    if isinstance(expr, ast.Binary):
+        lhs = const_eval(expr.lhs, params)
+        rhs = const_eval(expr.rhs, params)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b,
+            "%": lambda a, b: a % b,
+            "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b,
+            "==": lambda a, b: int(a == b),
+            "!=": lambda a, b: int(a != b),
+            "<": lambda a, b: int(a < b),
+            "<=": lambda a, b: int(a <= b),
+            ">": lambda a, b: int(a > b),
+            ">=": lambda a, b: int(a >= b),
+            "&&": lambda a, b: int(bool(a) and bool(b)),
+            "||": lambda a, b: int(bool(a) or bool(b)),
+            "&": lambda a, b: a & b,
+            "|": lambda a, b: a | b,
+            "^": lambda a, b: a ^ b,
+        }
+        if expr.op not in ops:
+            raise ElabError(f"line {expr.line}: binary {expr.op!r} "
+                            f"not constant-foldable")
+        return ops[expr.op](lhs, rhs)
+    if isinstance(expr, ast.Ternary):
+        cond = const_eval(expr.cond, params)
+        branch = expr.then_expr if cond else expr.else_expr
+        return const_eval(branch, params)
+    if isinstance(expr, ast.SysCall):
+        if expr.name == "$clog2" and len(expr.args) == 1:
+            return clog2(const_eval(expr.args[0], params))
+        raise ElabError(f"line {expr.line}: {expr.name} not constant")
+    raise ElabError(f"non-constant expression {type(expr).__name__}")
+
+
+def range_bounds(rng: Optional[ast.Range],
+                 params: Dict[str, int]) -> "tuple[int, int]":
+    """Resolve a range to (msb, lsb); a missing range is the scalar (0, 0)."""
+    if rng is None:
+        return (0, 0)
+    return (const_eval(rng.msb, params), const_eval(rng.lsb, params))
+
+
+def range_width(rng: Optional[ast.Range], params: Dict[str, int]) -> int:
+    """Width of a packed range (scalar = 1)."""
+    msb, lsb = range_bounds(rng, params)
+    if msb < lsb:
+        raise ElabError(f"descending range [{msb}:{lsb}] unsupported")
+    return msb - lsb + 1
+
+
+def array_size(rng: Optional[ast.Range], params: Dict[str, int]) -> int:
+    """Element count of an unpacked range, accepting [0:N-1] or [N-1:0]."""
+    if rng is None:
+        return 0
+    msb, lsb = range_bounds(rng, params)
+    return abs(msb - lsb) + 1

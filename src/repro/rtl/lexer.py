@@ -1,0 +1,210 @@
+"""Tokenizer for the SystemVerilog subset understood by the RTL frontend.
+
+The subset is the meet of (a) what AutoSVA-generated property files contain —
+plain SVA assertions plus auxiliary Verilog modeling code — and (b) what the
+reduced Ariane/OpenPiton design corpus uses: ANSI module headers, parameters,
+vector nets, unpacked arrays, assign, always_ff/always_comb, if/case,
+instantiation and bind.
+
+Comments are skipped here; the AutoSVA annotation scanner
+(:mod:`repro.core.rtl_scan`) works on the raw source text instead, exactly as
+the paper's tool does ("annotations are written as Verilog comments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "Lexer", "LexError", "KEYWORDS"]
+
+KEYWORDS = {
+    "module", "endmodule", "parameter", "localparam", "input", "output",
+    "inout", "wire", "reg", "logic", "integer", "genvar", "assign",
+    "always", "always_ff", "always_comb", "always_latch", "begin", "end",
+    "if", "else", "case", "casez", "casex", "endcase", "default", "posedge",
+    "negedge", "or", "and", "not", "assert", "assume", "cover", "restrict",
+    "property", "endproperty", "sequence", "endsequence", "disable", "iff",
+    "s_eventually", "eventually", "always_prop", "bind", "generate",
+    "endgenerate", "for", "function", "endfunction", "initial", "signed",
+    "unsigned", "unique", "priority",
+}
+
+_PUNCT = [
+    # three-char
+    "<<<", ">>>", "===", "!==", "|->", "|=>",
+    # two-char
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+:", "-:", "::", "##",
+    "'{",
+    # one-char
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "+", "-", "*", "/",
+    "%", "&", "|", "^", "~", "!", "<", ">", "=", ".", "#", "@", "$", "'",
+]
+
+
+@dataclass
+class Token:
+    """A lexed token: ``kind`` is one of id/keyword/number/string/punct/eof."""
+
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+class LexError(ValueError):
+    """Raised on characters the subset does not include."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"line {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class Lexer:
+    """Single-pass tokenizer producing a list of :class:`Token`."""
+
+    def __init__(self, text: str, filename: str = "<rtl>") -> None:
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                        self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                self._advance(2)
+            elif ch == "`":
+                # Compiler directives (`define/`include) are out of subset;
+                # macro *uses* like `XPROP are skipped as ifdef-guarded code
+                # is pre-stripped by the caller. Treat the rest of the line
+                # as trivia for robustness.
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token("eof", "", self.line, self.col)
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, col)
+        if ch.isdigit():
+            return self._lex_number(line, col)
+        if ch == "'" and (self._peek(1).isalnum() or self._peek(1) == "_"):
+            # unsized based literal like 'd5, 'h1F, '0, '1, 'x
+            return self._lex_based(line, col, size="")
+        if ch == '"':
+            return self._lex_string(line, col)
+        if ch == "$":
+            return self._lex_system(line, col)
+        for punct in _PUNCT:
+            if self.text.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token("punct", punct, line, col)
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum()
+                                             or self._peek() == "_"):
+            self._advance()
+        word = self.text[start:self.pos]
+        kind = "keyword" if word in KEYWORDS else "id"
+        return Token(kind, word, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isdigit()
+                                             or self._peek() == "_"):
+            self._advance()
+        size = self.text[start:self.pos].replace("_", "")
+        if self._peek() == "'":
+            return self._lex_based(line, col, size=size)
+        return Token("number", size, line, col)
+
+    def _lex_based(self, line: int, col: int, size: str) -> Token:
+        # consume ' [s] base digits  (e.g. 4'b1010, 'h_FF, '0)
+        self._advance()  # '
+        if self._peek() in "sS":
+            self._advance()
+        base_ch = self._peek()
+        if base_ch in "01xXzZ" and not (self._peek(1).isalnum()
+                                        or self._peek(1) == "_"):
+            # '0 / '1 / 'x fill literals
+            self._advance()
+            return Token("number", f"{size}'{base_ch}", line, col)
+        if base_ch not in "bBoOdDhH":
+            raise LexError(f"bad base character {base_ch!r}", line, col)
+        self._advance()
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum()
+                                             or self._peek() in "_?xXzZ"):
+            self._advance()
+        digits = self.text[start:self.pos]
+        if not digits:
+            raise LexError("based literal with no digits", line, col)
+        return Token("number", f"{size}'{base_ch.lower()}{digits}", line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.text) and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        value = self.text[start:self.pos]
+        self._advance()  # closing quote
+        return Token("string", value, line, col)
+
+    def _lex_system(self, line: int, col: int) -> Token:
+        self._advance()  # $
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum()
+                                             or self._peek() == "_"):
+            self._advance()
+        name = self.text[start:self.pos]
+        if not name:
+            raise LexError("bare '$'", line, col)
+        return Token("system", "$" + name, line, col)

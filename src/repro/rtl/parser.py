@@ -1,0 +1,632 @@
+"""Recursive-descent parser for the SystemVerilog subset.
+
+Produces the :mod:`repro.rtl.ast` node tree.  Entry points:
+
+* :func:`parse_design` — full source text with modules and binds;
+* :func:`parse_expr_text` — a single expression (used by the AutoSVA core to
+  validate explicit-definition right-hand sides).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import Lexer, Token
+
+__all__ = ["ParseError", "Parser", "parse_design", "parse_expr_text"]
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (at {token.value!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, text: str, filename: str = "<rtl>") -> None:
+        self.tokens = Lexer(text, filename).tokenize()
+        self.pos = 0
+        self.filename = filename
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            want = value or kind
+            raise ParseError(f"expected {want!r}", token)
+        return self._next()
+
+    # -- design level -------------------------------------------------------
+    def parse_design(self) -> ast.Design:
+        design = ast.Design()
+        while not self._check("eof"):
+            if self._check("keyword", "module"):
+                design.modules.append(self.parse_module())
+            elif self._check("keyword", "bind"):
+                design.binds.append(self.parse_bind())
+            else:
+                raise ParseError("expected 'module' or 'bind'", self._peek())
+        return design
+
+    def parse_bind(self) -> ast.Bind:
+        start = self._expect("keyword", "bind")
+        target = self._expect("id").value
+        checker = self._expect("id").value
+        params: List[Tuple[str, ast.Expr]] = []
+        if self._accept("punct", "#"):
+            self._expect("punct", "(")
+            params = self._parse_named_overrides()
+            self._expect("punct", ")")
+        inst_name = self._expect("id").value
+        self._expect("punct", "(")
+        connections = self._parse_connections()
+        self._expect("punct", ")")
+        self._expect("punct", ";")
+        return ast.Bind(target_module=target, checker_module=checker,
+                        instance_name=inst_name, param_overrides=params,
+                        connections=connections, line=start.line)
+
+    # -- module -------------------------------------------------------------
+    def parse_module(self) -> ast.Module:
+        start = self._expect("keyword", "module")
+        name = self._expect("id").value
+        module = ast.Module(name=name, line=start.line)
+        if self._accept("punct", "#"):
+            self._expect("punct", "(")
+            module.params.extend(self._parse_param_port_list())
+            self._expect("punct", ")")
+        if self._accept("punct", "("):
+            if not self._check("punct", ")"):
+                module.ports.extend(self._parse_ansi_ports())
+            self._expect("punct", ")")
+        self._expect("punct", ";")
+        while not self._check("keyword", "endmodule"):
+            self._parse_module_item(module)
+        self._expect("keyword", "endmodule")
+        return module
+
+    def _parse_param_port_list(self) -> List[ast.ParamDecl]:
+        params = []
+        while True:
+            self._accept("keyword", "parameter") or self._accept(
+                "keyword", "localparam")
+            # optional type keywords before the name
+            while self._check("keyword", "integer") or self._check(
+                    "keyword", "logic") or self._check("keyword", "signed"):
+                self._next()
+            if self._check("punct", "["):
+                self._parse_range()  # typed params: range is cosmetic here
+            token = self._expect("id")
+            self._expect("punct", "=")
+            default = self.parse_expr()
+            params.append(ast.ParamDecl(name=token.value, default=default,
+                                        line=token.line))
+            if not self._accept("punct", ","):
+                return params
+
+    def _parse_ansi_ports(self) -> List[ast.Port]:
+        ports: List[ast.Port] = []
+        direction = None
+        net_type = "wire"
+        packed: Optional[ast.Range] = None
+        while True:
+            token = self._peek()
+            if token.kind == "keyword" and token.value in ("input", "output",
+                                                           "inout"):
+                direction = self._next().value
+                net_type = "wire"
+                packed = None
+                if self._check("keyword"):
+                    if self._peek().value in ("wire", "reg", "logic"):
+                        net_type = self._next().value
+                    if self._check("keyword", "signed"):
+                        self._next()
+                if self._check("punct", "["):
+                    packed = self._parse_range()
+            elif token.kind == "punct" and token.value == "[":
+                packed = self._parse_range()
+            if direction is None:
+                raise ParseError("port without direction", token)
+            name_token = self._expect("id")
+            ports.append(ast.Port(direction=direction, name=name_token.value,
+                                  packed=packed, net_type=net_type,
+                                  line=name_token.line))
+            if not self._accept("punct", ","):
+                return ports
+
+    def _parse_range(self) -> ast.Range:
+        self._expect("punct", "[")
+        msb = self.parse_expr()
+        self._expect("punct", ":")
+        lsb = self.parse_expr()
+        self._expect("punct", "]")
+        return ast.Range(msb=msb, lsb=lsb)
+
+    # -- module items -------------------------------------------------------
+    def _parse_module_item(self, module: ast.Module) -> None:
+        token = self._peek()
+        if token.kind == "keyword":
+            keyword = token.value
+            if keyword in ("parameter", "localparam"):
+                self._parse_param_decl(module)
+                return
+            if keyword in ("wire", "reg", "logic", "integer"):
+                module.nets.extend(self._parse_net_decl())
+                return
+            if keyword == "assign":
+                module.assigns.extend(self._parse_assign())
+                return
+            if keyword in ("always_ff", "always"):
+                self._parse_always(module)
+                return
+            if keyword == "always_comb":
+                self._next()
+                body = self._parse_stmt()
+                module.always_combs.append(
+                    ast.AlwaysComb(body=body, line=token.line))
+                return
+            if keyword in ("assert", "assume", "cover", "restrict"):
+                module.assertions.append(self._parse_assertion(label=""))
+                return
+            if keyword in ("input", "output"):
+                # non-ANSI port declaration bodies are out of subset
+                raise ParseError("non-ANSI port declarations unsupported",
+                                 token)
+            raise ParseError("unsupported module item", token)
+        if token.kind == "id":
+            # Either a label for an assertion, or an instantiation.
+            if self._peek(1).kind == "punct" and self._peek(1).value == ":":
+                label = self._next().value
+                self._expect("punct", ":")
+                module.assertions.append(self._parse_assertion(label=label))
+                return
+            module.instances.append(self._parse_instance())
+            return
+        raise ParseError("unsupported module item", token)
+
+    def _parse_param_decl(self, module: ast.Module) -> None:
+        is_local = self._next().value == "localparam"
+        while self._check("keyword") and self._peek().value in (
+                "integer", "logic", "signed"):
+            self._next()
+        if self._check("punct", "["):
+            self._parse_range()
+        while True:
+            token = self._expect("id")
+            self._expect("punct", "=")
+            default = self.parse_expr()
+            module.params.append(ast.ParamDecl(
+                name=token.value, default=default, is_local=is_local,
+                line=token.line))
+            if not self._accept("punct", ","):
+                break
+        self._expect("punct", ";")
+
+    def _parse_net_decl(self) -> List[ast.NetDecl]:
+        net_type = self._next().value
+        if self._check("keyword", "signed"):
+            self._next()
+        packed = self._parse_range() if self._check("punct", "[") else None
+        decls: List[ast.NetDecl] = []
+        while True:
+            token = self._expect("id")
+            unpacked = None
+            if self._check("punct", "["):
+                unpacked = self._parse_range()
+            init = None
+            if self._accept("punct", "="):
+                init = self.parse_expr()
+            decls.append(ast.NetDecl(name=token.value, net_type=net_type,
+                                     packed=packed, unpacked=unpacked,
+                                     init=init, line=token.line))
+            if not self._accept("punct", ","):
+                break
+        self._expect("punct", ";")
+        return decls
+
+    def _parse_assign(self) -> List[ast.Assign]:
+        self._expect("keyword", "assign")
+        assigns = []
+        while True:
+            target = self._parse_postfix()
+            self._expect("punct", "=")
+            value = self.parse_expr()
+            assigns.append(ast.Assign(target=target, value=value,
+                                      line=getattr(target, "line", 0)))
+            if not self._accept("punct", ","):
+                break
+        self._expect("punct", ";")
+        return assigns
+
+    def _parse_always(self, module: ast.Module) -> None:
+        token = self._next()  # always / always_ff
+        self._expect("punct", "@")
+        self._expect("punct", "(")
+        if self._accept("punct", "*"):
+            self._expect("punct", ")")
+            body = self._parse_stmt()
+            module.always_combs.append(ast.AlwaysComb(body=body,
+                                                      line=token.line))
+            return
+        self._expect("keyword", "posedge")
+        clock = self._expect("id").value
+        reset_name = None
+        reset_active_low = True
+        if self._accept("keyword", "or"):
+            edge = self._next()
+            if edge.value not in ("negedge", "posedge"):
+                raise ParseError("expected reset edge", edge)
+            reset_active_low = edge.value == "negedge"
+            reset_name = self._expect("id").value
+        self._expect("punct", ")")
+        body = self._parse_stmt()
+        module.always_ffs.append(ast.AlwaysFF(
+            clock=clock, body=body, reset_name=reset_name,
+            reset_active_low=reset_active_low, line=token.line))
+
+    def _parse_instance(self) -> ast.Instance:
+        mod_token = self._expect("id")
+        params: List[Tuple[str, ast.Expr]] = []
+        if self._accept("punct", "#"):
+            self._expect("punct", "(")
+            params = self._parse_named_overrides()
+            self._expect("punct", ")")
+        inst_name = self._expect("id").value
+        self._expect("punct", "(")
+        connections = self._parse_connections()
+        self._expect("punct", ")")
+        self._expect("punct", ";")
+        return ast.Instance(module_name=mod_token.value,
+                            instance_name=inst_name,
+                            param_overrides=params,
+                            connections=connections, line=mod_token.line)
+
+    def _parse_named_overrides(self) -> List[Tuple[str, ast.Expr]]:
+        overrides = []
+        while True:
+            self._expect("punct", ".")
+            name = self._expect("id").value
+            self._expect("punct", "(")
+            value = self.parse_expr()
+            self._expect("punct", ")")
+            overrides.append((name, value))
+            if not self._accept("punct", ","):
+                return overrides
+
+    def _parse_connections(self) -> List[Tuple[str, Optional[ast.Expr]]]:
+        connections: List[Tuple[str, Optional[ast.Expr]]] = []
+        if self._check("punct", ")"):
+            return connections
+        while True:
+            self._expect("punct", ".")
+            if self._accept("punct", "*"):
+                connections.append(("*", None))
+            else:
+                name = self._expect("id").value
+                if self._accept("punct", "("):
+                    expr: Optional[ast.Expr] = None  # () = open connection
+                    if not self._check("punct", ")"):
+                        expr = self.parse_expr()
+                    self._expect("punct", ")")
+                    connections.append((name, expr))
+                else:
+                    # .name shorthand
+                    connections.append((name, ast.Id(name=name)))
+            if not self._accept("punct", ","):
+                return connections
+
+    # -- statements -----------------------------------------------------------
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.value == "begin":
+                self._next()
+                # optional block label
+                if self._accept("punct", ":"):
+                    self._expect("id")
+                block = ast.Block(line=token.line)
+                while not self._check("keyword", "end"):
+                    block.stmts.append(self._parse_stmt())
+                self._expect("keyword", "end")
+                if self._accept("punct", ":"):
+                    self._expect("id")
+                return block
+            if token.value == "if":
+                return self._parse_if()
+            if token.value in ("unique", "priority"):
+                self._next()
+                token = self._peek()
+            if token.value in ("case", "casez", "casex"):
+                return self._parse_case()
+        # assignment statement
+        target = self._parse_postfix()
+        if self._accept("punct", "<="):
+            value = self.parse_expr()
+            self._expect("punct", ";")
+            return ast.NonBlocking(target=target, value=value,
+                                   line=token.line)
+        self._expect("punct", "=")
+        value = self.parse_expr()
+        self._expect("punct", ";")
+        return ast.Blocking(target=target, value=value, line=token.line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect("keyword", "if")
+        self._expect("punct", "(")
+        cond = self.parse_expr()
+        self._expect("punct", ")")
+        then_stmt = self._parse_stmt()
+        else_stmt = None
+        if self._accept("keyword", "else"):
+            else_stmt = self._parse_stmt()
+        return ast.If(cond=cond, then_stmt=then_stmt, else_stmt=else_stmt,
+                      line=token.line)
+
+    def _parse_case(self) -> ast.Case:
+        token = self._next()  # case/casez/casex
+        self._expect("punct", "(")
+        subject = self.parse_expr()
+        self._expect("punct", ")")
+        items: List[ast.CaseItem] = []
+        while not self._check("keyword", "endcase"):
+            if self._accept("keyword", "default"):
+                self._accept("punct", ":")
+                stmt = self._parse_stmt()
+                items.append(ast.CaseItem(labels=[], stmt=stmt))
+                continue
+            labels = [self.parse_expr()]
+            while self._accept("punct", ","):
+                labels.append(self.parse_expr())
+            self._expect("punct", ":")
+            stmt = self._parse_stmt()
+            items.append(ast.CaseItem(labels=labels, stmt=stmt))
+        self._expect("keyword", "endcase")
+        return ast.Case(subject=subject, items=items, line=token.line)
+
+    # -- assertions ------------------------------------------------------------
+    def _parse_assertion(self, label: str) -> ast.AssertionItem:
+        directive_token = self._next()
+        directive = directive_token.value
+        self._expect("keyword", "property")
+        self._expect("punct", "(")
+        clock = None
+        disable_iff = None
+        if self._accept("punct", "@"):
+            self._expect("punct", "(")
+            self._expect("keyword", "posedge")
+            clock = self._expect("id").value
+            self._expect("punct", ")")
+        if self._accept("keyword", "disable"):
+            self._expect("keyword", "iff")
+            self._expect("punct", "(")
+            disable_iff = self.parse_expr()
+            self._expect("punct", ")")
+        prop = self.parse_property_expr()
+        self._expect("punct", ")")
+        self._expect("punct", ";")
+        return ast.AssertionItem(directive=directive, label=label, prop=prop,
+                                 clock=clock, disable_iff=disable_iff,
+                                 line=directive_token.line)
+
+    def parse_property_expr(self) -> ast.Expr:
+        """Property-level grammar: optional leading ##N, implication with an
+        optionally ``s_eventually``-wrapped consequent."""
+        token = self._peek()
+        if token.kind == "punct" and token.value == "##":
+            self._next()
+            cycles = int(self._expect("number").value)
+            inner = self.parse_property_expr()
+            return ast.Delay(cycles=cycles, expr=inner, line=token.line)
+        if token.kind == "keyword" and token.value == "s_eventually":
+            self._next()
+            inner = self.parse_expr()
+            return ast.SEventually(expr=inner, line=token.line)
+        antecedent = self.parse_expr()
+        impl = self._peek()
+        if impl.kind == "punct" and impl.value in ("|->", "|=>"):
+            self._next()
+            consequent = self.parse_property_expr()
+            return ast.Implication(op=impl.value, antecedent=antecedent,
+                                   consequent=consequent, line=impl.line)
+        return antecedent
+
+    # -- expressions -------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_logical_or()
+        if self._accept("punct", "?"):
+            then_expr = self._parse_ternary()
+            self._expect("punct", ":")
+            else_expr = self._parse_ternary()
+            return ast.Ternary(cond=cond, then_expr=then_expr,
+                               else_expr=else_expr,
+                               line=getattr(cond, "line", 0))
+        return cond
+
+    def _binary_level(self, ops: Tuple[str, ...], next_level) -> ast.Expr:
+        lhs = next_level()
+        while self._peek().kind == "punct" and self._peek().value in ops:
+            op = self._next().value
+            rhs = next_level()
+            lhs = ast.Binary(op=op, lhs=lhs, rhs=rhs,
+                             line=getattr(lhs, "line", 0))
+        return lhs
+
+    def _parse_logical_or(self) -> ast.Expr:
+        return self._binary_level(("||",), self._parse_logical_and)
+
+    def _parse_logical_and(self) -> ast.Expr:
+        return self._binary_level(("&&",), self._parse_bit_or)
+
+    def _parse_bit_or(self) -> ast.Expr:
+        return self._binary_level(("|",), self._parse_bit_xor)
+
+    def _parse_bit_xor(self) -> ast.Expr:
+        return self._binary_level(("^",), self._parse_bit_and)
+
+    def _parse_bit_and(self) -> ast.Expr:
+        return self._binary_level(("&",), self._parse_equality)
+
+    def _parse_equality(self) -> ast.Expr:
+        return self._binary_level(("==", "!=", "===", "!=="),
+                                  self._parse_relational)
+
+    def _parse_relational(self) -> ast.Expr:
+        return self._binary_level(("<", "<=", ">", ">="), self._parse_shift)
+
+    def _parse_shift(self) -> ast.Expr:
+        return self._binary_level(("<<", ">>", "<<<", ">>>"),
+                                  self._parse_additive)
+
+    def _parse_additive(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self._parse_multiplicative)
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%"), self._parse_unary)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("!", "~", "&", "|", "^",
+                                                     "-", "+"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.value, operand=operand,
+                             line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check("punct", "["):
+                self._next()
+                first = self.parse_expr()
+                if self._accept("punct", ":"):
+                    lsb = self.parse_expr()
+                    self._expect("punct", "]")
+                    expr = ast.RangeSelect(base=expr, msb=first, lsb=lsb,
+                                           line=getattr(expr, "line", 0))
+                else:
+                    self._expect("punct", "]")
+                    expr = ast.Index(base=expr, index=first,
+                                     line=getattr(expr, "line", 0))
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._next()
+            return self._make_number(token)
+        if token.kind == "id":
+            self._next()
+            name = token.value
+            # Hierarchical / member / package-scoped names are kept as opaque
+            # identifiers: "fu_data_i.fu", "riscv::VLEN".  Annotation
+            # expressions in the paper use both forms (Figs. 3 and 7).
+            while True:
+                if self._check("punct", ".") and self._peek(1).kind == "id":
+                    self._next()
+                    name += "." + self._next().value
+                elif self._check("punct", "::") and self._peek(1).kind == "id":
+                    self._next()
+                    name += "::" + self._next().value
+                else:
+                    break
+            return ast.Id(name=name, line=token.line)
+        if token.kind == "system":
+            self._next()
+            args: List[ast.Expr] = []
+            if self._accept("punct", "("):
+                if not self._check("punct", ")"):
+                    args.append(self.parse_expr())
+                    while self._accept("punct", ","):
+                        args.append(self.parse_expr())
+                self._expect("punct", ")")
+            return ast.SysCall(name=token.value, args=args, line=token.line)
+        if token.kind == "punct" and token.value == "(":
+            self._next()
+            expr = self.parse_expr()
+            self._expect("punct", ")")
+            return expr
+        if token.kind == "punct" and token.value == "{":
+            return self._parse_concat()
+        if token.kind == "keyword" and token.value == "s_eventually":
+            # nested s_eventually in parenthesized property context
+            self._next()
+            inner = self.parse_expr()
+            return ast.SEventually(expr=inner, line=token.line)
+        raise ParseError("expected expression", token)
+
+    def _parse_concat(self) -> ast.Expr:
+        open_token = self._expect("punct", "{")
+        first = self.parse_expr()
+        if self._check("punct", "{"):
+            # replication {N{expr}}
+            self._next()
+            value = self.parse_expr()
+            self._expect("punct", "}")
+            self._expect("punct", "}")
+            return ast.Repl(count=first, value=value, line=open_token.line)
+        parts = [first]
+        while self._accept("punct", ","):
+            parts.append(self.parse_expr())
+        self._expect("punct", "}")
+        return ast.Concat(parts=parts, line=open_token.line)
+
+    @staticmethod
+    def _make_number(token: Token) -> ast.Num:
+        text = token.value
+        if "'" not in text:
+            return ast.Num(value=int(text), width=None, line=token.line)
+        size_text, _, rest = text.partition("'")
+        width = int(size_text) if size_text else None
+        base_ch = rest[0]
+        digits = rest[1:].replace("_", "")
+        if base_ch in "01xXzZ" and not digits:
+            # fill literal '0 / '1 ('x/'z lowered to 0: formal has no X)
+            bit = 1 if base_ch == "1" else 0
+            return ast.Num(value=bit, width=width, is_fill=True,
+                           line=token.line)
+        base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_ch]
+        digits = digits.replace("?", "0").replace("x", "0").replace(
+            "X", "0").replace("z", "0").replace("Z", "0")
+        value = int(digits, base) if digits else 0
+        return ast.Num(value=value, width=width, line=token.line)
+
+
+def parse_design(text: str, filename: str = "<rtl>") -> ast.Design:
+    """Parse source text containing modules and bind directives."""
+    return Parser(text, filename).parse_design()
+
+
+def parse_expr_text(text: str) -> ast.Expr:
+    """Parse a standalone expression (annotation right-hand sides)."""
+    parser = Parser(text, "<expr>")
+    expr = parser.parse_expr()
+    if not parser._check("eof"):
+        raise ParseError("trailing input after expression", parser._peek())
+    return expr

@@ -1,0 +1,58 @@
+"""Minimal `ifdef preprocessor.
+
+AutoSVA property files guard X-propagation assertions behind ``\\`ifdef
+XPROP`` (they are meaningful only in simulation — formal tools assign 0/1 to
+every bit, Section III-B).  The formal flow parses with ``XPROP`` undefined;
+the simulator defines it.  Only ``\\`ifdef/\\`ifndef/\\`else/\\`endif`` are
+interpreted; other backtick directives are left for the lexer to skip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+__all__ = ["strip_ifdefs"]
+
+
+def strip_ifdefs(text: str, defines: Iterable[str] = ()) -> str:
+    """Remove lines in inactive `ifdef regions.
+
+    Line-oriented: a directive must be the first token on its line.  Nesting
+    is supported; unbalanced directives raise ValueError.
+    """
+    defined: Set[str] = set(defines)
+    out: List[str] = []
+    # Each stack entry: (was_active_before, this_branch_active, any_branch_taken)
+    stack: List[List[bool]] = []
+
+    def active() -> bool:
+        return all(entry[1] for entry in stack)
+
+    for lineno, line in enumerate(text.splitlines(keepends=True), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("`ifdef") or stripped.startswith("`ifndef"):
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: malformed {parts[0]}")
+            hit = parts[1] in defined
+            if stripped.startswith("`ifndef"):
+                hit = not hit
+            stack.append([active(), hit, hit])
+        elif stripped.startswith("`else"):
+            if not stack:
+                raise ValueError(f"line {lineno}: `else without `ifdef")
+            entry = stack[-1]
+            entry[1] = not entry[2]
+            entry[2] = True
+        elif stripped.startswith("`endif"):
+            if not stack:
+                raise ValueError(f"line {lineno}: `endif without `ifdef")
+            stack.pop()
+        else:
+            if active():
+                out.append(line)
+            continue
+        # Directive lines themselves are always dropped.
+    if stack:
+        raise ValueError("unterminated `ifdef region")
+    return "".join(out)

@@ -1,0 +1,68 @@
+"""Render :mod:`repro.rtl.ast` expression trees back to Verilog text.
+
+Used by the AutoSVA generator to copy DUT parameter defaults and port widths
+into the generated property module, and by tests as a round-trip check.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = ["render_expr"]
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def render_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Deterministic, minimally-parenthesized Verilog rendering."""
+    if isinstance(expr, ast.Num):
+        if expr.is_fill:
+            return f"'{1 if expr.value else 0}"
+        if expr.width is not None:
+            return f"{expr.width}'d{expr.value}"
+        return str(expr.value)
+    if isinstance(expr, ast.Id):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        inner = render_expr(expr.operand, parent_prec=11)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE.get(expr.op, 0)
+        text = (f"{render_expr(expr.lhs, prec)} {expr.op} "
+                f"{render_expr(expr.rhs, prec + 1)}")
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, ast.Ternary):
+        text = (f"{render_expr(expr.cond, 1)} ? "
+                f"{render_expr(expr.then_expr)} : "
+                f"{render_expr(expr.else_expr)}")
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(render_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Repl):
+        return ("{" + render_expr(expr.count) + "{"
+                + render_expr(expr.value) + "}}")
+    if isinstance(expr, ast.Index):
+        return f"{render_expr(expr.base, 11)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.RangeSelect):
+        return (f"{render_expr(expr.base, 11)}[{render_expr(expr.msb)}"
+                f":{render_expr(expr.lsb)}]")
+    if isinstance(expr, ast.SysCall):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.SEventually):
+        return f"s_eventually ({render_expr(expr.expr)})"
+    if isinstance(expr, ast.Implication):
+        return (f"{render_expr(expr.antecedent)} {expr.op} "
+                f"{render_expr(expr.consequent)}")
+    if isinstance(expr, ast.Delay):
+        return f"##{expr.cycles} {render_expr(expr.expr)}"
+    raise TypeError(f"cannot render {type(expr).__name__}")

@@ -1,0 +1,14 @@
+"""Four-state simulation substrate for property reuse (Section III-B).
+
+The paper binds generated property files into a VCS simulation testbench to
+check assumptions and X-propagation assertions during system-level testing.
+:class:`repro.sim.Simulator` is the offline equivalent: a 0/1/X cycle
+simulator that elaborates the DUT plus its bound property module and checks
+every safety property under random or directed stimulus.
+"""
+
+from .fourstate import FourState
+from .simulator import SimError, Simulator, Violation, simulate_random
+
+__all__ = ["FourState", "SimError", "Simulator", "Violation",
+           "simulate_random"]

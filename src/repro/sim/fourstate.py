@@ -1,0 +1,187 @@
+"""Four-state (0/1/X) values for the simulation substrate.
+
+Formal tools are two-valued ("formal tools do not consider X's and instead
+assign arbitrary values of 0 or 1", paper Section III-B); X-propagation
+assertions are therefore generated under the ``XPROP`` macro and checked in
+*simulation*.  This module provides the value domain for that simulator: a
+bit-vector with a parallel X mask and conservative X propagation.
+
+Z is collapsed into X — the subset has no tristate logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FourState"]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class FourState:
+    """A ``width``-bit value; bit i is X when ``xmask`` bit i is set."""
+
+    value: int
+    xmask: int
+    width: int
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def from_int(value: int, width: int) -> "FourState":
+        return FourState(value & _mask(width), 0, width)
+
+    @staticmethod
+    def all_x(width: int) -> "FourState":
+        return FourState(0, _mask(width), width)
+
+    # -- shape ------------------------------------------------------------
+    def resize(self, width: int) -> "FourState":
+        """Zero-extend or truncate (X bits extend as 0, like packing)."""
+        m = _mask(width)
+        return FourState(self.value & m, self.xmask & m, width)
+
+    @property
+    def has_x(self) -> bool:
+        return self.xmask != 0
+
+    @property
+    def is_true(self) -> bool:
+        """Definitely non-zero: some bit is 1 and not X."""
+        return bool(self.value & ~self.xmask)
+
+    @property
+    def is_false(self) -> bool:
+        """Definitely zero: no 1-bits and no X bits."""
+        return self.value == 0 and self.xmask == 0
+
+    def to_int(self) -> int:
+        """Concrete value; X bits read as 0 (for traces/debug)."""
+        return self.value & ~self.xmask & _mask(self.width)
+
+    # -- boolean coercion ---------------------------------------------------
+    def as_bool(self) -> "FourState":
+        if self.is_true:
+            return FourState.from_int(1, 1)
+        if self.is_false:
+            return FourState.from_int(0, 1)
+        return FourState.all_x(1)
+
+    # -- bitwise ------------------------------------------------------------
+    def bit_not(self) -> "FourState":
+        m = _mask(self.width)
+        return FourState(~self.value & m & ~self.xmask, self.xmask,
+                         self.width)
+
+    def bit_and(self, other: "FourState") -> "FourState":
+        width = max(self.width, other.width)
+        a, b = self.resize(width), other.resize(width)
+        # X & 0 = 0; X & 1 = X.
+        known_zero = (~a.value & ~a.xmask) | (~b.value & ~b.xmask)
+        xm = (a.xmask | b.xmask) & ~known_zero & _mask(width)
+        val = a.value & b.value & ~xm & _mask(width)
+        return FourState(val, xm, width)
+
+    def bit_or(self, other: "FourState") -> "FourState":
+        return self.bit_not().bit_and(other.bit_not()).bit_not()
+
+    def bit_xor(self, other: "FourState") -> "FourState":
+        width = max(self.width, other.width)
+        a, b = self.resize(width), other.resize(width)
+        xm = (a.xmask | b.xmask) & _mask(width)
+        return FourState((a.value ^ b.value) & ~xm, xm, width)
+
+    # -- logical --------------------------------------------------------------
+    def logic_and(self, other: "FourState") -> "FourState":
+        a, b = self.as_bool(), other.as_bool()
+        if a.is_false or b.is_false:
+            return FourState.from_int(0, 1)
+        if a.is_true and b.is_true:
+            return FourState.from_int(1, 1)
+        return FourState.all_x(1)
+
+    def logic_or(self, other: "FourState") -> "FourState":
+        a, b = self.as_bool(), other.as_bool()
+        if a.is_true or b.is_true:
+            return FourState.from_int(1, 1)
+        if a.is_false and b.is_false:
+            return FourState.from_int(0, 1)
+        return FourState.all_x(1)
+
+    def logic_not(self) -> "FourState":
+        b = self.as_bool()
+        if b.has_x:
+            return b
+        return FourState.from_int(0 if b.value else 1, 1)
+
+    # -- arithmetic / comparison (X-poisoning like Verilog) --------------------
+    def _arith(self, other: "FourState", op) -> "FourState":
+        width = max(self.width, other.width)
+        if self.has_x or other.has_x:
+            return FourState.all_x(width)
+        return FourState.from_int(op(self.value, other.value), width)
+
+    def add(self, other: "FourState") -> "FourState":
+        return self._arith(other, lambda a, b: a + b)
+
+    def sub(self, other: "FourState") -> "FourState":
+        return self._arith(other, lambda a, b: a - b)
+
+    def _compare(self, other: "FourState", op) -> "FourState":
+        if self.has_x or other.has_x:
+            return FourState.all_x(1)
+        width = max(self.width, other.width)
+        a, b = self.resize(width), other.resize(width)
+        return FourState.from_int(1 if op(a.value, b.value) else 0, 1)
+
+    def eq(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda a, b: a == b)
+
+    def ne(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda a, b: a != b)
+
+    def lt(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda a, b: a < b)
+
+    def le(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda a, b: a <= b)
+
+    # -- structure ---------------------------------------------------------
+    def concat(self, low: "FourState") -> "FourState":
+        """``{self, low}`` — self becomes the high bits."""
+        width = self.width + low.width
+        return FourState((self.value << low.width) | low.value,
+                         (self.xmask << low.width) | low.xmask, width)
+
+    def select(self, index: int) -> "FourState":
+        if index < 0 or index >= self.width:
+            return FourState.all_x(1)
+        return FourState((self.value >> index) & 1,
+                         (self.xmask >> index) & 1, 1)
+
+    def slice(self, msb: int, lsb: int) -> "FourState":
+        width = msb - lsb + 1
+        return FourState((self.value >> lsb) & _mask(width),
+                         (self.xmask >> lsb) & _mask(width), width)
+
+    def shift_left(self, amount: int) -> "FourState":
+        m = _mask(self.width)
+        return FourState((self.value << amount) & m,
+                         (self.xmask << amount) & m, self.width)
+
+    def shift_right(self, amount: int) -> "FourState":
+        return FourState(self.value >> amount, self.xmask >> amount,
+                         self.width)
+
+    def __repr__(self) -> str:
+        if not self.has_x:
+            return f"{self.width}'d{self.value}"
+        bits = []
+        for i in reversed(range(self.width)):
+            if (self.xmask >> i) & 1:
+                bits.append("x")
+            else:
+                bits.append(str((self.value >> i) & 1))
+        return f"{self.width}'b{''.join(bits)}"

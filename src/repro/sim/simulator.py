@@ -1,0 +1,693 @@
+"""Cycle-based 4-state simulator for property reuse (paper Section III-B).
+
+"In addition to FV, AutoSVA property files can be utilized in a simulation
+testbench to ensure that assumptions hold during system-level testing.
+Although many RTL simulation tools do not support liveness properties, all
+control-safety properties and X-propagation assertions can be checked during
+simulation."
+
+This simulator is the offline stand-in for that VCS-MX flow: it elaborates
+the DUT together with its bound property module (parsed with ``XPROP``
+defined so the X-propagation assertions are live), drives random or directed
+stimulus, and checks every *safety* assertion and assumption each cycle.
+Liveness properties (``s_eventually``) are skipped, exactly as the paper
+describes for simulators.  Registers come up as X until the reset branch
+assigns them, giving the X-propagation assertions something real to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rtl import ast
+from ..rtl.elaborate import ElabError, const_eval, range_width, array_size
+from ..rtl.parser import parse_design
+from ..rtl.preprocess import strip_ifdefs
+
+__all__ = ["SimError", "Violation", "Simulator", "simulate_random"]
+
+from .fourstate import FourState
+
+
+class SimError(ValueError):
+    """Design construct the simulator cannot handle."""
+
+
+@dataclass
+class Violation:
+    """One failed assertion/assumption at one cycle."""
+
+    cycle: int
+    label: str
+    directive: str
+    xprop: bool = False
+
+    def __str__(self) -> str:
+        tag = " [XPROP]" if self.xprop else ""
+        return f"cycle {self.cycle}: {self.directive} {self.label}{tag}"
+
+
+@dataclass
+class _SimScope:
+    module: ast.Module
+    prefix: str
+    params: Dict[str, int]
+    widths: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, int] = field(default_factory=dict)      # name -> size
+    regs: Set[str] = field(default_factory=set)
+    values: Dict[str, FourState] = field(default_factory=dict)
+    array_values: Dict[str, List[FourState]] = field(default_factory=dict)
+    drivers: Dict[str, Tuple] = field(default_factory=dict)
+    comb_blocks: List[ast.AlwaysComb] = field(default_factory=list)
+    ff_blocks: List[ast.AlwaysFF] = field(default_factory=list)
+    children: List["_SimScope"] = field(default_factory=list)
+    assertions: List[ast.AssertionItem] = field(default_factory=list)
+
+
+class Simulator:
+    """Interprets the RTL subset with 4-state semantics, cycle by cycle."""
+
+    def __init__(self, source: str, top: str,
+                 extra_sources: Tuple[str, ...] = (),
+                 defines: Tuple[str, ...] = ("XPROP",),
+                 param_overrides: Optional[Dict[str, int]] = None,
+                 seed: int = 0) -> None:
+        design = parse_design(strip_ifdefs(source, defines))
+        for extra in extra_sources:
+            design = design.merge(parse_design(strip_ifdefs(extra, defines)))
+        self.design = design
+        self.rng = random.Random(seed)
+        self.cycle = 0
+        self.violations: List[Violation] = []
+        self._past: Dict[str, FourState] = {}
+        self._ante_past: Dict[str, FourState] = {}
+        self._clock_name: Optional[str] = None
+        self._reset_name: Optional[str] = None
+        self._reset_active_low = True
+        self.top = self._elaborate(design.module(top), "",
+                                   dict(param_overrides or {}))
+        self._all_scopes: List[_SimScope] = []
+        self._collect(self.top)
+        self._in_reset = True
+
+    # -- elaboration ---------------------------------------------------------
+    def _elaborate(self, module: ast.Module, prefix: str,
+                   overrides: Dict[str, int]) -> _SimScope:
+        params: Dict[str, int] = {}
+        for decl in module.params:
+            if not decl.is_local and decl.name in overrides:
+                params[decl.name] = overrides[decl.name]
+            else:
+                params[decl.name] = const_eval(decl.default, params)
+        scope = _SimScope(module=module, prefix=prefix, params=params)
+        for port in module.ports:
+            scope.widths[port.name] = range_width(port.packed, params)
+        for net in module.nets:
+            scope.widths[net.name] = range_width(net.packed, params)
+            size = array_size(net.unpacked, params)
+            if size:
+                scope.arrays[net.name] = size
+                scope.array_values[net.name] = [
+                    FourState.all_x(scope.widths[net.name])
+                    for _ in range(size)]
+            if net.init is not None:
+                scope.drivers[net.name] = ("assign", net.init, scope)
+        for assign in module.assigns:
+            if isinstance(assign.target, ast.Id):
+                scope.drivers[assign.target.name] = ("assign", assign.value,
+                                                     scope)
+            else:
+                raise SimError("assign targets must be whole signals")
+        scope.comb_blocks = list(module.always_combs)
+        scope.ff_blocks = list(module.always_ffs)
+        for block in scope.ff_blocks:
+            if block.reset_name and self._reset_name is None:
+                self._reset_name = block.reset_name
+                self._reset_active_low = block.reset_active_low
+            if self._clock_name is None:
+                self._clock_name = block.clock
+            for name in _targets_of(block.body):
+                scope.regs.add(name)
+                if name not in scope.arrays:
+                    scope.values[name] = FourState.all_x(scope.widths[name])
+        scope.assertions = list(module.assertions)
+        for inst in module.instances:
+            self._elaborate_instance(scope, inst)
+        for bind in self.design.binds:
+            if bind.target_module == module.name:
+                inst = ast.Instance(module_name=bind.checker_module,
+                                    instance_name=bind.instance_name,
+                                    param_overrides=bind.param_overrides,
+                                    connections=bind.connections)
+                self._elaborate_instance(scope, inst)
+        return scope
+
+    def _elaborate_instance(self, scope: _SimScope,
+                            inst: ast.Instance) -> None:
+        child_module = self.design.module(inst.module_name)
+        overrides = {name: const_eval(expr, scope.params)
+                     for name, expr in inst.param_overrides}
+        child = self._elaborate(child_module,
+                                f"{scope.prefix}{inst.instance_name}.",
+                                overrides)
+        scope.children.append(child)
+        explicit = {name for name, _ in inst.connections if name != "*"}
+        connections = [(n, e) for n, e in inst.connections if n != "*"]
+        if any(n == "*" for n, _ in inst.connections):
+            for port in child_module.ports:
+                if port.name not in explicit:
+                    connections.append((port.name, ast.Id(name=port.name)))
+        for port_name, expr in connections:
+            port = child_module.port(port_name)
+            if expr is None:
+                continue
+            if port.direction == "input":
+                child.drivers[port_name] = ("conn", expr, scope)
+            else:
+                if not isinstance(expr, ast.Id):
+                    raise SimError("output connections must be plain ids")
+                scope.drivers[expr.name] = ("child", child, port_name)
+
+    def _collect(self, scope: _SimScope) -> None:
+        self._all_scopes.append(scope)
+        for child in scope.children:
+            self._collect(child)
+
+    # -- per-cycle evaluation ----------------------------------------------
+    def step(self, inputs: Optional[Dict[str, int]] = None,
+             randomize: bool = True) -> List[Violation]:
+        """Advance one clock cycle; returns violations found this cycle."""
+        self._drive_top_inputs(inputs or {}, randomize)
+        self._comb_cache: Dict[Tuple[int, str], FourState] = {}
+        self._comb_running: Set[Tuple[int, str]] = set()
+        self._comb_block_done: Set[int] = set()
+        violations = self._check_assertions()
+        self._advance_registers()
+        self._record_pasts()
+        self.cycle += 1
+        self._in_reset = False
+        return violations
+
+    def run(self, cycles: int) -> List[Violation]:
+        out = []
+        for _ in range(cycles):
+            out.extend(self.step())
+        return out
+
+    def _drive_top_inputs(self, given: Dict[str, int],
+                          randomize: bool) -> None:
+        for port in self.top.module.ports:
+            if port.direction != "input":
+                continue
+            width = self.top.widths[port.name]
+            if port.name == self._reset_name:
+                active = 0 if self._reset_active_low else 1
+                inactive = 1 - active
+                value = active if self._in_reset else inactive
+                self.top.values[port.name] = FourState.from_int(value, width)
+                continue
+            if port.name == self._clock_name:
+                self.top.values[port.name] = FourState.from_int(0, width)
+                continue
+            if port.name in given:
+                self.top.values[port.name] = FourState.from_int(
+                    given[port.name], width)
+            elif randomize:
+                self.top.values[port.name] = FourState.from_int(
+                    self.rng.getrandbits(width), width)
+            elif port.name not in self.top.values:
+                self.top.values[port.name] = FourState.from_int(0, width)
+
+    # -- signal resolution -----------------------------------------------------
+    def _signal(self, scope: _SimScope, name: str) -> FourState:
+        if name in scope.params:
+            return FourState.from_int(scope.params[name], 32)
+        if name in scope.regs or name in scope.arrays:
+            value = scope.values.get(name)
+            if value is None:
+                raise SimError(f"{scope.prefix}{name}: array used as vector")
+            return value
+        key = (id(scope), name)
+        cached = self._comb_cache.get(key)
+        if cached is not None:
+            return cached
+        if name in scope.values and name not in scope.drivers and \
+                not self._drives_comb(scope, name):
+            return scope.values[name]
+        if key in self._comb_running:
+            raise SimError(f"{scope.prefix}{name}: combinational loop")
+        self._comb_running.add(key)
+        try:
+            value = self._resolve(scope, name)
+        finally:
+            self._comb_running.discard(key)
+        self._comb_cache[key] = value
+        return value
+
+    def _drives_comb(self, scope: _SimScope, name: str) -> bool:
+        for comb in scope.comb_blocks:
+            if name in _targets_of(comb.body):
+                return True
+        return False
+
+    def _resolve(self, scope: _SimScope, name: str) -> FourState:
+        driver = scope.drivers.get(name)
+        width = scope.widths.get(name)
+        if width is None:
+            raise SimError(f"{scope.prefix}{name}: undeclared")
+        if driver is None:
+            for comb in scope.comb_blocks:
+                if name in _targets_of(comb.body):
+                    self._run_comb(scope, comb)
+                    return scope.values[name].resize(width)
+            # Undriven (symbolic in formal): random 2-state each cycle.
+            value = FourState.from_int(self.rng.getrandbits(width), width)
+            scope.values[name] = value
+            return value
+        kind = driver[0]
+        if kind == "assign":
+            return self._eval(driver[2], driver[1]).resize(width)
+        if kind == "conn":
+            return self._eval(driver[2], driver[1]).resize(width)
+        if kind == "child":
+            return self._signal(driver[1], driver[2]).resize(width)
+        raise SimError(f"{scope.prefix}{name}: bad driver {kind}")
+
+    def _run_comb(self, scope: _SimScope, comb: ast.AlwaysComb) -> None:
+        if id(comb) in self._comb_block_done:
+            return
+        self._comb_block_done.add(id(comb))
+        env: Dict[str, FourState] = {}
+        self._exec(scope, comb.body, env, is_ff=False)
+        for name, value in env.items():
+            scope.values[name] = value.resize(scope.widths[name])
+
+    # -- statement execution ----------------------------------------------------
+    def _exec(self, scope: _SimScope, stmt: ast.Stmt,
+              env: Dict[str, object], is_ff: bool) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self._exec(scope, child, env, is_ff)
+            return
+        if isinstance(stmt, ast.If):
+            cond = self._eval(scope, stmt.cond, env if not is_ff else None)
+            branch = cond.as_bool()
+            if branch.has_x:
+                # X condition: Verilog would take neither branch cleanly;
+                # model the common simulator behaviour (else branch) but
+                # poison the targets written under the condition.
+                taken = stmt.else_stmt
+            elif branch.value:
+                taken = stmt.then_stmt
+            else:
+                taken = stmt.else_stmt
+            if taken is not None:
+                self._exec(scope, taken, env, is_ff)
+            return
+        if isinstance(stmt, ast.Case):
+            subject = self._eval(scope, stmt.subject,
+                                 env if not is_ff else None)
+            default = None
+            for item in stmt.items:
+                if not item.labels:
+                    default = item.stmt
+                    continue
+                for label in item.labels:
+                    lab = self._eval(scope, label, env if not is_ff else None)
+                    hit = subject.eq(lab)
+                    if hit.is_true:
+                        self._exec(scope, item.stmt, env, is_ff)
+                        return
+            if default is not None:
+                self._exec(scope, default, env, is_ff)
+            return
+        if isinstance(stmt, (ast.NonBlocking, ast.Blocking)):
+            value = self._eval(scope, stmt.value, env if not is_ff else None)
+            self._assign_target(scope, stmt.target, value, env, is_ff)
+            return
+        raise SimError("unsupported statement")
+
+    def _assign_target(self, scope: _SimScope, target: ast.Expr,
+                       value: FourState, env: Dict[str, object],
+                       is_ff: bool) -> None:
+        if isinstance(target, ast.Id):
+            env[target.name] = value.resize(scope.widths[target.name])
+            return
+        if isinstance(target, ast.Index) and isinstance(target.base, ast.Id):
+            name = target.base.name
+            index = self._eval(scope, target.index,
+                               env if not is_ff else None)
+            if name in scope.arrays:
+                current = env.get(name)
+                if current is None:
+                    current = list(scope.array_values[name])
+                if index.has_x:
+                    current = [FourState.all_x(scope.widths[name])
+                               for _ in current]
+                elif index.value < len(current):
+                    current = list(current)
+                    current[index.value] = value.resize(scope.widths[name])
+                env[name] = current
+                return
+            width = scope.widths[name]
+            base = env.get(name)
+            if base is None:
+                base = scope.values.get(name, FourState.all_x(width))
+            if index.has_x:
+                env[name] = FourState.all_x(width)
+                return
+            bit = value.resize(1)
+            idx = index.value
+            mask = 1 << idx
+            new_val = (base.value & ~mask) | (bit.value << idx)
+            new_xm = (base.xmask & ~mask) | (bit.xmask << idx)
+            env[name] = FourState(new_val & ((1 << width) - 1),
+                                  new_xm & ((1 << width) - 1), width)
+            return
+        raise SimError("unsupported assignment target")
+
+    # -- register update -----------------------------------------------------
+    def _advance_registers(self) -> None:
+        updates: List[Tuple[_SimScope, Dict[str, object]]] = []
+        for scope in self._all_scopes:
+            for block in scope.ff_blocks:
+                env: Dict[str, object] = {}
+                body = block.body
+                if isinstance(body, ast.Block) and len(body.stmts) == 1:
+                    body = body.stmts[0]
+                reset_active = self._reset_is_active()
+                if isinstance(body, ast.If) and _is_reset_cond(body.cond):
+                    if reset_active:
+                        self._exec(scope, body.then_stmt, env, is_ff=True)
+                    elif body.else_stmt is not None:
+                        self._exec(scope, body.else_stmt, env, is_ff=True)
+                else:
+                    if not reset_active:
+                        self._exec(scope, body, env, is_ff=True)
+                updates.append((scope, env))
+        for scope, env in updates:
+            for name, value in env.items():
+                if name in scope.arrays:
+                    scope.array_values[name] = list(value)
+                else:
+                    scope.values[name] = value.resize(scope.widths[name])
+
+    def _reset_is_active(self) -> bool:
+        return self._in_reset
+
+    # -- assertions -----------------------------------------------------------
+    def _check_assertions(self) -> List[Violation]:
+        found: List[Violation] = []
+        if self._in_reset:
+            return found
+        for scope in self._all_scopes:
+            for item in scope.assertions:
+                if item.directive == "cover":
+                    continue
+                result = self._eval_property(scope, item)
+                if result is False:
+                    violation = Violation(
+                        cycle=self.cycle,
+                        label=f"{scope.prefix}{item.label}",
+                        directive=item.directive,
+                        xprop="xprop" in item.label)
+                    found.append(violation)
+                    self.violations.append(violation)
+        return found
+
+    def _eval_property(self, scope: _SimScope,
+                       item: ast.AssertionItem) -> Optional[bool]:
+        """True/False, or None when not checkable (liveness / first cycle)."""
+        prop = item.prop
+        if item.disable_iff is not None:
+            disable = self._eval(scope, item.disable_iff)
+            if disable.is_true:
+                return None
+        if isinstance(prop, ast.Delay):
+            if self.cycle < prop.cycles:
+                return None
+            prop = prop.expr
+        if isinstance(prop, ast.Implication):
+            if isinstance(prop.consequent, ast.SEventually):
+                return None  # liveness: not checkable in simulation
+            if prop.op == "|=>":
+                key = f"{scope.prefix}{item.label}"
+                ante_prev = self._ante_past.get(key)
+                ante_now = self._eval(scope, prop.antecedent).as_bool()
+                self._ante_past[key] = ante_now
+                if ante_prev is None or not ante_prev.is_true:
+                    return None
+            else:
+                ante = self._eval(scope, prop.antecedent).as_bool()
+                if not ante.is_true:
+                    return None
+            consequent = self._eval(scope, prop.consequent).as_bool()
+            if consequent.has_x:
+                return False  # an undetermined check is a failure
+            return bool(consequent.value)
+        if isinstance(prop, ast.SEventually):
+            return None
+        result = self._eval(scope, prop).as_bool()
+        if result.has_x:
+            return False
+        return bool(result.value)
+
+    def _record_pasts(self) -> None:
+        for scope in self._all_scopes:
+            for item in scope.assertions:
+                self._record_past_exprs(scope, item.prop)
+
+    def _record_past_exprs(self, scope: _SimScope, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.SysCall) and expr.name in ("$past", "$stable",
+                                                           "$rose", "$fell"):
+            from ..rtl.synth import expr_key
+            key = f"{scope.prefix}{expr_key(expr.args[0])}"
+            self._past[key] = self._eval(scope, expr.args[0])
+        for child in _children_of(expr):
+            self._record_past_exprs(scope, child)
+
+    # -- expression evaluation -----------------------------------------------
+    def _eval(self, scope: _SimScope, expr: ast.Expr,
+              env: Optional[Dict[str, object]] = None) -> FourState:
+        if isinstance(expr, ast.Num):
+            width = expr.width or 32
+            return FourState.from_int(expr.value, width)
+        if isinstance(expr, ast.Id):
+            if env is not None and expr.name in env and \
+                    not isinstance(env[expr.name], list):
+                return env[expr.name]
+            return self._signal(scope, expr.name)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(scope, expr, env)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(scope, expr, env)
+        if isinstance(expr, ast.Ternary):
+            cond = self._eval(scope, expr.cond, env).as_bool()
+            if cond.has_x:
+                then_v = self._eval(scope, expr.then_expr, env)
+                else_v = self._eval(scope, expr.else_expr, env)
+                return FourState.all_x(max(then_v.width, else_v.width))
+            branch = expr.then_expr if cond.value else expr.else_expr
+            return self._eval(scope, branch, env)
+        if isinstance(expr, ast.Concat):
+            out = None
+            for part in expr.parts:
+                val = self._eval(scope, part, env)
+                out = val if out is None else out.concat(val)
+            return out
+        if isinstance(expr, ast.Repl):
+            count = const_eval(expr.count, scope.params)
+            unit = self._eval(scope, expr.value, env)
+            out = unit
+            for _ in range(count - 1):
+                out = out.concat(unit)
+            return out
+        if isinstance(expr, ast.Index):
+            return self._eval_index(scope, expr, env)
+        if isinstance(expr, ast.RangeSelect):
+            base = self._eval(scope, expr.base, env)
+            msb = const_eval(expr.msb, scope.params)
+            lsb = const_eval(expr.lsb, scope.params)
+            return base.slice(msb, lsb)
+        if isinstance(expr, ast.SysCall):
+            return self._eval_syscall(scope, expr, env)
+        raise SimError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_index(self, scope: _SimScope, expr: ast.Index,
+                    env) -> FourState:
+        if isinstance(expr.base, ast.Id) and expr.base.name in scope.arrays:
+            name = expr.base.name
+            index = self._eval(scope, expr.index, env)
+            elems = scope.array_values[name]
+            if env is not None and name in env and \
+                    isinstance(env[name], list):
+                elems = env[name]
+            if index.has_x or index.value >= len(elems):
+                return FourState.all_x(scope.widths[name])
+            return elems[index.value]
+        base = self._eval(scope, expr.base, env)
+        index = self._eval(scope, expr.index, env)
+        if index.has_x:
+            return FourState.all_x(1)
+        return base.select(index.value)
+
+    def _eval_unary(self, scope: _SimScope, expr: ast.Unary,
+                    env) -> FourState:
+        val = self._eval(scope, expr.operand, env)
+        if expr.op == "!":
+            return val.logic_not()
+        if expr.op == "~":
+            return val.bit_not()
+        if expr.op == "&":
+            out = val.select(0)
+            for i in range(1, val.width):
+                out = out.bit_and(val.select(i))
+            return out
+        if expr.op == "|":
+            out = val.select(0)
+            for i in range(1, val.width):
+                out = out.bit_or(val.select(i))
+            return out
+        if expr.op == "^":
+            out = val.select(0)
+            for i in range(1, val.width):
+                out = out.bit_xor(val.select(i))
+            return out
+        if expr.op == "+":
+            return val
+        if expr.op == "-":
+            return FourState.from_int(0, val.width).sub(val)
+        raise SimError(f"unary {expr.op} unsupported")
+
+    def _eval_binary(self, scope: _SimScope, expr: ast.Binary,
+                     env) -> FourState:
+        op = expr.op
+        lhs = self._eval(scope, expr.lhs, env)
+        if op == "&&":
+            return lhs.logic_and(self._eval(scope, expr.rhs, env))
+        if op == "||":
+            return lhs.logic_or(self._eval(scope, expr.rhs, env))
+        rhs = self._eval(scope, expr.rhs, env)
+        if op in ("==", "==="):
+            return lhs.eq(rhs)
+        if op in ("!=", "!=="):
+            return lhs.ne(rhs)
+        if op == "<":
+            return lhs.lt(rhs)
+        if op == "<=":
+            return lhs.le(rhs)
+        if op == ">":
+            return rhs.lt(lhs)
+        if op == ">=":
+            return rhs.le(lhs)
+        if op == "&":
+            return lhs.bit_and(rhs)
+        if op == "|":
+            return lhs.bit_or(rhs)
+        if op == "^":
+            return lhs.bit_xor(rhs)
+        if op == "+":
+            return lhs.add(rhs)
+        if op == "-":
+            return lhs.sub(rhs)
+        if op in ("<<", ">>"):
+            if rhs.has_x:
+                return FourState.all_x(lhs.width)
+            if op == "<<":
+                return lhs.shift_left(rhs.value)
+            return lhs.shift_right(rhs.value)
+        raise SimError(f"binary {op} unsupported in simulation")
+
+    def _eval_syscall(self, scope: _SimScope, expr: ast.SysCall,
+                      env) -> FourState:
+        from ..rtl.synth import expr_key
+        name = expr.name
+        if name == "$isunknown":
+            val = self._eval(scope, expr.args[0], env)
+            return FourState.from_int(1 if val.has_x else 0, 1)
+        if name in ("$past", "$stable", "$rose", "$fell"):
+            key = f"{scope.prefix}{expr_key(expr.args[0])}"
+            now = self._eval(scope, expr.args[0], env)
+            past = self._past.get(key, FourState.all_x(now.width))
+            if name == "$past":
+                return past
+            if name == "$stable":
+                return now.eq(past)
+            if name == "$rose":
+                return now.select(0).bit_and(past.select(0).bit_not())
+            return past.select(0).bit_and(now.select(0).bit_not())
+        if name == "$clog2":
+            return FourState.from_int(const_eval(expr, scope.params), 32)
+        if name == "$countones":
+            val = self._eval(scope, expr.args[0], env)
+            if val.has_x:
+                return FourState.all_x(32)
+            return FourState.from_int(bin(val.value).count("1"), 32)
+        if name in ("$signed", "$unsigned"):
+            return self._eval(scope, expr.args[0], env)
+        raise SimError(f"{name} unsupported in simulation")
+
+
+def _targets_of(stmt: ast.Stmt) -> Set[str]:
+    targets: Set[str] = set()
+
+    def visit(node: ast.Stmt) -> None:
+        if isinstance(node, ast.Block):
+            for child in node.stmts:
+                visit(child)
+        elif isinstance(node, ast.If):
+            visit(node.then_stmt)
+            if node.else_stmt is not None:
+                visit(node.else_stmt)
+        elif isinstance(node, ast.Case):
+            for item in node.items:
+                visit(item.stmt)
+        elif isinstance(node, (ast.NonBlocking, ast.Blocking)):
+            target = node.target
+            while isinstance(target, (ast.Index, ast.RangeSelect)):
+                target = target.base
+            targets.add(target.name)
+
+    visit(stmt)
+    return targets
+
+
+def _is_reset_cond(cond: ast.Expr) -> bool:
+    if isinstance(cond, ast.Unary) and cond.op in ("!", "~") and \
+            isinstance(cond.operand, ast.Id):
+        name = cond.operand.name.lower()
+        return name.startswith("rst") or name.startswith("reset") or \
+            name.endswith("_n") or name.endswith("_ni")
+    if isinstance(cond, ast.Id):
+        name = cond.name.lower()
+        return name.startswith("rst") or name.startswith("reset")
+    return False
+
+
+def _children_of(expr: ast.Expr):
+    for attr in ("operand", "lhs", "rhs", "cond", "then_expr", "else_expr",
+                 "base", "index", "msb", "lsb", "count", "value",
+                 "antecedent", "consequent", "expr"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, ast.Expr):
+            yield child
+    for attr in ("parts", "args"):
+        children = getattr(expr, attr, None)
+        if children:
+            for child in children:
+                if isinstance(child, ast.Expr):
+                    yield child
+
+
+def simulate_random(dut_source: str, top: str, testbench_sources=(),
+                    cycles: int = 200, seed: int = 0,
+                    defines: Tuple[str, ...] = ("XPROP",)) -> List[Violation]:
+    """Convenience wrapper: bind the generated property files to the DUT and
+    run random stimulus, returning all violations (paper's Property Reuse)."""
+    sim = Simulator(dut_source, top,
+                    extra_sources=tuple(testbench_sources),
+                    defines=defines, seed=seed)
+    sim.step()  # reset cycle
+    return sim.run(cycles)

@@ -1,0 +1,134 @@
+"""Tests for the end-to-end flow, tool-config generation and the CLI."""
+
+import pytest
+
+from repro.core import (SubmoduleLink, ToolConfig, generate_ft,
+                        render_jg_tcl, render_sby, run_fv)
+from repro.core.cli import main as cli_main
+from repro.core.language import AutoSVAError
+from repro.formal import EngineConfig
+
+SIMPLE = """
+module echo (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  t: e_req -in> e_res
+  e_req_val = req_i
+  e_res_val = res_o
+  */
+  input  wire req_i,
+  output wire res_o
+);
+  reg q;
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) q <= 1'b0;
+    else q <= req_i;
+  end
+  assign res_o = q;
+endmodule
+"""
+
+
+class TestGenerateFt:
+    def test_files_bundle(self):
+        ft = generate_ft(SIMPLE)
+        files = ft.files()
+        assert set(files) == {"echo_prop.sv", "echo_bind.sv", "echo.sby",
+                              "echo.tcl"}
+        assert ft.generation_time_s < 1.0
+
+    def test_property_counts(self):
+        ft = generate_ft(SIMPLE)
+        assert ft.property_count == ft.prop.property_count
+        assert ft.total_property_count == ft.property_count
+
+    def test_run_fv_proves_echo(self):
+        ft = generate_ft(SIMPLE)
+        report = run_fv(ft, [SIMPLE], EngineConfig(max_bound=6))
+        assert report.proof_rate == 1.0, report.summary()
+
+    def test_assert_inputs_render(self):
+        ft_out = generate_ft(SIMPLE.replace("-in>", "-out>"),
+                             assert_inputs=True)
+        assert "as__t_eventual_response" in ft_out.prop_sv
+
+
+class TestSubmoduleLinking:
+    def test_am_mode_keeps_assumptions(self):
+        sub_ft = generate_ft(SIMPLE)
+        parent_src = SIMPLE.replace("module echo", "module parent").replace(
+            "echo", "parent")
+        link = SubmoduleLink(ft=sub_ft, mode="am")
+        parent_ft = generate_ft(parent_src, submodules=[link])
+        assert parent_ft.total_property_count > parent_ft.property_count
+        files = parent_ft.files()
+        assert "echo_prop.sv" in files and "echo_bind.sv" in files
+
+    def test_as_mode_flips_assumptions(self):
+        sub_src = SIMPLE.replace("-in>", "-out>")
+        sub_ft = generate_ft(sub_src)
+        assert "am__t_eventual_response" in sub_ft.prop_sv
+        parent_src = SIMPLE.replace("module echo", "module parent")
+        link = SubmoduleLink(ft=sub_ft, mode="as")
+        generate_ft(parent_src, module_name="parent", submodules=[link])
+        # the linked submodule property file was re-rendered with asserts
+        assert "as__t_eventual_response" in sub_ft.prop_sv
+
+    def test_bad_mode_rejected(self):
+        sub_ft = generate_ft(SIMPLE)
+        with pytest.raises(AutoSVAError):
+            SubmoduleLink(ft=sub_ft, mode="zz")
+
+
+class TestToolConfigs:
+    def test_sby_structure(self):
+        ft = generate_ft(SIMPLE)
+        sby = render_sby(ft.prop, ["echo.sv"], ToolConfig(depth=25))
+        assert "[tasks]" in sby and "prove" in sby and "live" in sby
+        assert "mode live" in sby
+        assert "depth 25" in sby
+        assert "read -formal echo.sv" in sby
+        assert "prep -top echo" in sby
+        assert "echo_prop.sv" in sby and "echo_bind.sv" in sby
+
+    def test_jaspergold_structure(self):
+        ft = generate_ft(SIMPLE)
+        tcl = render_jg_tcl(ft.prop, ["echo.sv"], ToolConfig(timeout_s=120))
+        assert "analyze -sv12" in tcl
+        assert "elaborate -top echo" in tcl
+        assert "clock clk_i" in tcl
+        assert "reset !rst_ni" in tcl
+        assert "set_prove_time_limit 120s" in tcl
+        assert "prove -all" in tcl
+
+
+class TestCli:
+    def test_generate_only(self, tmp_path, capsys):
+        rtl = tmp_path / "echo.sv"
+        rtl.write_text(SIMPLE)
+        out = tmp_path / "ft"
+        rc = cli_main([str(rtl), "--out", str(out)])
+        assert rc == 0
+        assert (out / "echo_prop.sv").exists()
+        assert (out / "echo.sby").exists()
+        assert "properties" in capsys.readouterr().out
+
+    def test_generate_and_run(self, tmp_path, capsys):
+        rtl = tmp_path / "echo.sv"
+        rtl.write_text(SIMPLE)
+        rc = cli_main([str(rtl), "--out", str(tmp_path / "ft"), "--run",
+                       "--depth", "6"])
+        assert rc == 0
+        assert "proof rate 100%" in capsys.readouterr().out
+
+    def test_error_reporting(self, tmp_path, capsys):
+        rtl = tmp_path / "bad.sv"
+        rtl.write_text("module bad (input wire clk_i); endmodule")
+        rc = cli_main([str(rtl)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = cli_main([str(tmp_path / "nope.sv")])
+        assert rc == 1

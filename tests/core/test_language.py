@@ -1,0 +1,102 @@
+"""Tests for the AutoSVA annotation language (paper Table I)."""
+
+import pytest
+
+from repro.core.language import (AutoSVAError, Direction, parse_attribute_line,
+                                 parse_relation_line, split_field)
+
+
+class TestRelations:
+    def test_incoming(self):
+        rel = parse_relation_line("lsu_load: lsu_req -in> lsu_res", 1)
+        assert rel.name == "lsu_load"
+        assert rel.p == "lsu_req" and rel.q == "lsu_res"
+        assert rel.direction is Direction.IN
+        assert rel.direction.arrow == "-in>"
+
+    def test_outgoing(self):
+        rel = parse_relation_line("ptw_dcache: ptw_req -out> dcache_res", 2)
+        assert rel.direction is Direction.OUT
+
+    def test_hyphenated_name(self):
+        # Fig. 7 uses "mem-engine_noc" as a transaction name.
+        rel = parse_relation_line(
+            "mem-engine_noc: noc1buffer_req -in> noc1buffer_enc", 1)
+        assert rel is not None and rel.name == "mem-engine_noc"
+
+    def test_not_a_relation(self):
+        assert parse_relation_line("lsu_req_val = x", 1) is None
+        assert parse_relation_line("random text here", 1) is None
+
+
+class TestSplitField:
+    IFACES = ("lsu_req", "lsu_res", "dtlb")
+
+    def test_basic(self):
+        assert split_field("lsu_req_val", self.IFACES) == ("lsu_req", "val")
+
+    def test_longest_prefix_wins(self):
+        ifaces = ("noc", "noc_buf")
+        assert split_field("noc_buf_val", ifaces) == ("noc_buf", "val")
+
+    def test_rdy_alias_normalized(self):
+        assert split_field("lsu_req_rdy", self.IFACES) == ("lsu_req", "ack")
+
+    def test_compound_suffix(self):
+        assert split_field("lsu_req_transid_unique", self.IFACES) == \
+            ("lsu_req", "transid_unique")
+
+    def test_unknown_prefix_ignored(self):
+        assert split_field("other_val", self.IFACES) is None
+
+    def test_illegal_suffix_ignored(self):
+        assert split_field("lsu_req_bogus", self.IFACES) is None
+
+
+class TestAttributeLines:
+    IFACES = ("lsu_req", "lsu_res")
+
+    def test_explicit_definition(self):
+        attr = parse_attribute_line("lsu_req_val = lsu_valid_i", self.IFACES, 3)
+        assert attr.interface == "lsu_req"
+        assert attr.suffix == "val"
+        assert attr.rhs == "lsu_valid_i"
+        assert not attr.implicit
+        assert attr.is_scalar
+
+    def test_width_annotation(self):
+        attr = parse_attribute_line(
+            "[TRANS_ID_BITS-1:0] lsu_req_transid = fu_data_i.trans_id",
+            self.IFACES, 4)
+        assert attr.width_text == "TRANS_ID_BITS-1"
+        assert not attr.is_scalar
+
+    def test_input_declaration_form(self):
+        attr = parse_attribute_line("input lsu_req_val", self.IFACES, 5)
+        assert attr is not None and attr.implicit
+
+    def test_non_matching_line_ignored(self):
+        assert parse_attribute_line("foo_val = bar", self.IFACES, 1) is None
+        assert parse_attribute_line("", self.IFACES, 1) is None
+
+    def test_malformed_matching_line_raises(self):
+        with pytest.raises(AutoSVAError):
+            parse_attribute_line("lsu_req_val", self.IFACES, 9)
+
+    def test_fig3_lines(self):
+        """Every attribute line of the paper's Fig. 3 must parse."""
+        lines = [
+            "lsu_req_val = lsu_valid_i && fu_data_i.fu == LOAD",
+            "lsu_req_rdy = lsu_ready_o",
+            "[TRANS_ID_BITS-1:0] lsu_req_transid = fu_data_i.trans_id",
+            "[CTRL_BITS-1:0] lsu_req_stable = {fu_data_i.trans_id,fu_data_i.fu}",
+            "lsu_res_val = load_valid_o",
+            "[TRANS_ID_BITS-1:0] lsu_res_transid = load_trans_id_o",
+        ]
+        suffixes = []
+        for line in lines:
+            attr = parse_attribute_line(line, self.IFACES, 1)
+            assert attr is not None
+            suffixes.append(attr.suffix)
+        assert suffixes == ["val", "ack", "transid", "stable", "val",
+                            "transid"]

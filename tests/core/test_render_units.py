@@ -1,0 +1,127 @@
+"""Unit tests for the property-file renderer, bind file and sva model."""
+
+import pytest
+
+from repro.core.bindfile import render_bindfile
+from repro.core.render import render_propfile
+from repro.core.rtl_scan import ParamInfo, PortInfo
+from repro.core.sva import (Assertion, Comment, FFBlock, PropFile, RegDecl,
+                            WireDecl)
+
+
+@pytest.fixture
+def prop():
+    return PropFile(module_name="dut_prop", dut_name="dut",
+                    clock="clk_i", reset="rst_ni", reset_active_low=True,
+                    params=[ParamInfo(name="W", default_text="4"),
+                            ParamInfo(name="L", default_text="2",
+                                      is_local=True)],
+                    ports=[PortInfo("input", "clk_i", None),
+                           PortInfo("input", "rst_ni", None),
+                           PortInfo("input", "x", "W-1")])
+
+
+class TestRenderPropfile:
+    def test_module_skeleton(self, prop):
+        text = render_propfile(prop)
+        assert "module dut_prop" in text
+        assert "parameter W = 4" in text
+        assert "L" not in [p.name for p in prop.params if not p.is_local]
+        assert "input wire [W-1:0] x" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_wire_and_reg_rendering(self, prop):
+        prop.items = [WireDecl(name="a", expr_text="x && rst_ni"),
+                      WireDecl(name="s", width_text="W-1", expr_text=None),
+                      RegDecl(name="r", width_text="3")]
+        text = render_propfile(prop)
+        assert "wire a = x && rst_ni;" in text
+        assert "wire [W-1:0] s;" in text
+        assert "symbolic" in text  # comment marking the undriven wire
+        assert "reg [3:0] r;" in text
+
+    def test_ffblock_rendering(self, prop):
+        prop.items = [FFBlock(reset_assigns=[("r", "'0")],
+                              body_lines=["r <= r + 1;"])]
+        text = render_propfile(prop)
+        assert "always_ff @(posedge clk_i or negedge rst_ni) begin" in text
+        assert "if (!rst_ni) begin" in text
+        assert "r <= '0;" in text
+        assert "r <= r + 1;" in text
+
+    def test_active_high_reset(self, prop):
+        prop.reset = "rst"
+        prop.reset_active_low = False
+        prop.items = [FFBlock(reset_assigns=[("r", "'0")], body_lines=[]),
+                      Assertion(directive="assert", label="p", body="x")]
+        text = render_propfile(prop)
+        assert "posedge rst" in text
+        assert "disable iff (rst)" in text
+
+    def test_assertion_directives_and_labels(self, prop):
+        prop.items = [
+            Assertion(directive="assert", label="a", body="x"),
+            Assertion(directive="assume", label="b", body="x",
+                      flippable=True),
+            Assertion(directive="cover", label="c", body="x"),
+        ]
+        text = render_propfile(prop)
+        assert "as__a: assert property" in text
+        assert "am__b: assume property" in text
+        assert "co__c: cover property (@(posedge clk_i) x);" in text
+
+    def test_assert_inputs_flips_only_flippable(self, prop):
+        prop.items = [
+            Assertion(directive="assume", label="env", body="x",
+                      flippable=True),
+            Assertion(directive="assume", label="symb", body="x",
+                      flippable=False),
+        ]
+        text = render_propfile(prop, assert_inputs=True)
+        assert "as__env: assert property" in text
+        assert "am__symb: assume property" in text
+
+    def test_xprop_grouped_at_end(self, prop):
+        prop.items = [
+            Assertion(directive="assert", label="x1", body="a", xprop=True),
+            Assertion(directive="assert", label="normal", body="b"),
+        ]
+        text = render_propfile(prop)
+        assert text.index("as__normal") < text.index("`ifdef XPROP")
+        assert text.index("`ifdef XPROP") < text.index("as__x1")
+        assert "`endif" in text
+
+    def test_comment_rendering(self, prop):
+        prop.items = [Comment("hello world")]
+        assert "// hello world" in render_propfile(prop)
+
+
+class TestSvaModel:
+    def test_property_count_excludes_xprop(self, prop):
+        prop.items = [
+            Assertion(directive="assert", label="a", body="x"),
+            Assertion(directive="assert", label="x1", body="a", xprop=True),
+            Assertion(directive="cover", label="c", body="x"),
+        ]
+        assert prop.property_count == 2
+
+    def test_find(self, prop):
+        prop.items = [Assertion(directive="assert", label="t_resp", body="x")]
+        assert prop.find("resp")[0].label == "t_resp"
+        assert prop.find("nope") == []
+
+    def test_reset_guard(self, prop):
+        assert prop.reset_guard == "!rst_ni"
+        prop.reset_active_low = False
+        assert prop.reset_guard == "rst_ni"
+
+
+class TestBindfile:
+    def test_bind_with_params(self, prop):
+        text = render_bindfile(prop)
+        assert "bind dut dut_prop #(.W(W)) u_dut_sva (.*);" in text
+
+    def test_bind_without_params(self, prop):
+        prop.params = []
+        text = render_bindfile(prop)
+        assert "bind dut dut_prop u_dut_sva (.*);" in text

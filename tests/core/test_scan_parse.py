@@ -1,0 +1,126 @@
+"""Tests for the RTL interface scanner and the annotation parser (step 1)."""
+
+import pytest
+
+from repro.core.language import AutoSVAError
+from repro.core.parser import parse_annotations
+from repro.core.rtl_scan import find_clock_reset, scan_rtl
+
+ANNOTATED = """
+module widget #(
+  parameter W = 4
+)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  wtx: w_req -in> w_res
+  w_req_val = start_i
+  [W-1:0] w_req_transid = start_id_i
+  */
+  input  wire start_i,
+  input  wire [W-1:0] start_id_i,
+  output wire w_res_val,
+  output wire [W-1:0] w_res_transid
+);
+  assign w_res_val = start_i;
+  assign w_res_transid = start_id_i;
+endmodule
+"""
+
+
+class TestScan:
+    def test_module_and_ports(self):
+        scan = scan_rtl(ANNOTATED)
+        assert scan.module_name == "widget"
+        assert [p.name for p in scan.ports] == [
+            "clk_i", "rst_ni", "start_i", "start_id_i", "w_res_val",
+            "w_res_transid"]
+        assert scan.port("start_id_i").width_text == "W - 1"
+        assert scan.port("start_i").width_text is None
+
+    def test_parameters(self):
+        scan = scan_rtl(ANNOTATED)
+        assert scan.params[0].name == "W"
+        assert scan.params[0].default_text == "4"
+
+    def test_annotation_lines_extracted(self):
+        scan = scan_rtl(ANNOTATED)
+        texts = [t for _, t in scan.annotation_lines]
+        assert "wtx: w_req -in> w_res" in texts
+        assert scan.annotation_loc == 3
+
+    def test_single_line_annotation(self):
+        src = ANNOTATED.replace(
+            "/*AUTOSVA\n  wtx: w_req -in> w_res",
+            "//AUTOSVA wtx: w_req -in> w_res\n  /*AUTOSVA")
+        scan = scan_rtl(src)
+        texts = [t for _, t in scan.annotation_lines]
+        assert "wtx: w_req -in> w_res" in texts
+
+    def test_plain_comments_ignored(self):
+        src = ANNOTATED.replace("assign w_res_val",
+                                "// not_an_annotation: a -in> b\nassign w_res_val")
+        scan = scan_rtl(src)
+        texts = [t for _, t in scan.annotation_lines]
+        assert all("not_an_annotation" not in t for t in texts)
+
+    def test_module_selection(self):
+        two = ANNOTATED + "\nmodule other; endmodule\n"
+        with pytest.raises(AutoSVAError):
+            scan_rtl(two)
+        assert scan_rtl(two, module_name="widget").module_name == "widget"
+        with pytest.raises(AutoSVAError):
+            scan_rtl(two, module_name="missing")
+
+    def test_clock_reset_detection(self):
+        scan = scan_rtl(ANNOTATED)
+        clk, rst, active_low = find_clock_reset(scan)
+        assert (clk, rst, active_low) == ("clk_i", "rst_ni", True)
+
+    def test_missing_clock_raises(self):
+        src = ANNOTATED.replace("clk_i", "myclk")
+        with pytest.raises(AutoSVAError):
+            find_clock_reset(scan_rtl(src))
+
+
+class TestParseAnnotations:
+    def test_explicit_and_implicit(self):
+        parsed = parse_annotations(scan_rtl(ANNOTATED))
+        assert len(parsed.relations) == 1
+        req_attrs = {a.suffix: a for a in parsed.attributes_of("w_req")}
+        res_attrs = {a.suffix: a for a in parsed.attributes_of("w_res")}
+        # explicit definitions
+        assert req_attrs["val"].rhs == "start_i"
+        assert not req_attrs["val"].implicit
+        # implicit convention-named ports
+        assert res_attrs["val"].implicit
+        assert res_attrs["transid"].implicit
+        assert res_attrs["transid"].width_text == "W - 1"
+
+    def test_no_relations_raises(self):
+        src = ANNOTATED.replace("wtx: w_req -in> w_res", "")
+        with pytest.raises(AutoSVAError, match="no transaction relations"):
+            parse_annotations(scan_rtl(src))
+
+    def test_duplicate_transaction_names(self):
+        src = ANNOTATED.replace(
+            "wtx: w_req -in> w_res",
+            "wtx: w_req -in> w_res\n  wtx: w_req -out> w_res")
+        with pytest.raises(AutoSVAError, match="duplicate"):
+            parse_annotations(scan_rtl(src))
+
+    def test_duplicate_attribute_raises(self):
+        src = ANNOTATED.replace(
+            "w_req_val = start_i",
+            "w_req_val = start_i\n  w_req_val = start_i")
+        with pytest.raises(AutoSVAError, match="defined twice"):
+            parse_annotations(scan_rtl(src))
+
+    def test_explicit_wins_over_implicit(self):
+        src = ANNOTATED.replace(
+            "w_req_val = start_i",
+            "w_req_val = start_i\n  w_res_val = start_i")
+        parsed = parse_annotations(scan_rtl(src))
+        res_val = [a for a in parsed.attributes_of("w_res")
+                   if a.suffix == "val"]
+        assert len(res_val) == 1 and not res_val[0].implicit

@@ -1,0 +1,115 @@
+"""Tests for the Transaction Builder (step 2) and its semantic checks."""
+
+import pytest
+
+from repro.core.language import AutoSVAError, Direction
+from repro.core.parser import parse_annotations
+from repro.core.rtl_scan import scan_rtl
+from repro.core.transactions import build_transactions
+
+
+def _module(annotations, extra_ports=""):
+    return f"""
+module m #(parameter W = 4, parameter V = 4, parameter U = 8)(
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  {annotations}
+  */
+  input  wire a_in,
+  input  wire [W-1:0] a_id,
+  output wire b_out,
+  output wire [W-1:0] b_id{extra_ports}
+);
+endmodule
+"""
+
+
+def _build(annotations, extra_ports=""):
+    scan = scan_rtl(_module(annotations, extra_ports))
+    return build_transactions(parse_annotations(scan))
+
+
+class TestBuilding:
+    def test_minimal_val_only(self):
+        txs = _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out")
+        tx = txs[0]
+        assert tx.name == "t" and tx.incoming
+        assert tx.p.val.rhs == "a_in"
+        assert not tx.has_transid and not tx.has_data
+
+    def test_outgoing_direction(self):
+        txs = _build("t: p -out> q\n  p_val = a_in\n  q_val = b_out")
+        assert txs[0].direction is Direction.OUT
+        assert not txs[0].incoming
+
+    def test_transid_both_sides(self):
+        txs = _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                     "  [W-1:0] p_transid = a_id\n  [W-1:0] q_transid = b_id")
+        assert txs[0].has_transid
+        assert txs[0].transid_width_text == "W-1"
+
+    def test_transid_unique_flag(self):
+        txs = _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                     "  [W-1:0] p_transid_unique = a_id\n"
+                     "  [W-1:0] q_transid = b_id")
+        assert txs[0].p.transid_unique
+        assert txs[0].has_transid
+
+    def test_multiple_transactions(self):
+        txs = _build("t1: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                     "  t2: x -out> y\n  x_val = a_in\n  y_val = b_out")
+        assert [t.name for t in txs] == ["t1", "t2"]
+
+
+class TestValidation:
+    def test_missing_request_val(self):
+        with pytest.raises(AutoSVAError, match="no\\s+val"):
+            _build("t: p -in> q\n  q_val = b_out")
+
+    def test_missing_response_val(self):
+        with pytest.raises(AutoSVAError, match="no\\s+val"):
+            _build("t: p -in> q\n  p_val = a_in")
+
+    def test_one_sided_transid(self):
+        with pytest.raises(AutoSVAError, match="transid defined only"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_transid = a_id")
+
+    def test_one_sided_data(self):
+        with pytest.raises(AutoSVAError, match="data defined only"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_data = a_id")
+
+    def test_transid_width_mismatch_numeric(self):
+        with pytest.raises(AutoSVAError, match="width mismatch"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_transid = a_id\n  [U-1:0] q_transid = b_id")
+
+    def test_width_match_through_params(self):
+        # W and V are both 4: numerically equal although textually distinct.
+        txs = _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                     "  [W-1:0] p_transid = a_id\n  [V-1:0] q_transid = b_id")
+        assert txs[0].has_transid
+
+    def test_stable_requires_ack(self):
+        with pytest.raises(AutoSVAError, match="stable requires"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_stable = a_id")
+
+    def test_transid_unique_on_response_rejected(self):
+        with pytest.raises(AutoSVAError, match="transid_unique belongs"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_transid = a_id\n"
+                   "  [W-1:0] q_transid_unique = b_id")
+
+    def test_both_transid_and_unique_rejected(self):
+        with pytest.raises(AutoSVAError, match="both"):
+            _build("t: p -in> q\n  p_val = a_in\n  q_val = b_out\n"
+                   "  [W-1:0] p_transid = a_id\n"
+                   "  [W-1:0] p_transid_unique = a_id\n"
+                   "  [W-1:0] q_transid = b_id")
+
+    def test_unparseable_rhs_rejected(self):
+        with pytest.raises(AutoSVAError, match="bad expression"):
+            _build("t: p -in> q\n  p_val = a_in &&\n  q_val = b_out")

@@ -1,0 +1,79 @@
+"""Property-based cross-validation: PDR vs BMC vs k-induction.
+
+On random small sequential circuits, any property PDR proves must have no
+BMC counterexample, and any PDR counterexample must be confirmed by BMC at
+the reported depth.  This is the engine's most important internal
+consistency invariant (an unsound proof engine would silently fake the
+paper's Table III).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formal import TransitionSystem, bmc_safety
+from repro.formal.kinduction import prove_safety
+from repro.formal.pdr import pdr_prove
+
+
+@st.composite
+def random_systems(draw):
+    """A small random transition system plus a random property literal."""
+    num_latches = draw(st.integers(1, 4))
+    num_inputs = draw(st.integers(0, 2))
+    ts = TransitionSystem("rand")
+    g = ts.aig
+    inputs = [ts.add_input(f"i{k}") for k in range(num_inputs)]
+    latches = [ts.add_latch(f"l{k}", init=draw(st.booleans()))
+               for k in range(num_latches)]
+    nodes = [lat.node for lat in latches] + inputs + [1]  # 1 == TRUE
+
+    def random_lit(depth=2):
+        if depth == 0 or draw(st.booleans()):
+            lit = draw(st.sampled_from(nodes))
+        else:
+            op = draw(st.sampled_from(["and", "or", "xor"]))
+            a = random_lit(depth - 1)
+            b = random_lit(depth - 1)
+            lit = {"and": g.AND, "or": g.OR, "xor": g.XOR}[op](a, b)
+        return lit ^ 1 if draw(st.booleans()) else lit
+
+    for lat in latches:
+        ts.set_next(lat, random_lit())
+    prop = random_lit()
+    return ts, prop
+
+
+class TestEngineConsistency:
+    @given(random_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_pdr_agrees_with_bmc(self, system_and_prop):
+        ts, prop = system_and_prop
+        pdr = pdr_prove(ts, prop, max_frames=12)
+        bmc = bmc_safety(ts, prop, max_depth=12)
+        if pdr.proven:
+            assert not bmc.failed, "PDR proof contradicted by a BMC CEX"
+        if pdr.failed:
+            confirm = bmc_safety(ts, prop, max_depth=pdr.cex_depth)
+            assert confirm.failed, "PDR CEX not confirmed by BMC"
+            assert confirm.depth <= pdr.cex_depth
+
+    @given(random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_kinduction_agrees_with_bmc(self, system_and_prop):
+        ts, prop = system_and_prop
+        kind = prove_safety(ts, prop, max_k=8)
+        bmc = bmc_safety(ts, prop, max_depth=12)
+        if kind.proven:
+            assert not bmc.failed
+        if kind.failed:
+            assert bmc.failed
+
+    @given(random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_proof_engines_never_disagree(self, system_and_prop):
+        ts, prop = system_and_prop
+        pdr = pdr_prove(ts, prop, max_frames=12)
+        kind = prove_safety(ts, prop, max_k=8)
+        if pdr.proven and kind.failed:
+            raise AssertionError("PDR proved what k-induction refuted")
+        if kind.proven and pdr.failed:
+            raise AssertionError("k-induction proved what PDR refuted")

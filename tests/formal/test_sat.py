@@ -1,0 +1,192 @@
+"""Unit and property-based tests for the CDCL SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formal.sat import Solver, luby
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve()
+
+    def test_single_unit(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a])
+        assert s.solve()
+        assert s.value(a) is True
+
+    def test_contradictory_units(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a])
+        assert not s.add_clause([-a])
+        assert not s.solve()
+
+    def test_implication_chain(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(10)]
+        for x, y in zip(vs, vs[1:]):
+            s.add_clause([-x, y])
+        s.add_clause([vs[0]])
+        assert s.solve()
+        assert all(s.value(v) for v in vs)
+
+    def test_simple_unsat(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([a, -b])
+        s.add_clause([-a, b])
+        s.add_clause([-a, -b])
+        assert not s.solve()
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a, -a])
+        assert s.solve()
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a, a, a])
+        assert s.solve()
+        assert s.value(a) is True
+
+    def test_invalid_literal_rejected(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(ValueError):
+            s.add_clause([0])
+        with pytest.raises(ValueError):
+            s.add_clause([5])
+
+    def test_model_covers_all_vars(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a])
+        s.add_clause([b])
+        assert s.solve()
+        assert set(s.model()) == {a, b}
+
+
+class TestAssumptions:
+    def test_sat_under_assumption(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        assert s.solve(assumptions=[a])
+        assert s.value(b) is True
+
+    def test_unsat_under_assumption_then_sat(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        assert not s.solve(assumptions=[a, -b])
+        # The solver must remain usable.
+        assert s.solve(assumptions=[a])
+        assert s.solve(assumptions=[-b])
+        assert s.value(a) is False
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        assert not s.solve(assumptions=[a, -a])
+
+    def test_core_is_subset_of_assumptions(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, -b])
+        assert not s.solve(assumptions=[a, b, c])
+        assert set(s.core) <= {a, b, c}
+
+    def test_incremental_reuse(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(8)]
+        for x, y in zip(vs, vs[1:]):
+            s.add_clause([-x, y])
+        for _ in range(5):
+            assert s.solve(assumptions=[vs[0]])
+            assert s.value(vs[-1]) is True
+            assert not s.solve(assumptions=[vs[0], -vs[-1]])
+
+    def test_invalid_assumption_rejected(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(ValueError):
+            s.solve(assumptions=[7])
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == \
+            [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+def _brute_force(num_vars, clauses):
+    """Reference SAT decision by enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(cnf_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_enumeration(self, instance):
+        num_vars, clauses = instance
+        s = Solver()
+        for _ in range(num_vars):
+            s.new_var()
+        ok = True
+        for clause in clauses:
+            ok = s.add_clause(clause) and ok
+        result = s.solve() if ok else False
+        assert result == _brute_force(num_vars, clauses)
+        if result:
+            # The model must actually satisfy every clause.
+            for clause in clauses:
+                assert any(s.value(l) for l in clause)
+
+    @given(cnf_instances(), st.lists(st.integers(min_value=1, max_value=6),
+                                     max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_assumptions_match_added_units(self, instance, assumption_vars):
+        num_vars, clauses = instance
+        assumptions = [v for v in assumption_vars if v <= num_vars]
+        s = Solver()
+        for _ in range(num_vars):
+            s.new_var()
+        ok = True
+        for clause in clauses:
+            ok = s.add_clause(clause) and ok
+        under_assumptions = s.solve(assumptions=assumptions) if ok else False
+        expected = _brute_force(num_vars,
+                                clauses + [[a] for a in assumptions])
+        assert under_assumptions == expected

@@ -1,0 +1,48 @@
+"""Tests for trace extraction and rendering."""
+
+from repro.formal import TransitionSystem, bmc_safety
+from repro.formal.trace import Trace
+
+
+def _failing_counter():
+    ts = TransitionSystem("t")
+    g = ts.aig
+    lats = ts.add_latch_vec("cnt", 2, init=0)
+    bits = [lat.node for lat in lats]
+    nxt = g.add_vec(bits, g.const_vec(1, 2))
+    for lat, n in zip(lats, nxt):
+        ts.set_next(lat, n)
+    ts.add_observable("cnt", bits)
+    bad = g.NOT(g.eq_vec(bits, g.const_vec(2, 2)))
+    return ts, bad
+
+
+class TestTrace:
+    def test_values_per_cycle(self):
+        ts, assert_lit = _failing_counter()
+        result = bmc_safety(ts, assert_lit, 5, "not2")
+        trace = result.trace
+        assert len(trace) == 3
+        assert [trace.value("cnt", k) for k in range(3)] == [0, 1, 2]
+
+    def test_render_contains_values_and_name(self):
+        ts, assert_lit = _failing_counter()
+        trace = bmc_safety(ts, assert_lit, 5, "not2").trace
+        text = trace.render()
+        assert "not2" in text
+        assert "cnt" in text
+        assert "3 cycles" in text
+
+    def test_render_marks_loop(self):
+        trace = Trace(property_name="p", cycles={"x": [0, 1, 1]}, depth=3,
+                      loop_start=1)
+        assert "loop back to cycle 1" in trace.render()
+
+    def test_empty_trace_render(self):
+        trace = Trace(property_name="p")
+        assert "empty trace" in trace.render()
+
+    def test_hex_rendering_of_wide_values(self):
+        trace = Trace(property_name="p", cycles={"v": [255, 16]}, depth=2)
+        text = trace.render()
+        assert "ff" in text and "10" in text

@@ -1,0 +1,119 @@
+"""Tests for the transition-system container and the pending monitor."""
+
+import pytest
+
+from repro.formal import (FALSE, TRUE, TransitionSystem, Unroller,
+                          bmc_cover, bmc_safety)
+
+
+class TestConstruction:
+    def test_latch_vec_init_bits(self):
+        ts = TransitionSystem()
+        lats = ts.add_latch_vec("v", 4, init=0b1010)
+        assert [lat.init for lat in lats] == [False, True, False, True]
+
+    def test_latch_vec_symbolic_init(self):
+        ts = TransitionSystem()
+        lats = ts.add_latch_vec("v", 3, init=None)
+        assert all(lat.init is None for lat in lats)
+
+    def test_latch_lookup(self):
+        ts = TransitionSystem()
+        lat = ts.add_latch("x")
+        assert ts.is_latch_node(lat.node)
+        assert ts.latch_of(lat.node) is lat
+        inp = ts.add_input("i")
+        assert not ts.is_latch_node(inp)
+
+    def test_stats(self):
+        ts = TransitionSystem("s")
+        ts.add_input("i")
+        ts.add_latch("l")
+        ts.add_assert("a", TRUE)
+        ts.add_cover("c", TRUE)
+        ts.add_liveness("v", TRUE)
+        ts.add_fairness("f", TRUE)
+        ts.add_constraint("k", TRUE)
+        stats = ts.stats()
+        assert stats["inputs"] == 1 and stats["latches"] == 1
+        assert stats["asserts"] == stats["covers"] == 1
+        assert stats["liveness"] == stats["fairness"] == 1
+        assert stats["constraints"] == 1
+
+
+class TestPendingMonitor:
+    def _system(self, same_cycle):
+        ts = TransitionSystem()
+        g = ts.aig
+        trig = ts.add_input("trig")
+        disch = ts.add_input("disch")
+        pending = ts.pending_monitor("m", trig, disch,
+                                     same_cycle=same_cycle)
+        ts.add_observable("pending", [pending])
+        return ts, g, trig, disch, pending
+
+    def test_same_cycle_discharge_clears_immediately(self):
+        ts, g, trig, disch, pending = self._system(same_cycle=True)
+        # pending with trig and disch both high must be 0 (|-> semantics)
+        target = g.and_many([trig, disch, pending])
+        assert not bmc_cover(ts, target, 4).failed
+
+    def test_next_cycle_semantics_ignore_same_cycle_discharge(self):
+        ts, g, trig, disch, pending = self._system(same_cycle=False)
+        # with |=> semantics the same-cycle discharge does not matter:
+        # pending (the latch) can be high the cycle after trig&disch
+        latch_pending = pending  # monitor returns the latch for |=>
+        unro = Unroller(ts)
+        t0 = unro.sat_literal(g.AND(trig, disch), 0)
+        p1 = unro.sat_literal(latch_pending, 1)
+        assert unro.solver.solve(assumptions=[t0, p1])
+
+    def test_pending_persists_until_discharge(self):
+        ts, g, trig, disch, pending = self._system(same_cycle=True)
+        unro = Unroller(ts)
+        t0 = unro.sat_literal(trig, 0)
+        no_d0 = -unro.sat_literal(disch, 0)
+        no_d1 = -unro.sat_literal(disch, 1)
+        p1 = unro.sat_literal(pending, 1)
+        # trig at 0 with no discharge: pending still raised at cycle 1
+        assert unro.solver.solve(assumptions=[t0, no_d0, no_d1, p1])
+        assert not unro.solver.solve(assumptions=[t0, no_d0, no_d1, -p1])
+
+
+class TestUnroller:
+    def test_init_values_respected(self):
+        ts = TransitionSystem()
+        lat = ts.add_latch("q", init=True)
+        ts.set_next(lat, FALSE)
+        unro = Unroller(ts)
+        q0 = unro.sat_literal(lat.node, 0)
+        q1 = unro.sat_literal(lat.node, 1)
+        assert unro.solver.solve()
+        assert not unro.solver.solve(assumptions=[-q0])  # init forces 1
+        assert not unro.solver.solve(assumptions=[q1])   # next forces 0
+
+    def test_symbolic_init_leaves_frame0_free(self):
+        ts = TransitionSystem()
+        lat = ts.add_latch("q", init=True)
+        ts.set_next(lat, lat.node)
+        unro = Unroller(ts, symbolic_init=True)
+        q0 = unro.sat_literal(lat.node, 0)
+        assert unro.solver.solve(assumptions=[q0])
+        assert unro.solver.solve(assumptions=[-q0])
+
+    def test_constraints_enforced_every_frame(self):
+        ts = TransitionSystem()
+        inp = ts.add_input("x")
+        ts.add_constraint("no_x", ts.aig.NOT(inp))
+        unro = Unroller(ts)
+        for k in range(3):
+            x_k = unro.sat_literal(inp, k)
+            assert not unro.solver.solve(assumptions=[x_k])
+
+    def test_input_values_readback(self):
+        ts = TransitionSystem()
+        inp = ts.add_input("x")
+        unro = Unroller(ts)
+        x0 = unro.sat_literal(inp, 0)
+        assert unro.solver.solve(assumptions=[x0])
+        assert unro.input_values(0)[inp] is True

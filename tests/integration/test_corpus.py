@@ -1,0 +1,99 @@
+"""Integration tests: the full AutoSVA flow over the evaluation corpus.
+
+These are the reproduction's acceptance tests — each asserts one Table III
+row's outcome *shape*.  They take a few seconds each (pure-Python model
+checking); the heavyweight aggregate runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core import generate_ft, run_fv
+from repro.designs import CORPUS, case_by_id
+from repro.formal import EngineConfig
+
+CONFIG = EngineConfig(max_bound=8, max_frames=30)
+
+
+def _run(case, variant):
+    src = case.dut_source() if variant == "fixed" else case.buggy_source()
+    ft = generate_ft(src, module_name=case.dut_module)
+    return ft, run_fv(ft, [src] + case.extra_sources(), CONFIG)
+
+
+class TestGenerationAcrossCorpus:
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.case_id)
+    def test_ft_generates_for_every_module(self, case):
+        ft = generate_ft(case.dut_source(), module_name=case.dut_module)
+        assert ft.property_count > 0
+        assert ft.annotation_loc > 0
+        # Generated files are themselves valid inputs for our frontend.
+        from repro.rtl.parser import parse_design
+        from repro.rtl.preprocess import strip_ifdefs
+        parse_design(strip_ifdefs(ft.prop_sv))
+        parse_design(ft.bind_sv)
+
+    @pytest.mark.parametrize("case", [c for c in CORPUS if c.buggy_file],
+                             ids=lambda c: c.case_id)
+    def test_buggy_and_fixed_share_annotations(self, case):
+        """The same FT finds the bug and proves the fix — annotations
+        describe the *interface*, not the implementation."""
+        ft_fixed = generate_ft(case.dut_source(),
+                               module_name=case.dut_module)
+        ft_buggy = generate_ft(case.buggy_source(),
+                               module_name=case.dut_module)
+        fixed_labels = {a.full_label() for a in ft_fixed.prop.assertions}
+        buggy_labels = {a.full_label() for a in ft_buggy.prop.assertions}
+        assert fixed_labels == buggy_labels
+
+
+class TestTable3Shapes:
+    def test_a2_tlb_full_proof(self):
+        _, report = _run(case_by_id("A2"), "fixed")
+        assert report.proof_rate == 1.0, report.summary()
+
+    def test_a4_lsu_known_bug(self):
+        case = case_by_id("A4")
+        _, report = _run(case, "buggy")
+        assert any("eventual_response" in r.name
+                   for r in report.cex_results), report.summary()
+        _, fixed = _run(case, "fixed")
+        assert fixed.proof_rate == 1.0, fixed.summary()
+
+    def test_o1_noc_buffer_bug_and_fix(self):
+        case = case_by_id("O1")
+        _, buggy = _run(case, "buggy")
+        assert any("eventual_response" in r.name
+                   for r in buggy.cex_results), buggy.summary()
+        _, fixed = _run(case, "fixed")
+        assert fixed.proof_rate == 1.0, fixed.summary()
+
+    def test_e10_fairness_story(self):
+        case = case_by_id("E10")
+        _, starving = _run(case, "buggy")
+        cex = [r for r in starving.cex_results
+               if "eventual_response" in r.name]
+        assert cex and cex[0].depth <= 4  # paper: <4-cycle trace
+        _, fair = _run(case, "fixed")
+        assert fair.proof_rate == 1.0, fair.summary()
+
+
+class TestSubmoduleReuse:
+    def test_mmu_links_ptw_ft(self):
+        """Paper: 'the MMU FT was set up after 10 minutes of adding a new
+        transaction and reusing the properties of its submodules' FTs'."""
+        from repro.core import SubmoduleLink
+        from repro.designs import load
+        ptw_ft = generate_ft(load("ariane/ptw.sv"))
+        case = case_by_id("A3")
+        mmu_ft = generate_ft(case.dut_source(), module_name=case.dut_module,
+                             submodules=[SubmoduleLink(ft=ptw_ft,
+                                                       mode="am")])
+        assert mmu_ft.total_property_count > mmu_ft.property_count
+        report = run_fv(mmu_ft, [case.dut_source()] + case.extra_sources(),
+                        CONFIG)
+        # The linked PTW checker observes the PTW instance inside the MMU:
+        # its properties appear in the report under the ptw bind.
+        names = [r.name for r in report.results]
+        assert any("u_ptw_sva" in name for name in names), names
+        assert any("u_mmu_sva" in name for name in names), names
+        assert report.proof_rate == 1.0, report.summary()

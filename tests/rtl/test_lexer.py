@@ -1,0 +1,88 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.rtl.lexer import LexError, Lexer
+
+
+def kinds_values(text):
+    return [(t.kind, t.value) for t in Lexer(text).tokenize()[:-1]]
+
+
+class TestBasics:
+    def test_keywords_vs_ids(self):
+        toks = kinds_values("module foo_1;")
+        assert toks == [("keyword", "module"), ("id", "foo_1"),
+                        ("punct", ";")]
+
+    def test_line_comment_skipped(self):
+        assert kinds_values("a // comment\n b") == [("id", "a"), ("id", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds_values("a /* x\ny */ b") == [("id", "a"), ("id", "b")]
+
+    def test_backtick_directive_skipped(self):
+        assert kinds_values("`timescale 1ns/1ps\nwire") == \
+            [("keyword", "wire")]
+
+    def test_line_numbers(self):
+        toks = Lexer("a\nb\n  c").tokenize()
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            Lexer("\x01").tokenize()
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        assert kinds_values("42") == [("number", "42")]
+
+    def test_underscores(self):
+        assert kinds_values("1_000") == [("number", "1000")]
+
+    def test_sized_binary(self):
+        assert kinds_values("4'b1010") == [("number", "4'b1010")]
+
+    def test_sized_hex_case(self):
+        assert kinds_values("8'hFF") == [("number", "8'hFF")]
+
+    def test_unsized_based(self):
+        assert kinds_values("'d5") == [("number", "'d5")]
+
+    def test_fill_literals(self):
+        assert kinds_values("'0") == [("number", "'0")]
+        assert kinds_values("'1") == [("number", "'1")]
+
+    def test_signed_marker(self):
+        assert kinds_values("4'sb10")[0][0] == "number"
+
+    def test_bad_base(self):
+        with pytest.raises(LexError):
+            Lexer("4'q10").tokenize()
+
+
+class TestOperators:
+    def test_three_char_operators(self):
+        assert kinds_values("a |-> b") == [("id", "a"), ("punct", "|->"),
+                                           ("id", "b")]
+        assert kinds_values("a |=> b")[1] == ("punct", "|=>")
+
+    def test_two_char_before_one_char(self):
+        assert kinds_values("a<=b") == [("id", "a"), ("punct", "<="),
+                                        ("id", "b")]
+        assert kinds_values("a<b")[1] == ("punct", "<")
+
+    def test_delay_operator(self):
+        assert kinds_values("##1 x")[0] == ("punct", "##")
+
+    def test_system_functions(self):
+        assert kinds_values("$stable(x)")[0] == ("system", "$stable")
+        assert kinds_values("$past(x, 2)")[0] == ("system", "$past")
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(LexError):
+            Lexer("$ ").tokenize()
+
+    def test_string_literal(self):
+        assert kinds_values('"hello world"') == [("string", "hello world")]

@@ -1,0 +1,229 @@
+"""Parser tests for the SystemVerilog subset."""
+
+import pytest
+
+from repro.rtl import ast
+from repro.rtl.parser import ParseError, parse_design, parse_expr_text
+from repro.rtl.render import render_expr
+
+
+class TestModules:
+    def test_empty_module(self):
+        design = parse_design("module m; endmodule")
+        assert design.modules[0].name == "m"
+        assert design.modules[0].ports == []
+
+    def test_ansi_ports(self):
+        design = parse_design("""
+            module m (
+              input  wire clk,
+              input  wire [7:0] data_i,
+              output reg  [3:0] out_o,
+              output wire flag_o
+            ); endmodule""")
+        ports = design.modules[0].ports
+        assert [(p.direction, p.name) for p in ports] == [
+            ("input", "clk"), ("input", "data_i"),
+            ("output", "out_o"), ("output", "flag_o")]
+        assert ports[1].packed is not None
+        assert ports[3].packed is None
+
+    def test_port_direction_carries_over(self):
+        design = parse_design("module m (input wire a, b); endmodule")
+        ports = design.modules[0].ports
+        assert [p.direction for p in ports] == ["input", "input"]
+
+    def test_parameters(self):
+        design = parse_design("""
+            module m #(parameter W = 8, parameter D = W*2)();
+              localparam HALF = W/2;
+            endmodule""")
+        params = design.modules[0].params
+        assert [p.name for p in params] == ["W", "D", "HALF"]
+        assert params[2].is_local
+
+    def test_multiple_modules(self):
+        design = parse_design("module a; endmodule module b; endmodule")
+        assert [m.name for m in design.modules] == ["a", "b"]
+        with pytest.raises(KeyError):
+            design.module("c")
+
+    def test_net_declarations(self):
+        design = parse_design("""
+            module m;
+              wire [3:0] a;
+              reg b, c;
+              wire d = b && c;
+              reg [7:0] mem [0:3];
+            endmodule""")
+        nets = design.modules[0].nets
+        assert [n.name for n in nets] == ["a", "b", "c", "d", "mem"]
+        assert nets[3].init is not None
+        assert nets[4].unpacked is not None
+
+
+class TestStatements:
+    def test_always_ff_with_reset(self):
+        design = parse_design("""
+            module m (input wire clk_i, input wire rst_ni);
+              reg q;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) q <= 1'b0;
+                else q <= !q;
+              end
+            endmodule""")
+        block = design.modules[0].always_ffs[0]
+        assert block.clock == "clk_i"
+        assert block.reset_name == "rst_ni"
+        assert block.reset_active_low
+
+    def test_always_comb_star(self):
+        design = parse_design("""
+            module m; reg a; reg b;
+              always @(*) begin a = b; end
+              always_comb a = !b;
+            endmodule""")
+        assert len(design.modules[0].always_combs) == 2
+
+    def test_case_statement(self):
+        design = parse_design("""
+            module m; reg [1:0] s; reg o;
+              always_comb begin
+                case (s)
+                  2'd0, 2'd1: o = 1'b0;
+                  2'd2: o = 1'b1;
+                  default: o = 1'b0;
+                endcase
+              end
+            endmodule""")
+        case = design.modules[0].always_combs[0].body.stmts[0]
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert case.items[0].labels and len(case.items[0].labels) == 2
+        assert case.items[2].labels == []
+
+    def test_instance_named_connections(self):
+        design = parse_design("""
+            module m; wire a; wire b;
+              sub #(.W(4)) u_sub (.x(a), .y(b), .z());
+            endmodule""")
+        inst = design.modules[0].instances[0]
+        assert inst.module_name == "sub"
+        assert inst.param_overrides[0][0] == "W"
+        assert inst.connections[2] == ("z", None)
+
+    def test_instance_dot_star(self):
+        design = parse_design("module m; sub u (.*); endmodule")
+        assert design.modules[0].instances[0].connections == [("*", None)]
+
+    def test_bind_directive(self):
+        design = parse_design("bind dut checker u_chk (.*);")
+        bind = design.binds[0]
+        assert (bind.target_module, bind.checker_module) == ("dut", "checker")
+
+
+class TestAssertions:
+    SRC = """
+        module m (input wire clk_i, input wire rst_ni, input wire a,
+                  input wire b);
+          lbl: assert property (@(posedge clk_i) disable iff (!rst_ni)
+              a |-> s_eventually b);
+          am__x: assume property (@(posedge clk_i) ##1 $stable(a));
+          co__y: cover property (@(posedge clk_i) a && b);
+        endmodule"""
+
+    def test_assertion_parse(self):
+        module = parse_design(self.SRC).modules[0]
+        asserts = module.assertions
+        assert [a.directive for a in asserts] == ["assert", "assume", "cover"]
+        assert asserts[0].label == "lbl"
+        assert asserts[0].clock == "clk_i"
+        assert asserts[0].disable_iff is not None
+        prop = asserts[0].prop
+        assert isinstance(prop, ast.Implication)
+        assert isinstance(prop.consequent, ast.SEventually)
+
+    def test_delay_prefix(self):
+        module = parse_design(self.SRC).modules[0]
+        delayed = module.assertions[1].prop
+        assert isinstance(delayed, ast.Delay)
+        assert delayed.cycles == 1
+        assert isinstance(delayed.expr, ast.SysCall)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr_text("a || b && c")
+        assert isinstance(expr, ast.Binary) and expr.op == "||"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "&&"
+
+    def test_comparison_binds_tighter_than_logical(self):
+        expr = parse_expr_text("a == b && c == d")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "=="
+
+    def test_ternary(self):
+        expr = parse_expr_text("sel ? a + 1 : b - 1")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_concat_and_replication(self):
+        concat = parse_expr_text("{a, b, 2'b01}")
+        assert isinstance(concat, ast.Concat) and len(concat.parts) == 3
+        repl = parse_expr_text("{4{x}}")
+        assert isinstance(repl, ast.Repl)
+
+    def test_slices_and_indexing(self):
+        expr = parse_expr_text("x[7:4]")
+        assert isinstance(expr, ast.RangeSelect)
+        expr = parse_expr_text("mem[idx][3]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_dotted_and_scoped_names(self):
+        # Paper Fig. 3 / Fig. 7 use struct members and package scopes.
+        expr = parse_expr_text("fu_data_i.trans_id")
+        assert isinstance(expr, ast.Id) and expr.name == "fu_data_i.trans_id"
+        expr = parse_expr_text("riscv::VLEN - 1")
+        assert expr.lhs.name == "riscv::VLEN"
+
+    def test_fig3_expressions_parse(self):
+        parse_expr_text("lsu_valid_i && fu_data_i.fu == LOAD")
+        parse_expr_text("{fu_data_i.trans_id, fu_data_i.fu}")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr_text("a + b c")
+
+    def test_unary_operators(self):
+        for op in ("!", "~", "&", "|", "^", "-"):
+            expr = parse_expr_text(f"{op}x")
+            assert isinstance(expr, ast.Unary) and expr.op == op
+
+    def test_number_forms(self):
+        assert parse_expr_text("4'b1010").value == 10
+        assert parse_expr_text("8'hff").value == 255
+        assert parse_expr_text("'0").is_fill
+        assert parse_expr_text("16'd123").width == 16
+
+
+class TestRenderRoundTrip:
+    CASES = [
+        "a && b || c",
+        "x + 1",
+        "(a | b) & c",
+        "sel ? a : b",
+        "{a, b}",
+        "{2{x}}",
+        "x[3:0]",
+        "mem[i]",
+        "$stable(x)",
+        "!(a == b)",
+        "a - b - c",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_render_parse_fixpoint(self, text):
+        first = parse_expr_text(text)
+        rendered = render_expr(first)
+        second = parse_expr_text(rendered)
+        assert render_expr(second) == rendered

@@ -1,0 +1,94 @@
+"""Tests for the `ifdef preprocessor and the constant evaluator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtl.elaborate import ElabError, clog2, const_eval
+from repro.rtl.parser import parse_expr_text
+from repro.rtl.preprocess import strip_ifdefs
+
+
+class TestStripIfdefs:
+    def test_undefined_region_removed(self):
+        text = "a\n`ifdef X\nb\n`endif\nc\n"
+        assert strip_ifdefs(text) == "a\nc\n"
+
+    def test_defined_region_kept(self):
+        text = "a\n`ifdef X\nb\n`endif\nc\n"
+        assert strip_ifdefs(text, ["X"]) == "a\nb\nc\n"
+
+    def test_else_branches(self):
+        text = "`ifdef X\nyes\n`else\nno\n`endif\n"
+        assert strip_ifdefs(text, ["X"]) == "yes\n"
+        assert strip_ifdefs(text) == "no\n"
+
+    def test_ifndef(self):
+        text = "`ifndef X\nformal\n`endif\n"
+        assert strip_ifdefs(text) == "formal\n"
+        assert strip_ifdefs(text, ["X"]) == ""
+
+    def test_nesting(self):
+        text = "`ifdef A\n1\n`ifdef B\n2\n`endif\n3\n`endif\n"
+        assert strip_ifdefs(text, ["A"]) == "1\n3\n"
+        assert strip_ifdefs(text, ["A", "B"]) == "1\n2\n3\n"
+        assert strip_ifdefs(text) == ""
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            strip_ifdefs("`ifdef X\n")
+        with pytest.raises(ValueError):
+            strip_ifdefs("`endif\n")
+        with pytest.raises(ValueError):
+            strip_ifdefs("`else\n")
+
+    def test_directive_lines_always_dropped(self):
+        out = strip_ifdefs("`ifdef X\n`endif\nrest\n", ["X"])
+        assert out == "rest\n"
+
+
+class TestClog2:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+        (1024, 10), (1025, 11),
+    ])
+    def test_values(self, value, expected):
+        assert clog2(value) == expected
+
+    @given(st.integers(1, 1 << 20))
+    @settings(max_examples=50, deadline=None)
+    def test_defining_property(self, value):
+        k = clog2(value)
+        assert (1 << k) >= value
+        if value > 1:
+            assert (1 << (k - 1)) < value
+
+
+class TestConstEval:
+    PARAMS = {"W": 8, "D": 4}
+
+    def eval_text(self, text):
+        return const_eval(parse_expr_text(text), self.PARAMS)
+
+    def test_arithmetic(self):
+        assert self.eval_text("W - 1") == 7
+        assert self.eval_text("W * D + 2") == 34
+        assert self.eval_text("W / D") == 2
+        assert self.eval_text("(W + D) % 5") == 2
+
+    def test_comparisons_and_ternary(self):
+        assert self.eval_text("W > D ? W : D") == 8
+        assert self.eval_text("W == 8 && D == 4") == 1
+
+    def test_clog2_call(self):
+        assert self.eval_text("$clog2(D) + 1") == 3
+
+    def test_shift(self):
+        assert self.eval_text("1 << D") == 16
+
+    def test_unknown_identifier(self):
+        with pytest.raises(ElabError):
+            self.eval_text("NOPE + 1")
+
+    def test_non_constant_syscall(self):
+        with pytest.raises(ElabError):
+            self.eval_text("$past(W)")

@@ -1,0 +1,363 @@
+"""Synthesizer tests: RTL subset -> transition system semantics.
+
+Each test synthesizes a small design and checks behaviour through the
+formal engine (BMC as an oracle for sequential semantics).
+"""
+
+import pytest
+
+from repro.formal import EngineConfig, FormalEngine, Unroller, bmc_cover, bmc_safety
+from repro.rtl.synth import SynthError, Synthesizer, synthesize
+from repro.rtl.parser import parse_design
+
+
+def reaches(src, top, cover_expr_signal, depth=10, **kw):
+    """Synthesize with a cover on a named 1-bit signal; BMC it."""
+    ts = synthesize(src, top, **kw)
+    bits = ts.observables[cover_expr_signal]
+    result = bmc_cover(ts, bits[0], depth)
+    return result
+
+
+class TestCombinational:
+    def test_assign_chain(self):
+        ts = synthesize("""
+            module m (input wire a, output wire y);
+              wire b = !a;
+              wire c = !b;
+              assign y = c;
+            endmodule""", "m")
+        a_bits = ts.observables["a"]
+        b_bits = ts.observables["b"]
+        for val in (False, True):
+            assert ts.aig.eval_literal(b_bits[0], {a_bits[0]: val}) == (not val)
+        # y folds back to a structurally and is deduped from the observables
+        assert "y" not in ts.observables
+
+    def test_arith_width_extension(self):
+        ts = synthesize("""
+            module m (input wire [2:0] a, output wire [3:0] y);
+              assign y = a + 1;
+            endmodule""", "m")
+        a = ts.observables["a"]
+        y = ts.observables["y"]
+        env = {bit: bool((5 >> i) & 1) for i, bit in enumerate(a)}
+        val = sum(1 << i for i, b in enumerate(y)
+                  if ts.aig.eval_literal(b, env))
+        assert val == 6
+
+    def test_always_comb_with_default(self):
+        ts = synthesize("""
+            module m (input wire s, input wire [1:0] a, output wire [1:0] y);
+              reg [1:0] r;
+              always_comb begin
+                r = 2'd0;
+                if (s) r = a;
+              end
+              assign y = r;
+            endmodule""", "m")
+        s = ts.observables["s"][0]
+        a = ts.observables["a"]
+        y = ts.observables["y"]
+        env = {s: True, a[0]: True, a[1]: True}
+        assert ts.aig.eval_literal(y[1], env) is True
+        env[s] = False
+        assert ts.aig.eval_literal(y[1], env) is False
+
+    def test_latch_inference_rejected(self):
+        with pytest.raises(SynthError, match="latch inferred"):
+            synthesize("""
+                module m (input wire s, input wire a, output wire y);
+                  reg r;
+                  always_comb begin
+                    if (s) r = a;
+                  end
+                  assign y = r;
+                endmodule""", "m")
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(SynthError, match="loop"):
+            synthesize("""
+                module m (output wire y);
+                  wire a = !b;
+                  wire b = !a;
+                  assign y = a;
+                endmodule""", "m")
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(SynthError, match="multiple drivers"):
+            synthesize("""
+                module m (input wire a, output wire y);
+                  assign y = a;
+                  assign y = !a;
+                endmodule""", "m")
+
+    def test_case_lowering(self):
+        ts = synthesize("""
+            module m (input wire [1:0] s, output wire [1:0] y);
+              reg [1:0] r;
+              always_comb begin
+                case (s)
+                  2'd0: r = 2'd3;
+                  2'd1, 2'd2: r = 2'd1;
+                  default: r = 2'd0;
+                endcase
+              end
+              assign y = r;
+            endmodule""", "m")
+        s = ts.observables["s"]
+        y = ts.observables["y"]
+
+        def value(sv):
+            env = {s[0]: bool(sv & 1), s[1]: bool(sv & 2)}
+            return sum(1 << i for i, b in enumerate(y)
+                       if ts.aig.eval_literal(b, env))
+        assert [value(i) for i in range(4)] == [3, 1, 1, 0]
+
+
+class TestSequential:
+    COUNTER = """
+        module m (input wire clk_i, input wire rst_ni, input wire en,
+                  output wire [2:0] cnt_o);
+          reg [2:0] cnt;
+          always_ff @(posedge clk_i or negedge rst_ni) begin
+            if (!rst_ni) cnt <= 3'd0;
+            else if (en) cnt <= cnt + 3'd1;
+          end
+          assign cnt_o = cnt;
+        endmodule"""
+
+    def test_reset_gives_initial_value(self):
+        ts = synthesize(self.COUNTER, "m")
+        latch_names = [lat.name for lat in ts.latches]
+        assert "cnt[0]" in latch_names
+        assert all(lat.init is False for lat in ts.latches)
+
+    def test_counter_reaches_value(self):
+        ts = synthesize(self.COUNTER, "m")
+        g = ts.aig
+        cnt = ts.observables["cnt_o"]
+        at5 = g.eq_vec(cnt, g.const_vec(5, 3))
+        result = bmc_cover(ts, at5, 10)
+        assert result.failed and result.depth == 5  # needs en every cycle
+
+    def test_hold_when_disabled(self):
+        ts = synthesize(self.COUNTER, "m")
+        g = ts.aig
+        en = ts.observables["en"][0]
+        cnt = ts.observables["cnt_o"]
+        # constraint: en never -> cnt stays 0
+        ts.add_constraint("never_en", g.NOT(en))
+        nonzero = g.or_many(cnt)
+        assert not bmc_cover(ts, nonzero, 8).failed
+
+    def test_reset_tied_inactive(self):
+        ts = synthesize(self.COUNTER, "m")
+        rst = ts.observables["rst_ni"]
+        assert ts.aig.eval_literal(rst[0], {}) is True  # constant 1
+
+    def test_nonblocking_reads_old_value(self):
+        # swap registers: classic nonblocking semantics check
+        ts = synthesize("""
+            module m (input wire clk_i, input wire rst_ni,
+                      output wire a_o, output wire b_o);
+              reg a, b;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) begin
+                  a <= 1'b0;
+                  b <= 1'b1;
+                end else begin
+                  a <= b;
+                  b <= a;
+                end
+              end
+              assign a_o = a;
+              assign b_o = b;
+            endmodule""", "m")
+        g = ts.aig
+        a = ts.observables["a_o"][0]
+        b = ts.observables["b_o"][0]
+        # a and b keep swapping: a^b always 1
+        result = bmc_safety(ts, g.XOR(a, b), 10, "always_differ")
+        assert not result.failed
+
+    def test_array_registers(self):
+        ts = synthesize("""
+            module m (input wire clk_i, input wire rst_ni,
+                      input wire wen, input wire widx,
+                      input wire [1:0] wdata, input wire ridx,
+                      output wire [1:0] rdata);
+              reg [1:0] mem [0:1];
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) begin
+                  mem[0] <= 2'd0;
+                  mem[1] <= 2'd0;
+                end else begin
+                  if (wen)
+                    mem[widx] <= wdata;
+                end
+              end
+              assign rdata = mem[ridx];
+            endmodule""", "m")
+        g = ts.aig
+        rdata = ts.observables["rdata"]
+        at3 = g.eq_vec(rdata, g.const_vec(3, 2))
+        assert bmc_cover(ts, at3, 4).failed  # write 3 then read it
+
+
+class TestHierarchy:
+    def test_instance_connection(self):
+        src = """
+            module inv (input wire x, output wire y);
+              assign y = !x;
+            endmodule
+            module m (input wire a, output wire out);
+              wire mid;
+              inv u1 (.x(a), .y(mid));
+              inv u2 (.x(mid), .y(out));
+            endmodule"""
+        ts = synthesize(src, "m")
+        a = ts.observables["a"][0]
+        # The double inversion folds structurally: `out` aliases `a` in the
+        # AIG, so the dedup keeps only the first name.  Check the alias via
+        # the instance-internal signal instead.
+        mid = ts.observables["mid"][0]
+        assert ts.aig.eval_literal(mid, {a: True}) is False
+        assert "out" not in ts.observables  # aliased away by dedup
+
+    def test_parameter_override(self):
+        src = """
+            module wide #(parameter W = 2)(input wire [W-1:0] x,
+                                           output wire [W-1:0] y);
+              assign y = ~x;
+            endmodule
+            module m (input wire [3:0] a, output wire [3:0] out);
+              wide #(.W(4)) u (.x(a), .y(out));
+            endmodule"""
+        ts = synthesize(src, "m")
+        assert len(ts.observables["out"]) == 4
+
+    def test_bind_attaches_checker(self):
+        src = """
+            module dut (input wire clk_i, input wire rst_ni, input wire a);
+              reg q;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) q <= 1'b0;
+                else q <= a;
+              end
+            endmodule
+            module chk (input wire clk_i, input wire rst_ni, input wire a);
+              as__never_a: assert property (@(posedge clk_i)
+                  disable iff (!rst_ni) !a);
+            endmodule
+            bind dut chk u_chk (.*);"""
+        ts = synthesize(src, "dut")
+        assert len(ts.asserts) == 1
+        assert ts.asserts[0].name == "u_chk.as__never_a"
+        result = bmc_safety(ts, ts.asserts[0].lit, 5)
+        assert result.failed  # 'a' is free, so !a is violable
+
+    def test_unknown_parameter_override(self):
+        src = """
+            module sub (input wire x); endmodule
+            module m (input wire a);
+              sub #(.NOPE(1)) u (.x(a));
+            endmodule"""
+        with pytest.raises(SynthError, match="unknown parameter"):
+            synthesize(src, "m")
+
+
+class TestProperties:
+    def test_past_and_stable(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a);
+              reg a_q;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) a_q <= 1'b0;
+                else a_q <= a;
+              end
+              as__past: assert property (@(posedge clk_i)
+                  disable iff (!rst_ni) a_q == $past(a));
+            endmodule"""
+        ts = synthesize(src, "m")
+        assert not bmc_safety(ts, ts.asserts[0].lit, 8).failed
+
+    def test_implication_next_cycle(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a,
+                      output wire b);
+              reg q;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) q <= 1'b0;
+                else q <= a;
+              end
+              assign b = q;
+              as__follow: assert property (@(posedge clk_i)
+                  disable iff (!rst_ni) a |=> b);
+            endmodule"""
+        ts = synthesize(src, "m")
+        assert not bmc_safety(ts, ts.asserts[0].lit, 8).failed
+
+    def test_liveness_compiles_to_justice(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a,
+                      input wire b);
+              as__ev: assert property (@(posedge clk_i)
+                  disable iff (!rst_ni) a |-> s_eventually b);
+            endmodule"""
+        ts = synthesize(src, "m")
+        assert len(ts.liveness) == 1 and not ts.asserts
+
+    def test_assume_becomes_constraint(self):
+        # The dummy flop makes rst_ni a recognized (tied-off) reset; without
+        # any register the reset stays a free input and `disable iff` can
+        # legitimately disable the assumption.
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a);
+              reg q;
+              always_ff @(posedge clk_i or negedge rst_ni) begin
+                if (!rst_ni) q <= 1'b0;
+                else q <= a;
+              end
+              am__never: assume property (@(posedge clk_i)
+                  disable iff (!rst_ni) !a);
+              co__a: cover property (@(posedge clk_i) a);
+            endmodule"""
+        ts = synthesize(src, "m")
+        assert len(ts.constraints) == 1
+        # the assume forbids a: cover must be unreachable
+        assert not bmc_cover(ts, ts.covers[0].lit, 6).failed
+
+    def test_initstate(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a);
+              co__first: cover property (@(posedge clk_i) $initstate);
+            endmodule"""
+        ts = synthesize(src, "m")
+        result = bmc_cover(ts, ts.covers[0].lit, 4)
+        assert result.failed and result.depth == 0
+
+    def test_delay_guard(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni, input wire a);
+              am__st: assume property (@(posedge clk_i)
+                  disable iff (!rst_ni) ##1 $stable(a));
+              co__a1: cover property (@(posedge clk_i) a);
+              co__a0: cover property (@(posedge clk_i) !a);
+            endmodule"""
+        ts = synthesize(src, "m")
+        # 'a' is rigid after cycle 0: both covers still reachable (choose at
+        # cycle 0), demonstrating the ##1 exemption for the first cycle.
+        assert bmc_cover(ts, ts.covers[0].lit, 3).failed
+        assert bmc_cover(ts, ts.covers[1].lit, 3).failed
+
+    def test_undriven_wire_is_symbolic(self):
+        src = """
+            module m (input wire clk_i, input wire rst_ni);
+              wire [1:0] symb;
+              co__s3: cover property (@(posedge clk_i) symb == 2'd3);
+            endmodule"""
+        synth = Synthesizer(parse_design(src), "m")
+        ts = synth.build()
+        assert any("symb" in w for w in synth.warnings)
+        assert bmc_cover(ts, ts.covers[0].lit, 2).failed
