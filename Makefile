@@ -1,0 +1,26 @@
+# Developer entry points.  `make verify` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test corpus-check smoke-campaign campaign bench-campaign verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+corpus-check:
+	$(PYTHON) -c "from repro.designs import validate; \
+	validate(raise_on_issue=True); print('corpus healthy')"
+
+smoke-campaign:
+	$(PYTHON) -m repro.core.cli campaign --cases A1,A2 --workers 2 \
+	--timeout 120
+
+campaign:
+	$(PYTHON) -m repro.core.cli campaign --workers 4 \
+	--cache-dir .repro-cache
+
+bench-campaign:
+	cd benchmarks && $(PYTHON) -m pytest -x -q bench_campaign.py -s
+
+verify: test corpus-check smoke-campaign

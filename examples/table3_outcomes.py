@@ -1,70 +1,55 @@
 #!/usr/bin/env python3
-"""Regenerate the paper's Table III across the whole corpus.
+"""Regenerate the paper's Table III across the whole corpus — as a campaign.
 
-For every evaluated module this script generates the FT, runs the formal
-engine on the buggy variant (where one exists) and on the fixed/default
-variant, and prints a table in the shape of the paper's Table III, plus the
-aggregate property/annotation counts of Section IV.
+This drives :mod:`repro.campaign`: the corpus registry is expanded into
+design × variant jobs, scheduled on a worker pool (``--workers N``, with
+optional ``--cache-dir`` for incremental reruns), and aggregated into a
+table in the shape of the paper's Table III, plus the aggregate
+property/annotation counts of Section IV.
 
-Run:  python examples/table3_outcomes.py          (~3-5 minutes)
+Run:  python examples/table3_outcomes.py [--workers 4] [--cache-dir DIR]
+      (~1-2 minutes serial; scales with workers)
 """
 
+import argparse
+import sys
 import time
 
-from repro.core import generate_ft, run_fv
-from repro.designs import CORPUS
-from repro.formal import EngineConfig
-
-
-def outcome_text(case, buggy_report, fixed_report):
-    if buggy_report is not None:
-        failing = sorted({r.name.split("__")[-1]
-                          for r in buggy_report.cex_results})
-        if fixed_report.proof_rate == 1.0:
-            return f"Bug found ({', '.join(failing)}) and fixed -> 100% proof"
-        return f"Hit known bug ({', '.join(failing)})"
-    if fixed_report.proof_rate == 1.0:
-        return "100% liveness/safety properties proof"
-    partial = sorted({r.name.split("__")[-1]
-                      for r in fixed_report.cex_results})
-    return f"partial proof, CEXs: {', '.join(partial)}"
+from repro.campaign import (ArtifactCache, CampaignReport, expand_jobs,
+                            run_campaign)
+from repro.designs import CORPUS, validate
 
 
 def main() -> None:
-    config = EngineConfig(max_bound=8, max_frames=30)
-    rows = []
-    total_props = 0
-    total_loc = 0
-    for case in CORPUS:
-        if case.case_id == "E10":
-            continue  # in-text experiment, not a Table III row
-        begin = time.perf_counter()
-        fixed_src = case.dut_source()
-        ft = generate_ft(fixed_src, module_name=case.dut_module)
-        total_props += ft.property_count
-        total_loc += ft.annotation_loc
-        fixed_report = run_fv(ft, [fixed_src] + case.extra_sources(), config)
-        buggy_report = None
-        buggy_src = case.buggy_source()
-        if buggy_src is not None:
-            ft_buggy = generate_ft(buggy_src, module_name=case.dut_module)
-            buggy_report = run_fv(ft_buggy,
-                                  [buggy_src] + case.extra_sources(), config)
-        elapsed = time.perf_counter() - begin
-        rows.append((case, outcome_text(case, buggy_report, fixed_report),
-                     elapsed))
-        print(f"[{case.case_id}] done in {elapsed:.1f}s", flush=True)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+
+    # E10 is an in-text experiment, not a Table III row.
+    cases = [case for case in CORPUS if case.case_id != "E10"]
+    validate(tuple(cases), raise_on_issue=True)
+    jobs = expand_jobs(cases=cases)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+
+    begin = time.monotonic()
+    results = run_campaign(
+        jobs, workers=args.workers, cache=cache,
+        progress=lambda r: print(
+            f"[{r.job_id}] {r.status}"
+            + (" (cached)" if r.from_cache else f" in {r.wall_time_s:.1f}s"),
+            flush=True))
+    report = CampaignReport(jobs, results, workers=args.workers,
+                            wall_time_s=time.monotonic() - begin,
+                            cache_stats=cache.stats() if cache else None)
 
     print("\n=== Table III (reproduced) ===")
-    print(f"{'RTL Module':<36} {'Result':<55} {'time':>6}")
-    for case, text, elapsed in rows:
-        label = f"{case.case_id}. {case.name}"
-        print(f"{label:<36} {text:<55} {elapsed:5.1f}s")
-    print(f"\nTotals: {total_props} generated properties from {total_loc} "
-          f"annotation LoC across the corpus")
-    print("(paper: 236 properties / 110 LoC on the full-size RTL; the "
+    print(report.summary())
+    print("\n(paper: 236 properties / 110 LoC on the full-size RTL; the "
           "reduced models have fewer interfaces, the leverage shape is "
           "what reproduces)")
+    if report.num_failed:
+        sys.exit(2)
 
 
 if __name__ == "__main__":

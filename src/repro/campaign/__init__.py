@@ -1,0 +1,78 @@
+"""Verification campaigns: the paper's Table III evaluation, at scale.
+
+The per-property engine (:mod:`repro.formal.engine`) and the FT generator
+(:mod:`repro.core.flow`) verify *one* design at a time.  This package is
+the layer that runs *many* — every corpus design × fixed/buggy variant ×
+engine configuration — the way the paper's evaluation campaign ran
+AutoSVA across the Ariane and OpenPiton modules.
+
+API tour
+--------
+
+* :func:`~repro.campaign.jobs.expand_jobs` unfolds the corpus registry
+  (:data:`repro.designs.CORPUS`) into :class:`~repro.campaign.jobs.CampaignJob`
+  units — one per design × variant (× config when sweeping)::
+
+      from repro.campaign import expand_jobs, run_campaign, CampaignReport
+      jobs = expand_jobs(case_ids=["A1", "A2", "O1"])
+
+* :func:`~repro.campaign.scheduler.run_campaign` executes them on a pool
+  of worker processes with per-job wall-clock/memory bounds.  Results are
+  returned in job order no matter how many workers ran, and a failing or
+  hanging job degrades to a per-job ``error``/``timeout`` result instead
+  of killing the campaign::
+
+      results = run_campaign(jobs, workers=4, timeout_s=120)
+
+* :class:`~repro.campaign.cache.ArtifactCache` makes reruns incremental:
+  job results are cached under a content hash of the RTL sources (the
+  AutoSVA annotations live in those sources), the DUT module name and the
+  engine configuration, so only edited designs re-verify::
+
+      cache = ArtifactCache(".repro-cache")
+      results = run_campaign(jobs, workers=4, cache=cache)
+
+* :class:`~repro.campaign.report.CampaignReport` aggregates results into
+  the Table-III-style matrix (per-design outcome text, proof rates, CEX
+  properties and depths, runtimes) with ``summary()`` /
+  ``to_markdown()`` / ``to_json()`` exports::
+
+      report = CampaignReport(jobs, results, workers=4)
+      print(report.summary())
+
+Corpus layout
+-------------
+
+The workload lives under ``repro/designs/verilog/``: ``ariane/`` holds
+``ptw.sv``, ``tlb.sv``, ``mmu_fixed/buggy.sv``, ``lsu_fixed/buggy.sv``,
+``icache_fixed/buggy.sv`` and ``mmu_shared{,_fair}.sv``; ``openpiton/``
+holds ``noc_buffer_fixed/buggy.sv``, ``l15.sv`` and ``mem_engine.sv``.
+``repro.designs.validate()`` health-checks the registry against the files
+on disk before a campaign schedules anything.
+
+CLI
+---
+
+The ``autosva`` CLI grows a ``campaign`` subcommand wired to this
+package::
+
+    autosva campaign                         # full corpus, Table III out
+    autosva campaign --cases A1,A2 --workers 2
+    autosva campaign --workers 4 --cache-dir .repro-cache --json out.json
+
+``examples/table3_outcomes.py`` is the scripted equivalent.
+"""
+
+from .cache import ArtifactCache
+from .jobs import (CampaignJob, default_engine_config, execute_job,
+                   expand_jobs, summarize_report)
+from .report import CampaignReport, DesignRow
+from .scheduler import JobResult, run_campaign
+
+__all__ = [
+    "ArtifactCache",
+    "CampaignJob", "default_engine_config", "execute_job", "expand_jobs",
+    "summarize_report",
+    "CampaignReport", "DesignRow",
+    "JobResult", "run_campaign",
+]

@@ -1,0 +1,85 @@
+"""Content-addressed artifact cache for campaign runs.
+
+A cache key is the SHA-256 of everything that determines a job's outcome:
+the DUT RTL text (annotations are comments *in* that text, so they are
+hashed with it), every extra source, the DUT module name, the engine
+configuration, and a schema-version salt.  Editing one design therefore
+invalidates exactly that design's entries; a rerun over an unchanged
+corpus is served entirely from disk and touches no solver.
+
+Entries are small JSON files under the cache directory — transparent,
+diff-able, and safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from .jobs import CampaignJob
+
+__all__ = ["ArtifactCache"]
+
+#: Bump when the result payload schema or engine semantics change: old
+#: entries then miss instead of replaying stale results.
+_SCHEMA_VERSION = 1
+
+
+class ArtifactCache:
+    """A directory of content-addressed job results."""
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ------------------------------------------------------------
+    def key(self, job: CampaignJob) -> str:
+        """Content hash of all outcome-determining inputs of ``job``."""
+        hasher = hashlib.sha256()
+
+        def chunk(tag: str, text: str) -> None:
+            # Length-framed: "ab"+"c" and "abc" must hash differently.
+            data = text.encode()
+            hasher.update(f"{tag}:{len(data)}:".encode())
+            hasher.update(data)
+
+        chunk("schema", str(_SCHEMA_VERSION))
+        chunk("module", job.dut_module)
+        for source in job.sources():
+            chunk("source", source)
+        chunk("config", json.dumps(asdict(job.engine_config),
+                                   sort_keys=True, default=list))
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # -- lookup / store ----------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        path = self._path(key)
+        # Per-process tmp name: concurrent campaigns sharing a cache dir
+        # must not race on the rename source.  Content-addressing makes the
+        # replace itself safe — writers of the same key agree on content.
+        tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": sum(1 for _ in self.cache_dir.glob("*.json"))}

@@ -1,0 +1,251 @@
+"""Campaign reports: aggregate per-job results into a Table-III matrix.
+
+A :class:`CampaignReport` pairs the job list with the scheduler's results
+and derives, per design, the row the paper's Table III prints: outcome
+text, proof rates for the fixed and buggy variants, the failing
+properties with their CEX depths, and runtimes.  Exports to JSON (for
+tooling and the benchmark harness) and markdown (for humans).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .jobs import CampaignJob
+from .scheduler import JobResult
+
+__all__ = ["CampaignReport", "DesignRow"]
+
+
+@dataclass
+class DesignRow:
+    """One design's aggregated campaign outcome (one Table III row)."""
+
+    case_id: str
+    name: str
+    outcome: str
+    fixed_proof_rate: Optional[float] = None
+    buggy_proof_rate: Optional[float] = None
+    cex_properties: List[str] = field(default_factory=list)
+    cex_depths: List[int] = field(default_factory=list)
+    time_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+    #: Registry expectations (DesignCase.expect_*) the run contradicted.
+    mismatches: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case_id": self.case_id, "name": self.name,
+            "outcome": self.outcome,
+            "fixed_proof_rate": self.fixed_proof_rate,
+            "buggy_proof_rate": self.buggy_proof_rate,
+            "cex_properties": self.cex_properties,
+            "cex_depths": self.cex_depths,
+            "time_s": self.time_s, "errors": self.errors,
+            "mismatches": self.mismatches,
+        }
+
+
+def _short(name: str) -> str:
+    """Property label without the bind-path/directive noise."""
+    return name.split("__")[-1]
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced."""
+
+    jobs: List[CampaignJob]
+    results: List[JobResult]
+    workers: int = 1
+    wall_time_s: float = 0.0
+    cache_stats: Optional[Dict[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.jobs) != len(self.results):
+            raise ValueError(
+                f"job/result length mismatch: {len(self.jobs)} jobs, "
+                f"{len(self.results)} results")
+
+    # -- per-job access ----------------------------------------------------
+    def result(self, job_id: str) -> JobResult:
+        for result in self.results:
+            if result.job_id == job_id:
+                return result
+        raise KeyError(f"no job {job_id!r} in this campaign")
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.results) - self.num_ok
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    # -- the Table III matrix ----------------------------------------------
+    def rows(self) -> List[DesignRow]:
+        by_case: Dict[str, List[int]] = {}
+        order: List[str] = []
+        for index, job in enumerate(self.jobs):
+            if job.case_id not in by_case:
+                by_case[job.case_id] = []
+                order.append(job.case_id)
+            by_case[job.case_id].append(index)
+
+        rows: List[DesignRow] = []
+        for case_id in order:
+            indices = by_case[case_id]
+            row = DesignRow(case_id=case_id,
+                            name=self.jobs[indices[0]].case_name,
+                            outcome="")
+            fixed_payload = buggy_payload = None
+            for index in indices:
+                job, result = self.jobs[index], self.results[index]
+                row.time_s += result.wall_time_s
+                if not result.ok:
+                    row.errors.append(
+                        f"{job.job_id}: {result.status}"
+                        + (f" ({result.error.strip().splitlines()[-1]})"
+                           if result.error else ""))
+                    continue
+                payload = result.payload
+                # Under a config sweep the first config is the primary one
+                # for the row's headline numbers; later configs still
+                # contribute CEX labels and expectation checks below.
+                if job.variant == "fixed":
+                    if fixed_payload is None:
+                        fixed_payload = payload
+                        row.fixed_proof_rate = payload["proof_rate"]
+                else:
+                    if buggy_payload is None:
+                        buggy_payload = payload
+                        row.buggy_proof_rate = payload["proof_rate"]
+                for cex in payload["cex"]:
+                    label = f"{job.variant}:{_short(cex['name'])}"
+                    if label not in row.cex_properties:
+                        row.cex_properties.append(label)
+                        row.cex_depths.append(cex["depth"])
+                # Check the run against the registry's expectations.
+                if job.expect_proof and payload["proof_rate"] != 1.0:
+                    row.mismatches.append(
+                        f"{job.job_id}: expected 100% proof, got "
+                        f"{payload['proof_rate']:.0%}")
+                if job.expect_cex and not any(
+                        job.expect_cex in c["name"]
+                        for c in payload["cex"]):
+                    row.mismatches.append(
+                        f"{job.job_id}: expected a CEX on "
+                        f"'{job.expect_cex}', none found")
+            row.outcome = self._outcome_text(row, fixed_payload,
+                                             buggy_payload)
+            rows.append(row)
+        return rows
+
+    @staticmethod
+    def _outcome_text(row: DesignRow, fixed, buggy) -> str:
+        if row.errors and fixed is None and buggy is None:
+            return "campaign error"
+        if buggy is not None:
+            failing = sorted({_short(c["name"]) for c in buggy["cex"]})
+            if not failing:
+                # The buggy variant came back clean: never claim a bug the
+                # engine did not find (shallow bounds do this).
+                return "bug NOT reproduced (buggy variant clean at bound)"
+            if fixed is not None and fixed["proof_rate"] == 1.0:
+                return (f"Bug found ({', '.join(failing)}) and fixed "
+                        f"-> 100% proof")
+            return f"Hit known bug ({', '.join(failing)})"
+        if fixed is not None:
+            if fixed["proof_rate"] == 1.0:
+                return "100% liveness/safety properties proof"
+            partial = sorted({_short(c["name"]) for c in fixed["cex"]})
+            return f"partial proof, CEXs: {', '.join(partial)}"
+        return "no results"
+
+    # -- aggregate metrics -------------------------------------------------
+    def totals(self) -> Dict[str, object]:
+        total_props = 0
+        total_loc = 0
+        engine_time = 0.0
+        counted_cases = set()
+        for job, result in zip(self.jobs, self.results):
+            if result.ok and job.variant == "fixed" and \
+                    job.case_id not in counted_cases:
+                # One FT per design: config sweeps re-run the same FT, so
+                # count each case once.
+                counted_cases.add(job.case_id)
+                total_props += result.payload.get("property_count", 0)
+                total_loc += result.payload.get("annotation_loc", 0)
+            if result.ok and result.payload:
+                engine_time += result.payload.get("engine_time_s", 0.0)
+        return {
+            "jobs": len(self.jobs), "ok": self.num_ok,
+            "failed": self.num_failed, "cached": self.num_cached,
+            "workers": self.workers,
+            "properties": total_props, "annotation_loc": total_loc,
+            "wall_time_s": self.wall_time_s,
+            "engine_time_s": engine_time,
+        }
+
+    # -- exports -----------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "totals": self.totals(),
+            "rows": [row.as_dict() for row in self.rows()],
+            "results": [
+                {"job_id": r.job_id, "status": r.status,
+                 "from_cache": r.from_cache, "wall_time_s": r.wall_time_s,
+                 "error": r.error, "payload": r.payload}
+                for r in self.results
+            ],
+            "cache": self.cache_stats,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        lines = ["| Module | Result | proof (fixed) | proof (buggy) | "
+                 "time |",
+                 "|---|---|---|---|---|"]
+        for row in self.rows():
+            fixed = ("—" if row.fixed_proof_rate is None
+                     else f"{row.fixed_proof_rate:.0%}")
+            buggy = ("—" if row.buggy_proof_rate is None
+                     else f"{row.buggy_proof_rate:.0%}")
+            lines.append(f"| {row.case_id}. {row.name} | {row.outcome} | "
+                         f"{fixed} | {buggy} | {row.time_s:.1f}s |")
+        totals = self.totals()
+        lines.append("")
+        lines.append(
+            f"{totals['jobs']} jobs ({totals['cached']} cached, "
+            f"{totals['failed']} failed) on {totals['workers']} worker(s) "
+            f"in {totals['wall_time_s']:.1f}s; {totals['properties']} "
+            f"properties from {totals['annotation_loc']} annotation LoC.")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Fixed-width table for terminals (the Table III shape)."""
+        lines = [f"{'RTL Module':<36} {'Result':<55} {'time':>7}"]
+        for row in self.rows():
+            label = f"{row.case_id}. {row.name}"
+            lines.append(f"{label:<36} {row.outcome:<55} "
+                         f"{row.time_s:6.1f}s")
+            for error in row.errors:
+                lines.append(f"  !! {error}")
+            for mismatch in row.mismatches:
+                lines.append(f"  ?? expectation: {mismatch}")
+        totals = self.totals()
+        lines.append(
+            f"\nTotals: {totals['properties']} generated properties from "
+            f"{totals['annotation_loc']} annotation LoC; {totals['jobs']} "
+            f"jobs ({totals['cached']} cached) on {totals['workers']} "
+            f"worker(s) in {totals['wall_time_s']:.1f}s "
+            f"(engine time {totals['engine_time_s']:.1f}s)")
+        return "\n".join(lines)

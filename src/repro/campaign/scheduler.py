@@ -1,0 +1,236 @@
+"""The campaign scheduler: a bounded worker pool over campaign jobs.
+
+Design points, in the order the ISSUE asks for them:
+
+* **Parallelism** — each job runs in its own forked worker process; at
+  most ``workers`` are alive at once.  Model checking is CPU-bound pure
+  Python, so processes (not threads) are the only way to scale past the
+  GIL.
+* **Per-job bounds** — a wall-clock deadline per job (the parent
+  terminates overdue workers) and an address-space cap applied with
+  ``resource.setrlimit`` inside the worker, mirroring the execution-scope
+  resource bounding of the reference orchestrators.
+* **Deterministic ordering** — results are collected into a slot per job
+  and returned in job order; the worker count can only change wall time,
+  never the result list.
+* **Failure isolation** — a job that raises, exhausts memory, dies, or
+  times out yields a per-job ``error``/``timeout`` result; the campaign
+  always runs to completion.
+* **Incremental reruns** — with an :class:`~repro.campaign.cache.ArtifactCache`
+  attached, jobs whose content hash is cached replay instantly and never
+  reach a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .cache import ArtifactCache
+from .jobs import CampaignJob, execute_job
+
+__all__ = ["JobResult", "run_campaign"]
+
+_POLL_INTERVAL_S = 0.02
+
+
+@dataclass
+class JobResult:
+    """Outcome of one campaign job.
+
+    ``status`` is ``"ok"`` (payload carries the engine summary),
+    ``"error"`` (the job raised / crashed / hit the memory cap; ``error``
+    carries the reason) or ``"timeout"``.  ``payload`` is plain JSON-able
+    data in all cases (possibly None), so results cross process and disk
+    boundaries unchanged.
+    """
+
+    job_id: str
+    status: str
+    payload: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _child_main(conn, runner, job, memory_limit_mb) -> None:
+    """Worker entry point: run one job, ship one (status, payload, error)."""
+    try:
+        if memory_limit_mb:
+            limit = int(memory_limit_mb) * 1024 * 1024
+            try:
+                import resource
+                resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+            except (ImportError, ValueError, OSError):
+                pass  # unsupported platform: run unbounded
+        payload = runner(job)
+        conn.send(("ok", payload, None))
+    except MemoryError:
+        conn.send(("error", None,
+                   f"memory limit ({memory_limit_mb} MB) exceeded"))
+    except BaseException:
+        try:
+            conn.send(("error", None, traceback.format_exc(limit=10)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    index: int
+    process: multiprocessing.Process
+    conn: object
+    started: float
+    deadline: Optional[float]
+
+
+def run_campaign(jobs: Sequence[CampaignJob],
+                 workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout_s: Optional[float] = None,
+                 memory_limit_mb: Optional[int] = None,
+                 runner: Callable[[CampaignJob], Dict[str, object]]
+                 = execute_job,
+                 progress: Optional[Callable[[JobResult], None]] = None
+                 ) -> List[JobResult]:
+    """Run ``jobs`` on a pool of ``workers`` processes.
+
+    Returns one :class:`JobResult` per job, **in job order**, regardless of
+    worker count or completion order.  ``progress`` (if given) is called
+    with each result as it lands, in completion order.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive (None = unbounded)")
+    if memory_limit_mb is not None and memory_limit_mb <= 0:
+        raise ValueError(
+            "memory_limit_mb must be positive (None = unbounded)")
+    jobs = list(jobs)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    keys: List[Optional[str]] = [None] * len(jobs)
+
+    # Cache pass: anything already known never reaches a worker.
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        if cache is not None:
+            try:
+                keys[index] = cache.key(job)
+            except Exception:
+                keys[index] = None  # unloadable source: the worker reports it
+            payload = (cache.get(keys[index])
+                       if keys[index] is not None else None)
+            if payload is not None:
+                results[index] = JobResult(
+                    job_id=job.job_id, status="ok", payload=payload,
+                    wall_time_s=0.0, from_cache=True)
+                if progress:
+                    progress(results[index])
+                continue
+        pending.append(index)
+
+    context = multiprocessing.get_context()
+    queue: List[int] = list(pending)
+    running: List[_Running] = []
+
+    def finish(slot: _Running, result: JobResult) -> None:
+        result.wall_time_s = time.monotonic() - slot.started
+        results[slot.index] = result
+        if result.ok and cache is not None and keys[slot.index] is not None:
+            cache.put(keys[slot.index], result.payload)
+        if progress:
+            progress(result)
+
+    try:
+        while queue or running:
+            # Launch while worker slots are free.
+            while queue and len(running) < workers:
+                index = queue.pop(0)
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_child_main,
+                    args=(child_conn, runner, jobs[index], memory_limit_mb))
+                process.start()
+                child_conn.close()
+                now = time.monotonic()
+                running.append(_Running(
+                    index=index, process=process, conn=parent_conn,
+                    started=now,
+                    deadline=(now + timeout_s) if timeout_s is not None
+                    else None))
+
+            still: List[_Running] = []
+            for slot in running:
+                job = jobs[slot.index]
+                if slot.conn.poll(_POLL_INTERVAL_S / max(1, len(running))):
+                    try:
+                        status, payload, error = slot.conn.recv()
+                        slot.process.join()
+                    except EOFError:
+                        slot.process.join()
+                        status, payload, error = (
+                            "error", None,
+                            f"worker died with exit code "
+                            f"{slot.process.exitcode}")
+                    slot.conn.close()
+                    finish(slot, JobResult(job_id=job.job_id, status=status,
+                                           payload=payload, error=error))
+                    continue
+                if slot.deadline is not None and \
+                        time.monotonic() > slot.deadline:
+                    # A result that landed since the poll above wins over
+                    # the deadline — don't discard completed work.
+                    if slot.conn.poll(0):
+                        still.append(slot)
+                        continue
+                    slot.process.terminate()
+                    slot.process.join()
+                    slot.conn.close()
+                    finish(slot, JobResult(
+                        job_id=job.job_id, status="timeout",
+                        error=f"wall-clock limit ({timeout_s:.1f}s) "
+                              f"exceeded"))
+                    continue
+                if not slot.process.is_alive():
+                    # The worker may have sent its result and exited in the
+                    # window since the poll above — drain the pipe before
+                    # declaring it dead.
+                    if slot.conn.poll(0):
+                        try:
+                            status, payload, error = slot.conn.recv()
+                        except EOFError:
+                            status, payload, error = (
+                                "error", None,
+                                f"worker died with exit code "
+                                f"{slot.process.exitcode}")
+                        slot.conn.close()
+                        slot.process.join()
+                        finish(slot, JobResult(
+                            job_id=job.job_id, status=status,
+                            payload=payload, error=error))
+                        continue
+                    # Died without a message (e.g. hard OOM kill).
+                    slot.conn.close()
+                    slot.process.join()
+                    finish(slot, JobResult(
+                        job_id=job.job_id, status="error",
+                        error=f"worker died with exit code "
+                              f"{slot.process.exitcode}"))
+                    continue
+                still.append(slot)
+            running = still
+    finally:
+        for slot in running:  # interrupted: leave no orphans behind
+            slot.process.terminate()
+            slot.process.join()
+
+    return [result for result in results if result is not None]

@@ -9,6 +9,13 @@ Examples::
     autosva lsu.sv --out ft_lsu            # generate property/bind/tool files
     autosva lsu.sv --tool native --run     # generate and model-check offline
     autosva mmu.sv --submodule ptw.sv:as   # link a submodule FT, -AS mode
+
+The ``campaign`` subcommand runs the whole evaluation corpus (the paper's
+Table III) through :mod:`repro.campaign`::
+
+    autosva campaign                       # full corpus on 1 worker
+    autosva campaign --cases A1,A2 --workers 2
+    autosva campaign --workers 4 --cache-dir .repro-cache --json t3.json
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ from .flow import SubmoduleLink, generate_ft, run_fv
 from .language import AutoSVAError
 from .toolcfg import ToolConfig
 
-__all__ = ["main", "build_arg_parser"]
+__all__ = ["main", "build_arg_parser", "build_campaign_parser",
+           "campaign_main"]
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -58,7 +66,120 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosva campaign",
+        description="Run a verification campaign over the evaluation "
+                    "corpus: every selected design x variant is generated, "
+                    "model-checked on a worker pool, and aggregated into a "
+                    "Table-III-style report.  The default selection is the "
+                    "whole registry, i.e. the seven Table III rows plus "
+                    "the in-text E10 experiment (examples/"
+                    "table3_outcomes.py reproduces the table proper, "
+                    "without E10).")
+    parser.add_argument("--cases", default=None,
+                        help="comma-separated case ids (default: whole "
+                             "corpus), e.g. A1,A3,O1")
+    parser.add_argument("--variants", default="fixed,buggy",
+                        help="comma-separated subset of fixed,buggy")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock bound in seconds")
+    parser.add_argument("--memory-limit", type=int, default=None,
+                        metavar="MB", help="per-job address-space bound")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache directory (reruns become "
+                             "incremental)")
+    parser.add_argument("--depth", type=int, default=8,
+                        help="engine BMC bound (default 8)")
+    parser.add_argument("--frames", type=int, default=30,
+                        help="engine PDR frame bound (default 30)")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write the full report as JSON")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        metavar="FILE", help="write the report as markdown")
+    return parser
+
+
+def campaign_main(argv: List[str]) -> int:
+    import time
+
+    from ..campaign import (ArtifactCache, CampaignReport, expand_jobs,
+                            run_campaign)
+    from ..designs import CorpusError, validate
+
+    try:
+        args = build_campaign_parser().parse_args(argv)
+    except SystemExit as exc:
+        # Keep the documented contract: 1 = bad usage, 2 = failed jobs.
+        # argparse would exit 2 on usage errors (and 0 on --help).
+        return 0 if exc.code in (0, None) else 1
+    if args.workers < 1:
+        print("autosva campaign: error: --workers must be >= 1",
+              file=sys.stderr)
+        return 1
+    if args.timeout is not None and args.timeout <= 0:
+        print("autosva campaign: error: --timeout must be positive",
+              file=sys.stderr)
+        return 1
+    if args.memory_limit is not None and args.memory_limit <= 0:
+        print("autosva campaign: error: --memory-limit must be positive",
+              file=sys.stderr)
+        return 1
+    case_ids = ([cid.strip() for cid in args.cases.split(",") if cid.strip()]
+                if args.cases else None)
+    variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
+    try:
+        if case_ids is not None:
+            from ..designs import case_by_id
+            cases = [case_by_id(cid) for cid in case_ids]
+        else:
+            from ..designs import CORPUS
+            cases = list(CORPUS)
+        validate(tuple(cases), raise_on_issue=True)
+        jobs = expand_jobs(
+            cases=cases, variants=variants,
+            config=EngineConfig(max_bound=args.depth,
+                                max_frames=args.frames))
+    except (CorpusError, KeyError, ValueError) as exc:
+        print(f"autosva campaign: error: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("autosva campaign: error: no jobs selected", file=sys.stderr)
+        return 1
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    print(f"Running {len(jobs)} jobs on {args.workers} worker(s)...",
+          flush=True)
+    begin = time.monotonic()
+    results = run_campaign(
+        jobs, workers=args.workers, cache=cache, timeout_s=args.timeout,
+        memory_limit_mb=args.memory_limit,
+        progress=lambda r: print(
+            f"  [{r.status:>7}] {r.job_id}"
+            + (" (cached)" if r.from_cache else f" {r.wall_time_s:.1f}s"),
+            flush=True))
+    report = CampaignReport(jobs, results, workers=args.workers,
+                            wall_time_s=time.monotonic() - begin,
+                            cache_stats=cache.stats() if cache else None)
+
+    print()
+    print(report.summary())
+    if args.json:
+        args.json.write_text(report.to_json())
+        print(f"\nJSON report -> {args.json}")
+    if args.markdown:
+        args.markdown.write_text(report.to_markdown())
+        print(f"Markdown report -> {args.markdown}")
+    return 0 if report.num_failed == 0 else 2
+
+
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         source = args.rtl.read_text()

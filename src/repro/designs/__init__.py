@@ -4,6 +4,8 @@ See :mod:`repro.designs.corpus` for the Table III case registry; the RTL
 itself lives under ``repro/designs/verilog/``.
 """
 
-from .corpus import CORPUS, DesignCase, case_by_id, load, verilog_path
+from .corpus import (CORPUS, CorpusError, CorpusIssue, DesignCase,
+                     case_by_id, load, validate, verilog_path)
 
-__all__ = ["CORPUS", "DesignCase", "case_by_id", "load", "verilog_path"]
+__all__ = ["CORPUS", "CorpusError", "CorpusIssue", "DesignCase",
+           "case_by_id", "load", "validate", "verilog_path"]

@@ -12,9 +12,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["DesignCase", "CORPUS", "case_by_id", "verilog_path", "load"]
+__all__ = ["DesignCase", "CORPUS", "CorpusError", "CorpusIssue",
+           "case_by_id", "verilog_path", "load", "validate"]
 
 _VERILOG_ROOT = Path(__file__).parent / "verilog"
+
+
+class CorpusError(RuntimeError):
+    """A corpus RTL file is missing or unusable.
+
+    Raised with the case context instead of letting a bare
+    ``FileNotFoundError`` escape from deep inside :mod:`pathlib`.
+    """
 
 
 def verilog_path(relative: str) -> Path:
@@ -24,7 +33,13 @@ def verilog_path(relative: str) -> Path:
 
 def load(relative: str) -> str:
     """Source text of a corpus RTL file."""
-    return verilog_path(relative).read_text()
+    path = verilog_path(relative)
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        raise CorpusError(
+            f"corpus RTL file {relative!r} is missing (expected at {path}); "
+            f"run repro.designs.validate() for a full health report") from None
 
 
 @dataclass
@@ -70,8 +85,8 @@ CORPUS: Tuple[DesignCase, ...] = (
         case_id="A2", name="Trans. Look. Buffer (TLB)",
         dut_module="tlb", dut_file="ariane/tlb.sv",
         paper_result="100% liveness/safety properties proof",
-        notes="Combinational lookup answers in-cycle; data integrity "
-              "through the vaddr echo."),
+        notes="Single-cycle lookup pipeline; data integrity through the "
+              "vaddr echo."),
     DesignCase(
         case_id="A3", name="Memory Mgmt. Unit (MMU)",
         dut_module="mmu", dut_file="ariane/mmu_fixed.sv",
@@ -130,3 +145,70 @@ def case_by_id(case_id: str) -> DesignCase:
         if case.case_id == case_id:
             return case
     raise KeyError(f"no corpus case {case_id!r}")
+
+
+@dataclass
+class CorpusIssue:
+    """One problem found by :func:`validate`."""
+
+    case_id: str
+    file: str
+    kind: str      # "missing" | "unparsable" | "wrong-module"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.case_id}] {self.file}: {self.kind} — {self.detail}"
+
+
+def validate(cases: Tuple[DesignCase, ...] = CORPUS,
+             parse: bool = True,
+             raise_on_issue: bool = False) -> List[CorpusIssue]:
+    """Health-check the registered corpus against the files on disk.
+
+    For every registered case this checks that the DUT, buggy and extra
+    RTL files exist, and (with ``parse=True``) that each DUT source parses
+    in the supported subset and actually contains the registered
+    ``dut_module``.  Returns the list of issues found (empty when the
+    corpus is healthy); with ``raise_on_issue=True`` raises a single
+    :class:`CorpusError` summarizing all of them instead — the clear
+    error the campaign layer shows before scheduling any work.
+    """
+    issues: List[CorpusIssue] = []
+    for case in cases:
+        dut_like = [(case.dut_file, True)]
+        if case.buggy_file:
+            dut_like.append((case.buggy_file, True))
+        for extra in case.extra_files:
+            dut_like.append((extra, False))
+        for relative, is_dut in dut_like:
+            path = verilog_path(relative)
+            if not path.exists():
+                issues.append(CorpusIssue(
+                    case_id=case.case_id, file=relative, kind="missing",
+                    detail=f"expected at {path}"))
+                continue
+            if not parse:
+                continue
+            # Imported lazily: the registry must stay importable even when
+            # the frontend is not.
+            from ..rtl.parser import ParseError, parse_design
+            from ..rtl.preprocess import strip_ifdefs
+            try:
+                design = parse_design(strip_ifdefs(path.read_text()))
+            except ParseError as exc:
+                issues.append(CorpusIssue(
+                    case_id=case.case_id, file=relative, kind="unparsable",
+                    detail=str(exc)))
+                continue
+            if is_dut and all(m.name != case.dut_module
+                              for m in design.modules):
+                issues.append(CorpusIssue(
+                    case_id=case.case_id, file=relative, kind="wrong-module",
+                    detail=f"module {case.dut_module!r} not found "
+                           f"(has: {', '.join(m.name for m in design.modules)})"))
+    if issues and raise_on_issue:
+        summary = "\n  ".join(str(issue) for issue in issues)
+        raise CorpusError(
+            f"corpus health check failed with {len(issues)} issue(s):\n"
+            f"  {summary}")
+    return issues

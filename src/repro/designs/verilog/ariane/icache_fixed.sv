@@ -1,0 +1,66 @@
+// Ariane L1 instruction cache (reduced model) -- fixed variant.
+//
+// One line of cache state: a fetch that hits (line valid) answers next
+// cycle; a miss refills the line over the mem_req/mem_res port first.
+// flush_i invalidates the line.  The known bug (Ariane issue #474) is a
+// flush arriving during a miss refill: the original cache dropped the
+// pending fetch on the floor.  In this fixed variant the refill still
+// completes the fetch -- the flush only invalidates the line.
+module icache (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  icache_fetch: fetch_req -in> fetch_res
+  icache_refill: mem_req -out> mem_res
+  */
+  input  wire fetch_req_val,
+  output wire fetch_req_ack,
+  output wire fetch_res_val,
+  input  wire flush_i,
+  output wire mem_req_val,
+  input  wire mem_req_ack,
+  input  wire mem_res_val
+);
+  localparam IDLE = 2'd0;
+  localparam REQ  = 2'd1;
+  localparam WAIT = 2'd2;
+  localparam RESP = 2'd3;
+
+  reg [1:0] state_q;
+  reg       cached_q;
+
+  assign fetch_req_ack = state_q == IDLE;
+  assign fetch_res_val = state_q == RESP;
+  assign mem_req_val   = state_q == REQ;
+
+  wire fetch_hsk = fetch_req_val && fetch_req_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      state_q  <= IDLE;
+      cached_q <= 1'b0;
+    end else begin
+      case (state_q)
+        IDLE: begin
+          if (fetch_hsk) begin
+            if (cached_q && !flush_i) state_q <= RESP;  // hit
+            else state_q <= REQ;                        // miss: refill
+          end
+        end
+        REQ: begin
+          if (mem_req_ack && mem_res_val) state_q <= RESP;
+          else if (mem_req_ack) state_q <= WAIT;
+        end
+        WAIT: begin
+          // FIX (#474): the refill completes the pending fetch even when a
+          // flush arrived meanwhile; the flush only invalidates the line.
+          if (mem_res_val) state_q <= RESP;
+        end
+        RESP: state_q <= IDLE;
+      endcase
+      if (flush_i) cached_q <= 1'b0;
+      else if (mem_res_val && (state_q == REQ || state_q == WAIT))
+        cached_q <= 1'b1;
+    end
+  end
+endmodule

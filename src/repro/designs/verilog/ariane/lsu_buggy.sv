@@ -1,0 +1,92 @@
+// Ariane Load Store Unit (reduced model) -- buggy variant (issue #538).
+//
+// A two-slot load scoreboard: each accepted load is sent to the D$ over a
+// one-outstanding val/ack request port (dreq_*) and returns, in order,
+// when the D$ answers (mem_rvalid_i), echoing its transaction id.  The
+// known bug (Ariane issue #538) is modelled through flush_i: an exception
+// raised by a *later* instruction flushes the pipeline while earlier
+// loads are still outstanding.  This variant keeps the original
+// behaviour: the flush clears the live bits of outstanding loads, which
+// then silently never respond.
+module lsu (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  lsu_load: lsu_req -in> lsu_res
+  lsu_req_val = lsu_valid_i
+  lsu_req_rdy = lsu_ready_o
+  [1:0] lsu_req_transid_unique = lsu_trans_id_i
+  lsu_res_val = load_valid_o
+  [1:0] lsu_res_transid = load_trans_id_o
+  lsu_dcache: dreq -out> dres
+  dreq_val = dreq_val_o
+  dreq_rdy = mem_gnt_i
+  dres_val = mem_rvalid_i
+  */
+  input  wire       lsu_valid_i,
+  output wire       lsu_ready_o,
+  input  wire [1:0] lsu_trans_id_i,
+  input  wire       flush_i,
+  output wire       load_valid_o,
+  output wire [1:0] load_trans_id_o,
+  output wire       dreq_val_o,
+  input  wire       mem_gnt_i,
+  input  wire       mem_rvalid_i
+);
+  reg       s0_occ, s0_live;
+  reg [1:0] s0_id;
+  reg       s1_occ, s1_live;
+  reg [1:0] s1_id;
+  reg       inflight_q;
+
+  // Pipeline flushes are single events, not a permanent state.
+  am__flush_finite: assume property (@(posedge clk_i) disable iff (!rst_ni)
+      flush_i |-> s_eventually (!flush_i));
+
+  assign lsu_ready_o = !s1_occ && !flush_i;
+
+  wire alloc    = lsu_valid_i && lsu_ready_o;
+  wire complete = mem_rvalid_i && s0_occ;
+
+  // One memory access in flight: the oldest slot owns the request port.
+  assign dreq_val_o = s0_occ && !inflight_q;
+
+  assign load_valid_o    = complete && s0_live;
+  assign load_trans_id_o = s0_id;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      s0_occ <= 1'b0; s0_live <= 1'b0; s0_id <= 2'd0;
+      s1_occ <= 1'b0; s1_live <= 1'b0; s1_id <= 2'd0;
+      inflight_q <= 1'b0;
+    end else begin
+      // A grant answered in the same cycle is already complete.
+      if (dreq_val_o && mem_gnt_i && !mem_rvalid_i) inflight_q <= 1'b1;
+      else if (mem_rvalid_i) inflight_q <= 1'b0;
+      if (complete) begin
+        s0_occ <= s1_occ; s0_live <= s1_live; s0_id <= s1_id;
+        s1_occ <= 1'b0; s1_live <= 1'b0;
+        if (alloc) begin
+          if (s1_occ) begin
+            s1_occ <= 1'b1; s1_live <= 1'b1; s1_id <= lsu_trans_id_i;
+          end else begin
+            s0_occ <= 1'b1; s0_live <= 1'b1; s0_id <= lsu_trans_id_i;
+          end
+        end
+      end else if (alloc) begin
+        if (s0_occ) begin
+          s1_occ <= 1'b1; s1_live <= 1'b1; s1_id <= lsu_trans_id_i;
+        end else begin
+          s0_occ <= 1'b1; s0_live <= 1'b1; s0_id <= lsu_trans_id_i;
+        end
+      end
+      // BUG (#538): the flush raised by a later instruction's exception
+      // also kills earlier outstanding loads -- their D$ answers are
+      // dropped and the scoreboard entries never produce a response.
+      if (flush_i) begin
+        s0_live <= 1'b0;
+        s1_live <= 1'b0;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,68 @@
+// Ariane Memory Management Unit (reduced model) -- fixed variant.
+//
+// Translates LSU requests.  A misaligned access is answered immediately
+// with an exception; an aligned access starts a page-table walk on the
+// embedded PTW, whose D$ port is exported through req_port_data_*.  The
+// paper's Bug1 was a "ghost response": the misaligned fast path answered
+// the LSU but *also* started a walk, whose completion produced a second
+// response nobody asked for.  The fix (this file) masks the walk start
+// with !lsu_misaligned_i.
+module mmu (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  mmu_lsu: lsu_req -in> lsu_res
+  lsu_req_val = lsu_req_i
+  lsu_req_rdy = lsu_ready_o
+  lsu_res_val = lsu_valid_o
+  mmu_ptw: dreq -out> dres
+  dreq_val = req_port_data_req_o
+  dreq_rdy = req_port_data_gnt_i
+  dres_val = req_port_data_rvalid_i
+  */
+  input  wire lsu_req_i,
+  input  wire lsu_misaligned_i,
+  output wire lsu_ready_o,
+  output wire lsu_valid_o,
+  output wire lsu_exception_o,
+  output wire req_port_data_req_o,
+  input  wire req_port_data_gnt_i,
+  input  wire req_port_data_rvalid_i,
+  input  wire data_err_i
+);
+  reg busy_q;
+  reg err_q;
+
+  wire lsu_hsk    = lsu_req_i && lsu_ready_o;
+  wire misaligned = lsu_hsk && lsu_misaligned_i;
+  // FIX (Bug1): a misaligned request is fully handled by the fast path --
+  // it must not also activate the walker.
+  wire ptw_start  = lsu_hsk && !lsu_misaligned_i;
+  wire walk_done;
+
+  assign lsu_ready_o     = !busy_q;
+  assign lsu_valid_o     = misaligned || walk_done;
+  assign lsu_exception_o = misaligned || (walk_done && err_q);
+
+  ptw u_ptw (
+    .clk_i          (clk_i),
+    .rst_ni         (rst_ni),
+    .dtlb_req_val   (ptw_start),
+    .dtlb_req_ack   (),
+    .dtlb_res_val   (walk_done),
+    .dcache_req_val (req_port_data_req_o),
+    .dcache_req_ack (req_port_data_gnt_i),
+    .dcache_res_val (req_port_data_rvalid_i)
+  );
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q <= 1'b0;
+      err_q  <= 1'b0;
+    end else begin
+      if (ptw_start) busy_q <= 1'b1;
+      else if (walk_done) busy_q <= 1'b0;
+      if (req_port_data_rvalid_i) err_q <= data_err_i;
+    end
+  end
+endmodule

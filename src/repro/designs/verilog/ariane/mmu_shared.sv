@@ -1,0 +1,53 @@
+// Ariane MMU shared-walker front end (reduced model) -- starving variant.
+//
+// The ITLB and DTLB share one page-table walker.  Each side has a 1-deep
+// pending slot; the walker serves a pending DTLB fill with static
+// priority and takes one cycle per walk.  Because the DTLB slot can be
+// refilled in the same cycle it drains, a DTLB that misses every cycle
+// keeps the walker busy forever and the pending ITLB fill starves: the
+// paper's pre-Bug1 fairness CEX (<4-cycle trace).
+module mmu_shared (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  itlb_fill: itlb_req -in> itlb_res
+  dtlb_fill: dtlb_req -in> dtlb_res
+  */
+  input  wire itlb_req_val,
+  output wire itlb_req_ack,
+  output wire itlb_res_val,
+  input  wire dtlb_req_val,
+  output wire dtlb_req_ack,
+  output wire dtlb_res_val
+);
+  reg itlb_pend_q;
+  reg dtlb_pend_q;
+  reg itlb_res_q;
+  reg dtlb_res_q;
+
+  // Static priority: a pending DTLB fill always wins the walker.
+  wire serve_dtlb = dtlb_pend_q;
+  wire serve_itlb = !dtlb_pend_q && itlb_pend_q;
+
+  // A slot accepts a new miss when empty or in the cycle it drains.
+  assign dtlb_req_ack = !dtlb_pend_q || serve_dtlb;
+  assign itlb_req_ack = !itlb_pend_q || serve_itlb;
+  assign dtlb_res_val = dtlb_res_q;
+  assign itlb_res_val = itlb_res_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      itlb_pend_q <= 1'b0;
+      dtlb_pend_q <= 1'b0;
+      itlb_res_q  <= 1'b0;
+      dtlb_res_q  <= 1'b0;
+    end else begin
+      dtlb_pend_q <= (dtlb_pend_q && !serve_dtlb) ||
+                     (dtlb_req_val && dtlb_req_ack);
+      itlb_pend_q <= (itlb_pend_q && !serve_itlb) ||
+                     (itlb_req_val && itlb_req_ack);
+      dtlb_res_q  <= serve_dtlb;
+      itlb_res_q  <= serve_itlb;
+    end
+  end
+endmodule

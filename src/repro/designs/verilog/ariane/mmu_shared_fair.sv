@@ -1,0 +1,58 @@
+// Ariane MMU shared-walker front end (reduced model) -- with fairness assumption.
+//
+// The ITLB and DTLB share one page-table walker.  Each side has a 1-deep
+// pending slot; the walker serves a pending DTLB fill with static
+// priority and takes one cycle per walk.  The starvation CEX of the
+// plain variant is removed the way the paper removed it: by adding an
+// assumption -- DTLB misses do not persist forever -- after which the
+// static-priority walker is fair enough to prove every property.
+module mmu_shared (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  itlb_fill: itlb_req -in> itlb_res
+  dtlb_fill: dtlb_req -in> dtlb_res
+  */
+  input  wire itlb_req_val,
+  output wire itlb_req_ack,
+  output wire itlb_res_val,
+  input  wire dtlb_req_val,
+  output wire dtlb_req_ack,
+  output wire dtlb_res_val
+);
+  // The paper's added assumption: the DTLB miss stream pauses eventually,
+  // giving the walker a free cycle for the pending ITLB fill.
+  am__dtlb_miss_stream_pauses: assume property (@(posedge clk_i)
+      disable iff (!rst_ni) dtlb_req_val |-> s_eventually (!dtlb_req_val));
+
+  reg itlb_pend_q;
+  reg dtlb_pend_q;
+  reg itlb_res_q;
+  reg dtlb_res_q;
+
+  // Static priority: a pending DTLB fill always wins the walker.
+  wire serve_dtlb = dtlb_pend_q;
+  wire serve_itlb = !dtlb_pend_q && itlb_pend_q;
+
+  // A slot accepts a new miss when empty or in the cycle it drains.
+  assign dtlb_req_ack = !dtlb_pend_q || serve_dtlb;
+  assign itlb_req_ack = !itlb_pend_q || serve_itlb;
+  assign dtlb_res_val = dtlb_res_q;
+  assign itlb_res_val = itlb_res_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      itlb_pend_q <= 1'b0;
+      dtlb_pend_q <= 1'b0;
+      itlb_res_q  <= 1'b0;
+      dtlb_res_q  <= 1'b0;
+    end else begin
+      dtlb_pend_q <= (dtlb_pend_q && !serve_dtlb) ||
+                     (dtlb_req_val && dtlb_req_ack);
+      itlb_pend_q <= (itlb_pend_q && !serve_itlb) ||
+                     (itlb_req_val && itlb_req_ack);
+      dtlb_res_q  <= serve_dtlb;
+      itlb_res_q  <= serve_itlb;
+    end
+  end
+endmodule

@@ -1,0 +1,48 @@
+// Ariane Page Table Walker (reduced model).
+//
+// Two transactions (paper Fig. 7): the incoming DTLB-miss walk request
+// (dtlb_ptw) and the outgoing D$ access the walker issues to fetch the
+// PTE (ptw_dcache).  One walk in flight at a time; the D$ response may
+// arrive in the same cycle the request is granted.
+module ptw (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  dtlb_ptw: dtlb_req -in> dtlb_res
+  ptw_dcache: dcache_req -out> dcache_res
+  */
+  input  wire dtlb_req_val,
+  output wire dtlb_req_ack,
+  output wire dtlb_res_val,
+  output wire dcache_req_val,
+  input  wire dcache_req_ack,
+  input  wire dcache_res_val
+);
+  localparam IDLE = 2'd0;
+  localparam REQ  = 2'd1;
+  localparam WAIT = 2'd2;
+  localparam RESP = 2'd3;
+
+  reg [1:0] state_q;
+
+  assign dtlb_req_ack   = state_q == IDLE;
+  assign dcache_req_val = state_q == REQ;
+  assign dtlb_res_val   = state_q == RESP;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      state_q <= IDLE;
+    end else begin
+      case (state_q)
+        IDLE: if (dtlb_req_val) state_q <= REQ;
+        REQ: begin
+          // The PTE may come back the same cycle the request is granted.
+          if (dcache_req_ack && dcache_res_val) state_q <= RESP;
+          else if (dcache_req_ack) state_q <= WAIT;
+        end
+        WAIT: if (dcache_res_val) state_q <= RESP;
+        RESP: state_q <= IDLE;
+      endcase
+    end
+  end
+endmodule

@@ -1,0 +1,55 @@
+// Ariane Translation Lookaside Buffer (reduced model).
+//
+// A single-cycle lookup pipeline: a lookup accepted in cycle t answers in
+// cycle t+1, echoing the looked-up vaddr alongside the hit flag.  The
+// vaddr echo carries the transaction's data attribute, so the generated
+// data-integrity properties check the response belongs to the request.
+// One entry of tag state stands in for the TLB array; the update port
+// fills it and flush invalidates it.
+module tlb (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  tlb_lookup: lu_req -in> lu_res
+  [1:0] lu_req_data = lu_vaddr_i
+  [1:0] lu_res_data = lu_vaddr_echo_o
+  */
+  input  wire       lu_req_val,
+  output wire       lu_req_ack,
+  input  wire [1:0] lu_vaddr_i,
+  output wire       lu_res_val,
+  output wire [1:0] lu_vaddr_echo_o,
+  output wire       lu_hit_o,
+  input  wire       update_i,
+  input  wire [1:0] update_vpn_i,
+  input  wire       flush_i
+);
+  reg       busy_q;
+  reg [1:0] vaddr_q;
+  reg       entry_valid_q;
+  reg [1:0] entry_vpn_q;
+
+  assign lu_req_ack      = !busy_q;
+  assign lu_res_val      = busy_q;
+  assign lu_vaddr_echo_o = vaddr_q;
+  assign lu_hit_o        = entry_valid_q && entry_vpn_q == vaddr_q;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      busy_q        <= 1'b0;
+      vaddr_q       <= 2'd0;
+      entry_valid_q <= 1'b0;
+      entry_vpn_q   <= 2'd0;
+    end else begin
+      busy_q <= lu_req_val && lu_req_ack;
+      if (lu_req_val && lu_req_ack)
+        vaddr_q <= lu_vaddr_i;
+      if (flush_i)
+        entry_valid_q <= 1'b0;
+      else if (update_i) begin
+        entry_valid_q <= 1'b1;
+        entry_vpn_q   <= update_vpn_i;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,68 @@
+// OpenPiton L1.5 private cache (reduced model).
+//
+// Two faces: the NoC1 buffer instance (noc1buffer_req in, noc1buffer_enc
+// out) it embeds, and the core-side miss path (l15_req in, l15_res out)
+// that is filled by a NoC2 message.  The paper's Table III outcome is
+// mixed: the buffer-path properties prove, while the miss-fill
+// transaction has CEXs because the NoC2 message types are
+// under-constrained -- the formal environment may answer with a message
+// type that is not a fill (noc2_type_i != NOC2_FILL), or with none at
+// all, so the fill never completes.
+module l15 (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  l15_miss: l15_req -in> l15_res
+  nocbuf: noc1buffer_req -in> noc1buffer_enc
+  [1:0] noc1buffer_req_transid = noc1buffer_req_mshrid
+  [1:0] noc1buffer_enc_transid = noc1buffer_enc_mshrid
+  */
+  input  wire       l15_req_val,
+  output wire       l15_req_ack,
+  output wire       l15_res_val,
+  input  wire       noc2_val_i,
+  input  wire [1:0] noc2_type_i,
+  input  wire       noc1buffer_req_val,
+  output wire       noc1buffer_req_ack,
+  input  wire [1:0] noc1buffer_req_mshrid,
+  output wire       noc1buffer_enc_val,
+  input  wire       noc1buffer_enc_ack,
+  output wire [1:0] noc1buffer_enc_mshrid
+);
+  localparam NOC2_FILL = 2'd1;
+
+  localparam IDLE = 2'd0;
+  localparam WAIT = 2'd1;
+  localparam RESP = 2'd2;
+
+  reg [1:0] miss_q;
+
+  assign l15_req_ack = miss_q == IDLE;
+  assign l15_res_val = miss_q == RESP;
+
+  wire fill = noc2_val_i && noc2_type_i == NOC2_FILL;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      miss_q <= IDLE;
+    end else begin
+      case (miss_q)
+        IDLE: if (l15_req_val) miss_q <= WAIT;
+        WAIT: if (fill) miss_q <= RESP;
+        RESP: miss_q <= IDLE;
+        default: miss_q <= IDLE;
+      endcase
+    end
+  end
+
+  noc_buffer u_buf (
+    .clk_i                 (clk_i),
+    .rst_ni                (rst_ni),
+    .noc1buffer_req_val    (noc1buffer_req_val),
+    .noc1buffer_req_ack    (noc1buffer_req_ack),
+    .noc1buffer_req_mshrid (noc1buffer_req_mshrid),
+    .noc1buffer_enc_val    (noc1buffer_enc_val),
+    .noc1buffer_enc_ack    (noc1buffer_enc_ack),
+    .noc1buffer_enc_mshrid (noc1buffer_enc_mshrid)
+  );
+endmodule

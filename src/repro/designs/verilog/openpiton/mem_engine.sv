@@ -1,0 +1,41 @@
+// OpenPiton Mem Engine (reduced model): the system context of Bug2.
+//
+// On go_i it issues a 4-beat burst of NoC1 requests, trusting
+// noc1buffer_req_ack to pace it.  Against the buggy buffer (whose ack
+// ignores fullness) the burst overflows the 2-entry FIFO exactly the way
+// the unconstrained formal environment does in the AutoSVA FT.  Encoder
+// responses are always accepted.
+module mem_engine (
+  input  wire       clk_i,
+  input  wire       rst_ni,
+  input  wire       go_i,
+  output wire       busy_o,
+  output wire       noc1buffer_req_val,
+  input  wire       noc1buffer_req_ack,
+  output wire [1:0] noc1buffer_req_mshrid,
+  input  wire       noc1buffer_enc_val,
+  output wire       noc1buffer_enc_ack,
+  input  wire [1:0] noc1buffer_enc_mshrid
+);
+  reg [2:0] beats_q;
+  reg [1:0] mshrid_q;
+
+  assign busy_o = beats_q != 3'd0;
+  assign noc1buffer_req_val = busy_o;
+  assign noc1buffer_req_mshrid = mshrid_q;
+  assign noc1buffer_enc_ack = 1'b1;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      beats_q  <= 3'd0;
+      mshrid_q <= 2'd0;
+    end else begin
+      if (!busy_o && go_i) begin
+        beats_q <= 3'd4;
+      end else if (busy_o && noc1buffer_req_ack) begin
+        beats_q  <= beats_q - 3'd1;
+        mshrid_q <= mshrid_q + 2'd1;
+      end
+    end
+  end
+endmodule

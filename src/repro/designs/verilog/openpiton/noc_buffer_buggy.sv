@@ -1,0 +1,59 @@
+// OpenPiton NoC1 buffer (reduced model) -- buggy variant (paper Bug2).
+//
+// Written for the L1.5$, whose MSHR logic never issues more requests than
+// the buffer has entries, the ack ignores fullness.  Reused under the Mem
+// Engine that implicit contract breaks: a burst overflows the FIFO, the
+// write pointer wraps onto a live entry and silently overwrites it, and
+// the overwritten request never reaches the NoC -- deadlock.
+module noc_buffer (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  nocbuf: noc1buffer_req -in> noc1buffer_enc
+  [1:0] noc1buffer_req_transid = noc1buffer_req_mshrid
+  [1:0] noc1buffer_enc_transid = noc1buffer_enc_mshrid
+  */
+  input  wire       noc1buffer_req_val,
+  output wire       noc1buffer_req_ack,
+  input  wire [1:0] noc1buffer_req_mshrid,
+  output wire       noc1buffer_enc_val,
+  input  wire       noc1buffer_enc_ack,
+  output wire [1:0] noc1buffer_enc_mshrid
+);
+  reg [1:0] mem0;
+  reg [1:0] mem1;
+  reg       wr_ptr;
+  reg       rd_ptr;
+  reg [1:0] count;
+
+  wire full = count == 2'd2;
+
+  // BUG (Bug2): unconditional ack -- the fullness condition is missing.
+  assign noc1buffer_req_ack = 1'b1;
+  assign noc1buffer_enc_val = count != 2'd0;
+  assign noc1buffer_enc_mshrid = rd_ptr ? mem1 : mem0;
+
+  wire push = noc1buffer_req_val && noc1buffer_req_ack;
+  wire pop  = noc1buffer_enc_val && noc1buffer_enc_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      mem0   <= 2'd0;
+      mem1   <= 2'd0;
+      wr_ptr <= 1'b0;
+      rd_ptr <= 1'b0;
+      count  <= 2'd0;
+    end else begin
+      if (push) begin
+        // When full this wraps onto the oldest live entry and overwrites
+        // it -- the silent drop behind the deadlock.
+        if (wr_ptr) mem1 <= noc1buffer_req_mshrid;
+        else        mem0 <= noc1buffer_req_mshrid;
+        wr_ptr <= !wr_ptr;
+      end
+      if (pop) rd_ptr <= !rd_ptr;
+      if (push && !pop) count <= full ? 2'd2 : count + 2'd1;
+      else if (pop && !push) count <= count - 2'd1;
+    end
+  end
+endmodule

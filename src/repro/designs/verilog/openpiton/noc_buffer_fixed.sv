@@ -1,0 +1,56 @@
+// OpenPiton NoC1 buffer (reduced model) -- fixed variant.
+//
+// A 2-entry FIFO between the request side (L1.5 / Mem Engine) and the NoC
+// encoder.  The paper's Bug2 lived in the ack: the original buffer ack'd
+// unconditionally because the L1.5's MSHR logic could never overflow it.
+// The fix (this file) adds the not-full condition to the ack.
+module noc_buffer (
+  input  wire clk_i,
+  input  wire rst_ni,
+  /*AUTOSVA
+  nocbuf: noc1buffer_req -in> noc1buffer_enc
+  [1:0] noc1buffer_req_transid = noc1buffer_req_mshrid
+  [1:0] noc1buffer_enc_transid = noc1buffer_enc_mshrid
+  */
+  input  wire       noc1buffer_req_val,
+  output wire       noc1buffer_req_ack,
+  input  wire [1:0] noc1buffer_req_mshrid,
+  output wire       noc1buffer_enc_val,
+  input  wire       noc1buffer_enc_ack,
+  output wire [1:0] noc1buffer_enc_mshrid
+);
+  reg [1:0] mem0;
+  reg [1:0] mem1;
+  reg       wr_ptr;
+  reg       rd_ptr;
+  reg [1:0] count;
+
+  wire full = count == 2'd2;
+
+  // FIX (Bug2): the ack carries the not-full condition.
+  assign noc1buffer_req_ack = !full;
+  assign noc1buffer_enc_val = count != 2'd0;
+  assign noc1buffer_enc_mshrid = rd_ptr ? mem1 : mem0;
+
+  wire push = noc1buffer_req_val && noc1buffer_req_ack;
+  wire pop  = noc1buffer_enc_val && noc1buffer_enc_ack;
+
+  always_ff @(posedge clk_i or negedge rst_ni) begin
+    if (!rst_ni) begin
+      mem0   <= 2'd0;
+      mem1   <= 2'd0;
+      wr_ptr <= 1'b0;
+      rd_ptr <= 1'b0;
+      count  <= 2'd0;
+    end else begin
+      if (push) begin
+        if (wr_ptr) mem1 <= noc1buffer_req_mshrid;
+        else        mem0 <= noc1buffer_req_mshrid;
+        wr_ptr <= !wr_ptr;
+      end
+      if (pop) rd_ptr <= !rd_ptr;
+      if (push && !pop) count <= count + 2'd1;
+      else if (pop && !push) count <= count - 2'd1;
+    end
+  end
+endmodule

@@ -1,0 +1,39 @@
+"""Campaign CLI contract tests: exit codes and report files."""
+
+import json
+
+from repro.core.cli import main as cli_main
+
+
+class TestCampaignCli:
+    def test_smoke_campaign_writes_reports(self, tmp_path, capsys):
+        json_out = tmp_path / "t3.json"
+        md_out = tmp_path / "t3.md"
+        rc = cli_main(["campaign", "--cases", "A2", "--workers", "2",
+                       "--json", str(json_out),
+                       "--markdown", str(md_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "100% liveness/safety properties proof" in out
+        data = json.loads(json_out.read_text())
+        assert data["totals"]["ok"] == 1
+        assert "| A2." in md_out.read_text()
+
+    def test_usage_errors_exit_1(self, capsys):
+        # Both semantic and argparse-level usage errors keep the
+        # documented contract: 1 = bad usage, 2 = failed jobs.
+        assert cli_main(["campaign", "--cases", "ZZ"]) == 1
+        assert cli_main(["campaign", "--workers", "0"]) == 1
+        assert cli_main(["campaign", "--workers", "abc"]) == 1
+        assert cli_main(["campaign", "--timeout", "-5"]) == 1
+        capsys.readouterr()
+
+    def test_help_exits_0(self, capsys):
+        assert cli_main(["campaign", "--help"]) == 0
+        assert "--cache-dir" in capsys.readouterr().out
+
+    def test_failed_job_exits_2(self, capsys):
+        rc = cli_main(["campaign", "--cases", "A2", "--variants", "fixed",
+                       "--timeout", "0.01"])
+        assert rc == 2
+        assert "timeout" in capsys.readouterr().out

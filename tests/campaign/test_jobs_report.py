@@ -1,0 +1,168 @@
+"""Job expansion and report aggregation tests (no engine runs needed)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignJob, CampaignReport, JobResult,
+                            default_engine_config, expand_jobs)
+from repro.designs import CORPUS
+from repro.formal import EngineConfig
+
+
+class TestExpandJobs:
+    def test_full_corpus_expansion(self):
+        jobs = expand_jobs()
+        ids = [j.job_id for j in jobs]
+        assert len(ids) == len(set(ids))
+        # every case yields a fixed job; only cases with a buggy file a
+        # buggy one
+        for case in CORPUS:
+            assert f"{case.case_id}.fixed" in ids
+            assert (f"{case.case_id}.buggy" in ids) == bool(case.buggy_file)
+
+    def test_variant_filter(self):
+        jobs = expand_jobs(variants=("buggy",))
+        assert jobs and all(j.variant == "buggy" for j in jobs)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            expand_jobs(variants=("fixed", "zz"))
+
+    def test_config_sweep_gets_distinct_ids(self):
+        configs = [EngineConfig(max_bound=4), EngineConfig(max_bound=8)]
+        jobs = expand_jobs(case_ids=["A2"], variants=("fixed",),
+                           configs=configs)
+        assert [j.job_id for j in jobs] == ["A2.fixed.cfg0", "A2.fixed.cfg1"]
+        assert jobs[0].engine_config.max_bound == 4
+        assert jobs[1].engine_config.max_bound == 8
+
+    def test_expectations_carried(self):
+        jobs = {j.job_id: j for j in expand_jobs(case_ids=["A3"])}
+        assert jobs["A3.fixed"].expect_proof is True
+        assert jobs["A3.buggy"].expect_cex == "had_a_request"
+
+
+def _job(job_id, case_id="A9", variant="fixed", name="Synthetic", **kw):
+    return CampaignJob(
+        job_id=job_id, case_id=case_id, case_name=name, dut_module="m",
+        variant=variant, dut_file="x.sv", extra_files=(),
+        engine_config=default_engine_config(), **kw)
+
+
+def _payload(proof_rate, cex=(), props=3):
+    return {
+        "design": "m", "proof_rate": proof_rate, "num_properties": props,
+        "num_proven": props - len(cex), "num_cex": len(cex),
+        "cex": [{"name": f"u_m_sva.as__{n}", "depth": d} for n, d in cex],
+        "properties": [], "annotation_loc": 2, "property_count": props,
+        "engine_time_s": 0.5,
+    }
+
+
+class TestCampaignReport:
+    def _bug_campaign(self):
+        jobs = [_job("A9.fixed"), _job("A9.buggy", variant="buggy")]
+        results = [
+            JobResult("A9.fixed", "ok", _payload(1.0), wall_time_s=1.0),
+            JobResult("A9.buggy", "ok",
+                      _payload(0.5, cex=[("t_eventual_response", 4)]),
+                      wall_time_s=2.0),
+        ]
+        return CampaignReport(jobs, results, workers=2, wall_time_s=2.5)
+
+    def test_bug_found_and_fixed_row(self):
+        rows = self._bug_campaign().rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.outcome == \
+            "Bug found (t_eventual_response) and fixed -> 100% proof"
+        assert row.fixed_proof_rate == 1.0
+        assert row.buggy_proof_rate == 0.5
+        assert row.cex_depths == [4]
+        assert row.time_s == pytest.approx(3.0)
+
+    def test_partial_proof_row(self):
+        jobs = [_job("O9.fixed", case_id="O9")]
+        results = [JobResult("O9.fixed", "ok",
+                             _payload(0.6, cex=[("miss_hsk", 2)]))]
+        row = CampaignReport(jobs, results).rows()[0]
+        assert row.outcome.startswith("partial proof")
+
+    def test_error_surfaces_in_row(self):
+        jobs = [_job("A9.fixed")]
+        results = [JobResult("A9.fixed", "error", error="boom")]
+        report = CampaignReport(jobs, results)
+        row = report.rows()[0]
+        assert row.outcome == "campaign error"
+        assert report.num_failed == 1
+
+    def test_json_roundtrip(self):
+        report = self._bug_campaign()
+        data = json.loads(report.to_json())
+        assert data["totals"]["jobs"] == 2
+        assert data["rows"][0]["case_id"] == "A9"
+        assert len(data["results"]) == 2
+
+    def test_markdown_has_all_rows(self):
+        text = self._bug_campaign().to_markdown()
+        assert "| A9. Synthetic |" in text
+        assert "2 jobs" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignReport([_job("a")], [])
+
+    def test_result_lookup(self):
+        report = self._bug_campaign()
+        assert report.result("A9.buggy").wall_time_s == 2.0
+        with pytest.raises(KeyError):
+            report.result("nope")
+
+    def test_unreproduced_bug_is_never_claimed(self):
+        # A shallow bound can leave the buggy variant clean; the report
+        # must say so instead of printing "Bug found ()".
+        jobs = [_job("A9.fixed"), _job("A9.buggy", variant="buggy")]
+        results = [JobResult("A9.fixed", "ok", _payload(1.0)),
+                   JobResult("A9.buggy", "ok", _payload(1.0))]
+        row = CampaignReport(jobs, results).rows()[0]
+        assert "NOT reproduced" in row.outcome
+        assert "Bug found" not in row.outcome
+
+    def test_expectation_mismatches_flagged(self):
+        jobs = [_job("A9.fixed", expect_proof=True),
+                _job("A9.buggy", variant="buggy",
+                     expect_cex="eventual_response")]
+        results = [JobResult("A9.fixed", "ok", _payload(0.5)),
+                   JobResult("A9.buggy", "ok", _payload(1.0))]
+        report = CampaignReport(jobs, results)
+        row = report.rows()[0]
+        assert any("expected 100% proof" in m for m in row.mismatches)
+        assert any("eventual_response" in m for m in row.mismatches)
+        assert "expectation:" in report.summary()
+
+    def test_met_expectations_not_flagged(self):
+        jobs = [_job("A9.buggy", variant="buggy",
+                     expect_cex="t_eventual_response")]
+        results = [JobResult("A9.buggy", "ok",
+                             _payload(0.5,
+                                      cex=[("t_eventual_response", 3)]))]
+        assert CampaignReport(jobs, results).rows()[0].mismatches == []
+
+    def test_totals_count_each_case_once_under_config_sweep(self):
+        jobs = [_job("A9.fixed.cfg0"), _job("A9.fixed.cfg1")]
+        results = [JobResult(j.job_id, "ok", _payload(1.0)) for j in jobs]
+        totals = CampaignReport(jobs, results).totals()
+        assert totals["properties"] == 3      # not 6: same FT, two configs
+        assert totals["annotation_loc"] == 2  # not 4
+
+    def test_sweep_rows_keep_primary_config_headline(self):
+        # The first (primary) config owns the row's proof rate; a later,
+        # shallower config must not silently overwrite it.
+        jobs = [_job("A9.fixed.cfg0"), _job("A9.fixed.cfg1")]
+        results = [JobResult("A9.fixed.cfg0", "ok", _payload(1.0)),
+                   JobResult("A9.fixed.cfg1", "ok",
+                             _payload(0.5, cex=[("t_hsk", 2)]))]
+        row = CampaignReport(jobs, results).rows()[0]
+        assert row.fixed_proof_rate == 1.0
+        assert "fixed:t_hsk" in row.cex_properties  # cfg1 still visible

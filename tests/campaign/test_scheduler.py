@@ -1,0 +1,150 @@
+"""Scheduler contract tests: determinism, isolation, bounds, caching.
+
+The runners used to provoke failures are module-level functions so forked
+workers resolve them regardless of start method.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.campaign import (ArtifactCache, CampaignJob, expand_jobs,
+                            run_campaign)
+from repro.formal import EngineConfig
+
+FAST_CONFIG = EngineConfig(max_bound=6, max_frames=25)
+
+
+def _fast_jobs(case_ids=("A2", "E10")):
+    return expand_jobs(case_ids=list(case_ids), config=FAST_CONFIG)
+
+
+def _dummy_job(job_id="dummy", dut_file="ariane/tlb.sv"):
+    return CampaignJob(
+        job_id=job_id, case_id="X", case_name="dummy", dut_module="tlb",
+        variant="fixed", dut_file=dut_file, extra_files=(),
+        engine_config=FAST_CONFIG)
+
+
+def _comparable(results):
+    """Everything that must be identical across worker counts."""
+    out = []
+    for result in results:
+        payload = dict(result.payload or {})
+        payload.pop("engine_time_s", None)  # timing is not part of the contract
+        out.append((result.job_id, result.status, result.error, payload))
+    return out
+
+
+# -- runners for failure-injection tests (top-level: fork/spawn safe) -----
+def _sleepy_runner(job):
+    time.sleep(30)
+    return {"never": "reached"}
+
+
+def _crashy_runner(job):
+    os._exit(3)
+
+
+def _greedy_runner(job):
+    block = bytearray(512 * 1024 * 1024)
+    return {"bytes": len(block)}
+
+
+def _echo_runner(job):
+    return {"job_id": job.job_id}
+
+
+class TestDeterminism:
+    def test_results_identical_across_worker_counts(self):
+        jobs = _fast_jobs()
+        serial = run_campaign(jobs, workers=1)
+        parallel = run_campaign(jobs, workers=4)
+        assert [r.job_id for r in serial] == [j.job_id for j in jobs]
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_order_is_job_order_not_completion_order(self):
+        # A slow job first, fast ones after: completion order inverts, the
+        # result list must not.
+        jobs = _fast_jobs(("O1",)) + _fast_jobs(("A2",))
+        results = run_campaign(jobs, workers=4)
+        assert [r.job_id for r in results] == [j.job_id for j in jobs]
+
+
+class TestFailureIsolation:
+    def test_raising_job_yields_error_result(self):
+        jobs = [_dummy_job("good"),
+                _dummy_job("bad", dut_file="ariane/does_not_exist.sv"),
+                _dummy_job("good2")]
+        results = run_campaign(jobs, workers=2)
+        assert [r.job_id for r in results] == ["good", "bad", "good2"]
+        assert results[0].ok and results[2].ok
+        assert results[1].status == "error"
+        assert "does_not_exist" in results[1].error
+
+    def test_timeout_yields_per_job_timeout(self):
+        jobs = [_dummy_job("slow1"), _dummy_job("slow2")]
+        begin = time.monotonic()
+        results = run_campaign(jobs, workers=2, timeout_s=0.5,
+                               runner=_sleepy_runner)
+        assert time.monotonic() - begin < 10
+        assert all(r.status == "timeout" for r in results)
+        assert "wall-clock" in results[0].error
+
+    def test_worker_crash_is_isolated(self):
+        jobs = [_dummy_job("boom"), _dummy_job("fine")]
+        results = run_campaign(jobs, workers=2,
+                               runner=_crashy_runner)
+        assert results[0].status == "error"
+        assert "exit code" in results[0].error
+
+    def test_memory_limit_enforced(self):
+        jobs = [_dummy_job("hog")]
+        results = run_campaign(jobs, workers=1, memory_limit_mb=128,
+                               runner=_greedy_runner)
+        assert results[0].status == "error"
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign([_dummy_job()], workers=0)
+
+
+class TestCache:
+    def test_second_run_served_from_cache(self, tmp_path):
+        jobs = _fast_jobs(("A2",))
+        cache = ArtifactCache(tmp_path)
+        first = run_campaign(jobs, workers=1, cache=cache)
+        assert not any(r.from_cache for r in first)
+        begin = time.monotonic()
+        second = run_campaign(jobs, workers=1, cache=cache)
+        assert all(r.from_cache for r in second)
+        assert time.monotonic() - begin < 1.0
+        assert _comparable(first) == _comparable(second)
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        job = _fast_jobs(("A2",))[0]
+        other = dataclasses.replace(
+            job, engine_config=EngineConfig(max_bound=4, max_frames=20))
+        assert cache.key(job) != cache.key(other)
+
+    def test_source_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        tlb = _dummy_job("tlb")
+        ptw = _dummy_job("ptw", dut_file="ariane/ptw.sv")
+        assert cache.key(tlb) != cache.key(ptw)
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        jobs = [_dummy_job("bad", dut_file="ariane/does_not_exist.sv")]
+        run_campaign(jobs, workers=1, cache=cache)
+        assert cache.stats()["entries"] == 0
+
+    def test_progress_callback_sees_every_job(self, tmp_path):
+        jobs = [_dummy_job("a"), _dummy_job("b")]
+        seen = []
+        run_campaign(jobs, workers=2, runner=_echo_runner,
+                     progress=lambda r: seen.append(r.job_id))
+        assert sorted(seen) == ["a", "b"]

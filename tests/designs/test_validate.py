@@ -1,0 +1,39 @@
+"""Corpus health-check tests (the validate() registry guard)."""
+
+import dataclasses
+
+import pytest
+
+from repro.designs import CORPUS, CorpusError, load, validate
+
+
+class TestValidate:
+    def test_shipped_corpus_is_healthy(self):
+        assert validate() == []
+
+    def test_missing_file_reported_with_case_context(self):
+        broken = dataclasses.replace(CORPUS[0],
+                                     dut_file="ariane/not_there.sv")
+        issues = validate((broken,), parse=False)
+        assert len(issues) == 1
+        assert issues[0].kind == "missing"
+        assert issues[0].case_id == broken.case_id
+        assert "not_there.sv" in str(issues[0])
+
+    def test_wrong_module_reported(self):
+        broken = dataclasses.replace(CORPUS[0], dut_module="ghost")
+        issues = validate((broken,))
+        assert any(issue.kind == "wrong-module" for issue in issues)
+
+    def test_raise_on_issue_collects_everything(self):
+        broken = dataclasses.replace(
+            CORPUS[0], dut_file="ariane/not_there.sv",
+            extra_files=["openpiton/also_missing.sv"])
+        with pytest.raises(CorpusError) as excinfo:
+            validate((broken,), raise_on_issue=True)
+        message = str(excinfo.value)
+        assert "not_there.sv" in message and "also_missing.sv" in message
+
+    def test_load_raises_clear_error(self):
+        with pytest.raises(CorpusError, match="missing"):
+            load("ariane/definitely_not_a_file.sv")
