@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test corpus-check smoke-campaign campaign bench-campaign verify
+.PHONY: test corpus-check smoke-campaign smoke-property campaign \
+	bench-campaign verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +17,13 @@ smoke-campaign:
 	$(PYTHON) -m repro.core.cli campaign --cases A1,A2 --workers 2 \
 	--timeout 120
 
+# Per-property granularity smoke: shard one ariane design's property set
+# across 2 workers (exercises the repro.api task/session/compile-cache
+# path on every push).
+smoke-property:
+	$(PYTHON) -m repro.core.cli campaign --cases A2 \
+	--granularity property --workers 2 --timeout 120
+
 campaign:
 	$(PYTHON) -m repro.core.cli campaign --workers 4 \
 	--cache-dir .repro-cache
@@ -23,4 +31,4 @@ campaign:
 bench-campaign:
 	cd benchmarks && $(PYTHON) -m pytest -x -q bench_campaign.py -s
 
-verify: test corpus-check smoke-campaign
+verify: test corpus-check smoke-campaign smoke-property

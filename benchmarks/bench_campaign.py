@@ -16,14 +16,18 @@ orchestration ones:
    served entirely from the content-hash artifact cache and runs in
    milliseconds, beating any worker count;
 4. **determinism** — every configuration returns identical result lists,
-   which is what makes the wall-clock comparison meaningful.
+   which is what makes the wall-clock comparison meaningful;
+5. **property granularity** (the ``repro.api`` redesign) — sharding each
+   design's property set across the pool removes the longest-job floor of
+   design granularity while compiling every design exactly once.
 """
 
 import os
 import time
 
+from repro.api import COMPILE_CACHE
 from repro.campaign import (ArtifactCache, CampaignJob, expand_jobs,
-                            run_campaign)
+                            run_campaign, run_property_campaign)
 from repro.formal import EngineConfig
 
 #: Small/medium designs: enough work to measure, quick enough for CI.
@@ -140,3 +144,37 @@ def test_cached_rerun_is_fastest(benchmark, tmp_path):
     # The cached rerun beats any solver-running configuration outright.
     assert warm_wall < cold_wall / 10
     assert warm_wall < 2.0
+
+
+def test_property_granularity_scaling(benchmark):
+    """Property sharding vs design jobs on the same corpus slice.
+
+    Design granularity's wall-clock floor is the slowest single design;
+    property tasks split that design across the pool.  On a single-core
+    box the interesting assertions are the contract ones: identical
+    verdict payloads and exactly one compile per design × variant."""
+    jobs = _jobs()
+
+    def run_both():
+        begin = time.monotonic()
+        design_results = run_campaign(jobs, workers=4)
+        design_wall = time.monotonic() - begin
+        compiles_before = COMPILE_CACHE.compiles
+        begin = time.monotonic()
+        property_results = run_property_campaign(jobs, workers=4)
+        property_wall = time.monotonic() - begin
+        compiles = COMPILE_CACHE.compiles - compiles_before
+        return design_results, design_wall, property_results, \
+            property_wall, compiles
+
+    design_results, design_wall, property_results, property_wall, \
+        compiles = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    cores = _cores()
+    print(f"\nE13 granularity ({len(jobs)} designs, {cores} core(s)): "
+          f"design {design_wall:.1f}s, property {property_wall:.1f}s, "
+          f"{compiles} compiles")
+    assert _strip_timing(design_results) == _strip_timing(property_results)
+    # At most one parent-side frontend run per design x variant (the
+    # worker-side no-recompile guarantee is asserted via
+    # TaskEvent.compiled_in_worker in tests/api/test_session.py).
+    assert compiles <= len(jobs)

@@ -8,7 +8,10 @@ table in the shape of the paper's Table III, plus the aggregate
 property/annotation counts of Section IV.
 
 Run:  python examples/table3_outcomes.py [--workers 4] [--cache-dir DIR]
-      (~1-2 minutes serial; scales with workers)
+      [--granularity property]
+      (~1-2 minutes serial; scales with workers.  Property granularity
+      shards each design's property set across the pool via repro.api —
+      same verdicts, better critical path on multi-core boxes.)
 """
 
 import argparse
@@ -16,7 +19,7 @@ import sys
 import time
 
 from repro.campaign import (ArtifactCache, CampaignReport, expand_jobs,
-                            run_campaign)
+                            run_campaign, run_property_campaign)
 from repro.designs import CORPUS, validate
 
 
@@ -24,6 +27,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--granularity", choices=("design", "property"),
+                        default="design")
     args = parser.parse_args()
 
     # E10 is an in-text experiment, not a Table III row.
@@ -33,12 +38,22 @@ def main() -> None:
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
 
     begin = time.monotonic()
-    results = run_campaign(
-        jobs, workers=args.workers, cache=cache,
-        progress=lambda r: print(
-            f"[{r.job_id}] {r.status}"
-            + (" (cached)" if r.from_cache else f" in {r.wall_time_s:.1f}s"),
-            flush=True))
+    if args.granularity == "property":
+        results = run_property_campaign(
+            jobs, workers=args.workers, cache=cache,
+            progress=lambda e: print(
+                f"[{e.task_id}] {e.status}"
+                + (" (cached)" if e.from_cache
+                   else f" in {e.wall_time_s:.1f}s"),
+                flush=True))
+    else:
+        results = run_campaign(
+            jobs, workers=args.workers, cache=cache,
+            progress=lambda r: print(
+                f"[{r.job_id}] {r.status}"
+                + (" (cached)" if r.from_cache
+                   else f" in {r.wall_time_s:.1f}s"),
+                flush=True))
     report = CampaignReport(jobs, results, workers=args.workers,
                             wall_time_s=time.monotonic() - begin,
                             cache_stats=cache.stats() if cache else None)

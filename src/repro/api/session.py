@@ -1,0 +1,182 @@
+"""Verification sessions: schedule property tasks, stream results.
+
+A :class:`VerificationSession` is the new top of the verification API:
+
+* it takes a list of :class:`~repro.api.task.PropertyTask` (from
+  :func:`~repro.api.task.expand_tasks` or the campaign layer),
+* pre-compiles each distinct design × variant **once** in the calling
+  process (populating the shared compile cache, which forked workers
+  inherit — this is what makes per-property sharding recompile-free),
+* :meth:`run` streams :class:`~repro.api.task.TaskEvent` objects as tasks
+  finish on the worker pool,
+* and :meth:`reports` rebuilds per-design
+  :class:`~repro.formal.engine.CheckReport` aggregates from the events, in
+  canonical property order, identical in verdicts to a whole-design run.
+
+Batch usage::
+
+    tasks = expand_tasks([source], "tlb", EngineConfig(max_bound=8))
+    session = VerificationSession(tasks, workers=4)
+    for event in session.run():          # streams as verdicts land
+        print(event.task_id, event.status)
+    report = session.reports()["tlb"]    # the familiar CheckReport shape
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..campaign.cache import ArtifactCache
+from ..campaign.scheduler import iter_campaign
+from ..formal.engine import CheckReport, PropertyResult
+from .compile import compile_design
+from .task import PropertyTask, TaskEvent, execute_task
+
+__all__ = ["VerificationSession", "run_tasks", "aggregate_reports"]
+
+
+def _event_from(task: PropertyTask, result) -> TaskEvent:
+    payload = result.payload or {}
+    return TaskEvent(
+        task_id=task.task_id, design=task.design, variant=task.variant,
+        status=result.status,
+        results=list(payload.get("properties", [])),
+        error=result.error, wall_time_s=result.wall_time_s,
+        from_cache=result.from_cache,
+        # A cache replay compiled nothing *this* run, whatever the stored
+        # payload recorded about the run that produced it.
+        compiled_in_worker=(not result.from_cache
+                            and bool(payload.get("compiled_in_worker",
+                                                 False))),
+        engine_time_s=float(payload.get("engine_time_s", 0.0)))
+
+
+def aggregate_reports(tasks: Sequence[PropertyTask],
+                      events: Sequence[TaskEvent]
+                      ) -> Dict[str, CheckReport]:
+    """Rebuild per-design :class:`CheckReport` objects from task events.
+
+    Only ``ok`` events contribute; failed tasks are the caller's to
+    inspect (:attr:`VerificationSession.failures`).  Property order is the
+    task-expansion order, which :func:`~repro.api.task.expand_tasks`
+    guarantees is the canonical (whole-design) check order — so verdicts
+    *and* ordering match a design-granularity run.
+    """
+    order = {task.task_id: index for index, task in enumerate(tasks)}
+    by_design: Dict[str, List[TaskEvent]] = {}
+    modules: Dict[str, str] = {}
+    for task in tasks:
+        by_design.setdefault(task.design, [])
+        modules[task.design] = task.dut_module
+    for event in events:
+        if event.ok:
+            by_design.setdefault(event.design, []).append(event)
+    reports: Dict[str, CheckReport] = {}
+    for design, design_events in by_design.items():
+        design_events.sort(key=lambda e: order.get(e.task_id, len(order)))
+        report = CheckReport(design=modules.get(design, design))
+        for event in design_events:
+            for item in event.results:
+                report.results.append(PropertyResult(
+                    name=item["name"], kind=item["kind"],
+                    status=item["status"], depth=item.get("depth", 0)))
+            report.total_time_s += event.engine_time_s
+        reports[design] = report
+    return reports
+
+
+class VerificationSession:
+    """One scheduled run over a set of property tasks."""
+
+    def __init__(self, tasks: Sequence[PropertyTask],
+                 workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout_s: Optional[float] = None,
+                 memory_limit_mb: Optional[int] = None,
+                 precompile: bool = True) -> None:
+        self.tasks: List[PropertyTask] = list(tasks)
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.memory_limit_mb = memory_limit_mb
+        self.precompile = precompile
+        self.events: List[TaskEvent] = []
+        self.wall_time_s = 0.0
+
+    # -- execution ---------------------------------------------------------
+    def _precompile(self) -> None:
+        """Compile each distinct design once, parent-side.
+
+        Forked workers inherit the populated global compile cache, so a
+        design's N property tasks cost one frontend run total instead of N.
+        """
+        seen = set()
+        for task in self.tasks:
+            signature = (task.sources, task.dut_module, task.defines)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            try:
+                compile_design(task.sources, task.dut_module, task.defines)
+            except Exception:
+                # Failure isolation: the task's worker recompiles, fails
+                # the same way, and reports a per-task error result.
+                continue
+
+    def run(self) -> Iterator[TaskEvent]:
+        """Execute all tasks, yielding a :class:`TaskEvent` per completion.
+
+        Events stream in completion order (cached tasks first).  The full
+        event list is also collected on :attr:`events` for post-run
+        aggregation.
+        """
+        self.events = []
+        begin = time.monotonic()
+        if self.precompile:
+            self._precompile()
+        try:
+            for index, result in iter_campaign(
+                    self.tasks, workers=self.workers, cache=self.cache,
+                    timeout_s=self.timeout_s,
+                    memory_limit_mb=self.memory_limit_mb,
+                    runner=execute_task):
+                event = _event_from(self.tasks[index], result)
+                self.events.append(event)
+                yield event
+        finally:
+            self.wall_time_s = time.monotonic() - begin
+
+    def run_all(self) -> List[TaskEvent]:
+        """Drain :meth:`run` and return the collected events."""
+        for _ in self.run():
+            pass
+        return self.events
+
+    # -- results -----------------------------------------------------------
+    @property
+    def failures(self) -> List[TaskEvent]:
+        return [event for event in self.events if not event.ok]
+
+    def reports(self) -> Dict[str, CheckReport]:
+        """Aggregated per-design reports (design label → CheckReport)."""
+        return aggregate_reports(self.tasks, self.events)
+
+
+def run_tasks(tasks: Sequence[PropertyTask],
+              workers: int = 1,
+              cache: Optional[ArtifactCache] = None,
+              timeout_s: Optional[float] = None,
+              memory_limit_mb: Optional[int] = None
+              ) -> Dict[str, CheckReport]:
+    """Batch convenience: run tasks, raise on failures, return reports."""
+    session = VerificationSession(tasks, workers=workers, cache=cache,
+                                  timeout_s=timeout_s,
+                                  memory_limit_mb=memory_limit_mb)
+    session.run_all()
+    if session.failures:
+        first = session.failures[0]
+        raise RuntimeError(
+            f"{len(session.failures)} task(s) failed; first: "
+            f"{first.task_id} [{first.status}] {first.error}")
+    return session.reports()

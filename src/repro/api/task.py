@@ -1,0 +1,162 @@
+"""Property tasks: the atomic schedulable unit of the verification API.
+
+The paper's usage model is per-property — AutoSVA emits many SVA properties
+per module and the FV tool reports a verdict for each — so the schedulable
+unit here is a :class:`PropertyTask`: design × variant × property-group ×
+engine-config.  A task is fully self-contained and picklable (it carries
+the merged source text, not open handles), so it can cross a process or
+wire boundary; :func:`execute_task` is the worker-side entry point.
+
+:func:`expand_tasks` turns one design into its task list, compiling the
+design once (through the shared :data:`~repro.api.compile.COMPILE_CACHE`)
+to enumerate the property inventory.  Workers forked afterwards inherit
+that compile and only run the check step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..formal.engine import CheckReport, EngineConfig, FormalEngine, \
+    PropertyResult
+from .compile import COMPILE_CACHE, CompiledDesign, compile_design
+
+__all__ = ["PropertyTask", "TaskEvent", "expand_tasks", "execute_task",
+           "group_properties"]
+
+
+@dataclass(frozen=True)
+class PropertyTask:
+    """One unit of verification work: check a property group of a design.
+
+    ``design`` labels the design × variant this task belongs to (e.g.
+    ``"A3.buggy"``); ``properties`` names the group this task checks — an
+    empty tuple means *every* property (the whole-design degenerate case).
+    ``sources`` is the complete merged RTL + testbench text, by value, so
+    the task survives pickling to any worker.
+    """
+
+    task_id: str
+    design: str
+    dut_module: str
+    sources: Tuple[str, ...]
+    engine_config: EngineConfig
+    properties: Tuple[str, ...] = ()
+    variant: str = "fixed"
+    defines: Tuple[str, ...] = ()
+
+    @property
+    def job_id(self) -> str:
+        """Scheduler-facing id (tasks schedule like campaign jobs)."""
+        return self.task_id
+
+    def cache_chunks(self) -> Iterator[Tuple[str, str]]:
+        """(tag, text) pairs that determine this task's outcome, for
+        content-addressed result caching."""
+        yield "module", self.dut_module
+        for define in self.defines:
+            yield "define", define
+        for source in self.sources:
+            yield "source", source
+        for name in self.properties:
+            yield "property", name
+
+
+@dataclass
+class TaskEvent:
+    """One streamed result: a task finished (ok, error or timeout).
+
+    ``results`` carries the per-property verdicts as plain data
+    (``name``/``kind``/``status``/``depth``), deliberately excluding wall
+    times so events are deterministic across worker counts and cache
+    replays.  ``compiled_in_worker`` is False when the worker served the
+    check from an inherited (or warm) compile cache entry — the signal the
+    one-compile-per-design guarantee is asserted on.
+    """
+
+    task_id: str
+    design: str
+    variant: str
+    status: str                       # "ok" | "error" | "timeout"
+    results: List[Dict[str, object]] = field(default_factory=list)
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    from_cache: bool = False
+    compiled_in_worker: bool = False
+    engine_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def group_properties(names: Sequence[str],
+                     group_size: int = 1) -> List[Tuple[str, ...]]:
+    """Chunk a property inventory into task-sized groups."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    names = list(names)
+    return [tuple(names[i:i + group_size])
+            for i in range(0, len(names), group_size)]
+
+
+def expand_tasks(sources: Sequence[str], dut_module: str,
+                 config: Optional[EngineConfig] = None,
+                 design: Optional[str] = None,
+                 variant: str = "fixed",
+                 group_size: int = 1,
+                 defines: Sequence[str] = (),
+                 properties: Optional[Sequence[str]] = None
+                 ) -> List[PropertyTask]:
+    """Unfold one design into per-property-group tasks.
+
+    Compiles the design (once, through the shared cache) to enumerate its
+    properties; ``properties`` restricts expansion to a named subset.
+    """
+    config = config or EngineConfig()
+    compiled = compile_design(sources, dut_module, defines)
+    names = compiled.property_names()
+    if properties is not None:
+        wanted = set(properties)
+        unknown = sorted(wanted - set(names))
+        if unknown:
+            raise KeyError(f"no property named {unknown[0]!r}")
+        names = [n for n in names if n in wanted]
+    label = design or dut_module
+    return [
+        PropertyTask(task_id=f"{label}/p{index}", design=label,
+                     dut_module=dut_module, sources=tuple(sources),
+                     engine_config=config, properties=group,
+                     variant=variant, defines=tuple(defines))
+        for index, group in enumerate(group_properties(names, group_size))
+    ]
+
+
+def result_payload(result: PropertyResult) -> Dict[str, object]:
+    """The deterministic plain-data form of one property verdict."""
+    return {"name": result.name, "kind": result.kind,
+            "status": result.status, "depth": result.depth}
+
+
+def execute_task(task: PropertyTask) -> Dict[str, object]:
+    """Worker-side execution: compile (or hit the cache), check the group.
+
+    Returns a plain JSON-able payload; exceptions propagate so the
+    scheduler can convert them into per-task error results.
+    """
+    begin = time.perf_counter()
+    compiles_before = COMPILE_CACHE.compiles
+    compiled = compile_design(task.sources, task.dut_module, task.defines)
+    compiled_here = COMPILE_CACHE.compiles > compiles_before
+    engine = FormalEngine(compiled.system, task.engine_config)
+    names = list(task.properties) if task.properties else None
+    report = engine.check_properties(names)
+    return {
+        "design": report.design,
+        "task_id": task.task_id,
+        "properties": [result_payload(r) for r in report.results],
+        "compiled_in_worker": compiled_here,
+        "engine_time_s": time.perf_counter() - begin,
+    }

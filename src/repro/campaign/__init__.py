@@ -35,10 +35,24 @@ API tour
 * :class:`~repro.campaign.report.CampaignReport` aggregates results into
   the Table-III-style matrix (per-design outcome text, proof rates, CEX
   properties and depths, runtimes) with ``summary()`` /
-  ``to_markdown()`` / ``to_json()`` exports::
+  ``to_markdown()`` / ``to_json()`` exports, plus a per-config comparison
+  section under engine-config sweeps::
 
       report = CampaignReport(jobs, results, workers=4)
       print(report.summary())
+
+* :func:`~repro.campaign.sharding.run_property_campaign` re-runs the same
+  job list at **property granularity** on :mod:`repro.api`: each design is
+  compiled once (parent-side, shared compile cache) and its property set
+  is sharded across the pool as :class:`~repro.api.task.PropertyTask`
+  groups, with results merged back into verdict-identical per-job
+  payloads.  This removes the slowest-design wall-clock floor::
+
+      results = run_property_campaign(jobs, workers=4, group_size=1)
+
+* :class:`~repro.campaign.history.CampaignHistory` appends run summaries
+  to a JSONL file and reports regressions (proof-rate drops, lost CEXs,
+  CEX-depth drift, new failures) against the previous run.
 
 Corpus layout
 -------------
@@ -59,20 +73,29 @@ package::
     autosva campaign                         # full corpus, Table III out
     autosva campaign --cases A1,A2 --workers 2
     autosva campaign --workers 4 --cache-dir .repro-cache --json out.json
+    autosva campaign --granularity property --workers 4 --group-size 2
+    autosva campaign --sweep proof_engine=pdr,kind
+    autosva campaign --history runs.jsonl
 
 ``examples/table3_outcomes.py`` is the scripted equivalent.
 """
 
 from .cache import ArtifactCache
+from .history import CampaignHistory
 from .jobs import (CampaignJob, default_engine_config, execute_job,
                    expand_jobs, summarize_report)
 from .report import CampaignReport, DesignRow
-from .scheduler import JobResult, run_campaign
+from .scheduler import JobResult, iter_campaign, run_campaign
+from .sharding import (ShardPlan, merge_shard_results, run_property_campaign,
+                       shard_jobs)
 
 __all__ = [
     "ArtifactCache",
+    "CampaignHistory",
     "CampaignJob", "default_engine_config", "execute_job", "expand_jobs",
     "summarize_report",
     "CampaignReport", "DesignRow",
-    "JobResult", "run_campaign",
+    "JobResult", "iter_campaign", "run_campaign",
+    "ShardPlan", "merge_shard_results", "run_property_campaign",
+    "shard_jobs",
 ]

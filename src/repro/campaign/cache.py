@@ -13,7 +13,6 @@ diff-able, and safe to delete at any time.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import asdict
@@ -39,23 +38,23 @@ class ArtifactCache:
         self.misses = 0
 
     # -- keying ------------------------------------------------------------
-    def key(self, job: CampaignJob) -> str:
-        """Content hash of all outcome-determining inputs of ``job``."""
-        hasher = hashlib.sha256()
+    def key(self, job) -> str:
+        """Content hash of all outcome-determining inputs of ``job``.
 
-        def chunk(tag: str, text: str) -> None:
-            # Length-framed: "ab"+"c" and "abc" must hash differently.
-            data = text.encode()
-            hasher.update(f"{tag}:{len(data)}:".encode())
-            hasher.update(data)
+        Accepts any unit of work the scheduler runs — anything with
+        ``cache_chunks()`` and an ``engine_config``: a whole-design
+        :class:`CampaignJob` (module + corpus sources) or a per-property
+        :class:`~repro.api.task.PropertyTask`, whose chunks include the
+        property-group names so different shards of one design get
+        distinct entries.
+        """
+        from ..api.compile import hash_chunks
 
-        chunk("schema", str(_SCHEMA_VERSION))
-        chunk("module", job.dut_module)
-        for source in job.sources():
-            chunk("source", source)
-        chunk("config", json.dumps(asdict(job.engine_config),
-                                   sort_keys=True, default=list))
-        return hasher.hexdigest()
+        pairs = [("schema", str(_SCHEMA_VERSION))]
+        pairs.extend(job.cache_chunks())
+        pairs.append(("config", json.dumps(asdict(job.engine_config),
+                                           sort_keys=True, default=list)))
+        return hash_chunks(pairs)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"

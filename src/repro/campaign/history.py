@@ -1,0 +1,138 @@
+"""Campaign history: append-only run log + regression detection.
+
+Every campaign run can append one JSONL line summarizing its outcome —
+per-design proof rates, CEX properties with depths, error counts — and
+compare itself against the previous line.  The comparison catches the
+drifts that matter for a verification campaign:
+
+* **proof-rate regressions** — a design that proved 100% last run and no
+  longer does (an engine or RTL change broke a proof);
+* **lost CEXs** — a bug the campaign used to find is no longer found
+  (a bounds change masked it);
+* **CEX-depth drift** — a counterexample got deeper (the bug moved) or
+  shallower;
+* **new failures** — jobs that now error/time out.
+
+The file is plain JSONL: one self-contained object per run, safe to
+truncate, rotate or diff.  ``autosva campaign --history FILE`` wires this
+in; the regression section prints after the Table III summary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .report import CampaignReport
+
+__all__ = ["CampaignHistory"]
+
+_FORMAT_VERSION = 1
+
+
+def _row_record(row) -> Dict[str, object]:
+    return {
+        "outcome": row.outcome,
+        "fixed_proof_rate": row.fixed_proof_rate,
+        "buggy_proof_rate": row.buggy_proof_rate,
+        "cex": dict(zip(row.cex_properties, row.cex_depths)),
+        "errors": len(row.errors),
+        "mismatches": len(row.mismatches),
+    }
+
+
+def summarize_run(report: CampaignReport,
+                  label: Optional[str] = None) -> Dict[str, object]:
+    """The JSONL record for one campaign run."""
+    totals = report.totals()
+    return {
+        "version": _FORMAT_VERSION,
+        "timestamp": time.time(),
+        "label": label,
+        "totals": totals,
+        "designs": {row.case_id: _row_record(row) for row in report.rows()},
+    }
+
+
+class CampaignHistory:
+    """An append-only JSONL log of campaign runs."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    # -- persistence -------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """All parseable history records, oldest first."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return []
+        out = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue  # a torn/corrupt line never poisons the history
+        return out
+
+    def last(self) -> Optional[Dict[str, object]]:
+        entries = self.entries()
+        return entries[-1] if entries else None
+
+    def append(self, report: CampaignReport,
+               label: Optional[str] = None) -> Dict[str, object]:
+        """Append this run's summary; returns the record written."""
+        record = summarize_run(report, label=label)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    # -- regression detection ----------------------------------------------
+    def regressions(self, report: CampaignReport,
+                    baseline: Optional[Dict[str, object]] = None
+                    ) -> List[str]:
+        """Human-readable regressions of ``report`` vs the previous run.
+
+        Returns an empty list when there is no baseline yet or nothing
+        drifted.  Improvements (higher proof rate, newly found CEXs) are
+        deliberately not flagged — the list is an alarm, not a changelog.
+        """
+        baseline = baseline if baseline is not None else self.last()
+        if not baseline:
+            return []
+        previous: Dict[str, Dict] = baseline.get("designs", {})
+        findings: List[str] = []
+        for row in report.rows():
+            before = previous.get(row.case_id)
+            if before is None:
+                continue
+            for variant, attr in (("fixed", "fixed_proof_rate"),
+                                  ("buggy", "buggy_proof_rate")):
+                old = before.get(attr)
+                new = getattr(row, attr)
+                if old is not None and new is not None and new < old:
+                    findings.append(
+                        f"{row.case_id}: {variant} proof rate regressed "
+                        f"{old:.0%} -> {new:.0%}")
+            old_cex: Dict[str, int] = before.get("cex", {})
+            new_cex = dict(zip(row.cex_properties, row.cex_depths))
+            for name, old_depth in old_cex.items():
+                if name not in new_cex:
+                    findings.append(
+                        f"{row.case_id}: CEX on '{name}' no longer found "
+                        f"(was depth {old_depth})")
+                elif new_cex[name] != old_depth:
+                    findings.append(
+                        f"{row.case_id}: CEX depth on '{name}' drifted "
+                        f"{old_depth} -> {new_cex[name]}")
+            if row.errors and not before.get("errors"):
+                findings.append(
+                    f"{row.case_id}: {len(row.errors)} job(s) now failing "
+                    f"(was clean)")
+        return findings

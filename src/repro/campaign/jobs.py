@@ -40,10 +40,21 @@ class CampaignJob:
     engine_config: EngineConfig
     expect_proof: Optional[bool] = None
     expect_cex: Optional[str] = None
+    #: Position in the sweep's config list (None outside a sweep) — what
+    #: the report's per-config comparison groups on.
+    config_index: Optional[int] = None
 
     def sources(self) -> List[str]:
         """Load the job's RTL sources (DUT first) from the corpus."""
         return [load(self.dut_file)] + [load(f) for f in self.extra_files]
+
+    def cache_chunks(self):
+        """(tag, text) pairs that determine this job's outcome — the
+        artifact-cache key material (engine config is appended by the
+        cache itself)."""
+        yield "module", self.dut_module
+        for source in self.sources():
+            yield "source", source
 
 
 def default_engine_config() -> EngineConfig:
@@ -97,7 +108,8 @@ def expand_jobs(cases: Optional[Sequence[DesignCase]] = None,
                     variant=variant, dut_file=dut_file,
                     extra_files=tuple(case.extra_files),
                     engine_config=replace(engine_config),
-                    expect_proof=expect_proof, expect_cex=expect_cex))
+                    expect_proof=expect_proof, expect_cex=expect_cex,
+                    config_index=idx if sweep else None))
     return jobs
 
 

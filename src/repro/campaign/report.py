@@ -168,6 +168,67 @@ class CampaignReport:
             return f"partial proof, CEXs: {', '.join(partial)}"
         return "no results"
 
+    # -- sweep comparison --------------------------------------------------
+    @property
+    def swept_configs(self) -> List[int]:
+        """Distinct sweep config indices present (empty outside a sweep)."""
+        return sorted({job.config_index for job in self.jobs
+                       if getattr(job, "config_index", None) is not None})
+
+    def config_comparison(self) -> List[Dict[str, object]]:
+        """Per-config aggregates for engine-config sweeps.
+
+        One entry per sweep config, summarizing how that configuration did
+        across every design it ran: mean proof rate over fixed-variant
+        jobs, distinct CEXs found on buggy variants, failures, engine
+        time.  This is the campaign-scale ablation view (which bounds are
+        worth their runtime).
+        """
+        comparison: List[Dict[str, object]] = []
+        for config_index in self.swept_configs:
+            picked = [(job, result)
+                      for job, result in zip(self.jobs, self.results)
+                      if getattr(job, "config_index", None) == config_index]
+            fixed_rates = [result.payload["proof_rate"]
+                           for job, result in picked
+                           if result.ok and job.variant == "fixed"]
+            cex_names = {cex["name"]
+                         for job, result in picked
+                         if result.ok and job.variant == "buggy"
+                         for cex in result.payload["cex"]}
+            entry = {
+                "config": config_index,
+                "jobs": len(picked),
+                "failed": sum(1 for _, r in picked if not r.ok),
+                "fixed_proof_rate": (sum(fixed_rates) / len(fixed_rates)
+                                     if fixed_rates else None),
+                "buggy_cex_found": len(cex_names),
+                "engine_time_s": sum(
+                    r.payload.get("engine_time_s", 0.0)
+                    for _, r in picked if r.ok and r.payload),
+            }
+            sample = next((job.engine_config for job, _ in picked), None)
+            if sample is not None:
+                entry["engine"] = sample.proof_engine
+                entry["max_bound"] = sample.max_bound
+                entry["max_frames"] = sample.max_frames
+            comparison.append(entry)
+        return comparison
+
+    def _comparison_lines(self) -> List[str]:
+        lines = []
+        for entry in self.config_comparison():
+            rate = ("—" if entry["fixed_proof_rate"] is None
+                    else f"{entry['fixed_proof_rate']:.0%}")
+            lines.append(
+                f"cfg{entry['config']} ({entry.get('engine', '?')}, "
+                f"bound={entry.get('max_bound', '?')}, "
+                f"frames={entry.get('max_frames', '?')}): "
+                f"fixed proof {rate}, {entry['buggy_cex_found']} buggy "
+                f"CEX(s), {entry['failed']} failed, "
+                f"{entry['engine_time_s']:.1f}s engine time")
+        return lines
+
     # -- aggregate metrics -------------------------------------------------
     def totals(self) -> Dict[str, object]:
         total_props = 0
@@ -198,6 +259,7 @@ class CampaignReport:
         return {
             "totals": self.totals(),
             "rows": [row.as_dict() for row in self.rows()],
+            "config_comparison": self.config_comparison(),
             "results": [
                 {"job_id": r.job_id, "status": r.status,
                  "from_cache": r.from_cache, "wall_time_s": r.wall_time_s,
@@ -228,6 +290,11 @@ class CampaignReport:
             f"{totals['failed']} failed) on {totals['workers']} worker(s) "
             f"in {totals['wall_time_s']:.1f}s; {totals['properties']} "
             f"properties from {totals['annotation_loc']} annotation LoC.")
+        if len(self.swept_configs) > 1:
+            lines.append("")
+            lines.append("### Config sweep")
+            for text in self._comparison_lines():
+                lines.append(f"- {text}")
         return "\n".join(lines)
 
     def summary(self) -> str:
@@ -248,4 +315,8 @@ class CampaignReport:
             f"jobs ({totals['cached']} cached) on {totals['workers']} "
             f"worker(s) in {totals['wall_time_s']:.1f}s "
             f"(engine time {totals['engine_time_s']:.1f}s)")
+        if len(self.swept_configs) > 1:
+            lines.append("\nConfig sweep comparison:")
+            for text in self._comparison_lines():
+                lines.append(f"  {text}")
         return "\n".join(lines)

@@ -1,24 +1,34 @@
-"""The campaign scheduler: a bounded worker pool over campaign jobs.
+"""The campaign scheduler: a bounded worker pool with streaming results.
 
-Design points, in the order the ISSUE asks for them:
+Design points:
 
 * **Parallelism** — each job runs in its own forked worker process; at
   most ``workers`` are alive at once.  Model checking is CPU-bound pure
   Python, so processes (not threads) are the only way to scale past the
   GIL.
+* **Streaming** — :func:`iter_campaign` is the primitive: a generator
+  yielding ``(index, JobResult)`` as jobs finish, in completion order.
+  :class:`repro.api.VerificationSession` builds its ``TaskEvent`` stream on
+  it; :func:`run_campaign` is the batch wrapper that collects the stream
+  back into job order.
 * **Per-job bounds** — a wall-clock deadline per job (the parent
   terminates overdue workers) and an address-space cap applied with
   ``resource.setrlimit`` inside the worker, mirroring the execution-scope
   resource bounding of the reference orchestrators.
-* **Deterministic ordering** — results are collected into a slot per job
-  and returned in job order; the worker count can only change wall time,
-  never the result list.
+* **Deterministic ordering** — ``run_campaign`` returns results in job
+  order; the worker count can only change wall time, never the result
+  list.
 * **Failure isolation** — a job that raises, exhausts memory, dies, or
   times out yields a per-job ``error``/``timeout`` result; the campaign
   always runs to completion.
 * **Incremental reruns** — with an :class:`~repro.campaign.cache.ArtifactCache`
   attached, jobs whose content hash is cached replay instantly and never
   reach a worker.
+
+The scheduler is unit-agnostic: a "job" is anything picklable with a
+``job_id`` attribute that ``runner`` can execute — a whole-design
+:class:`~repro.campaign.jobs.CampaignJob` (the default) or a per-property
+:class:`~repro.api.task.PropertyTask`.
 """
 
 from __future__ import annotations
@@ -27,12 +37,12 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .cache import ArtifactCache
 from .jobs import CampaignJob, execute_job
 
-__all__ = ["JobResult", "run_campaign"]
+__all__ = ["JobResult", "iter_campaign", "run_campaign"]
 
 _POLL_INTERVAL_S = 0.02
 
@@ -93,20 +103,20 @@ class _Running:
     deadline: Optional[float]
 
 
-def run_campaign(jobs: Sequence[CampaignJob],
-                 workers: int = 1,
-                 cache: Optional[ArtifactCache] = None,
-                 timeout_s: Optional[float] = None,
-                 memory_limit_mb: Optional[int] = None,
-                 runner: Callable[[CampaignJob], Dict[str, object]]
-                 = execute_job,
-                 progress: Optional[Callable[[JobResult], None]] = None
-                 ) -> List[JobResult]:
-    """Run ``jobs`` on a pool of ``workers`` processes.
+def iter_campaign(jobs: Sequence[CampaignJob],
+                  workers: int = 1,
+                  cache: Optional[ArtifactCache] = None,
+                  timeout_s: Optional[float] = None,
+                  memory_limit_mb: Optional[int] = None,
+                  runner: Callable[[CampaignJob], Dict[str, object]]
+                  = execute_job
+                  ) -> Iterator[Tuple[int, JobResult]]:
+    """Run ``jobs`` on a worker pool, yielding results as they finish.
 
-    Returns one :class:`JobResult` per job, **in job order**, regardless of
-    worker count or completion order.  ``progress`` (if given) is called
-    with each result as it lands, in completion order.
+    Yields ``(index, result)`` pairs in **completion order** (cached jobs
+    first, then whatever lands).  ``index`` is the job's position in the
+    input sequence, so callers can rebuild job order.  Abandoning the
+    generator terminates any still-running workers.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -116,7 +126,6 @@ def run_campaign(jobs: Sequence[CampaignJob],
         raise ValueError(
             "memory_limit_mb must be positive (None = unbounded)")
     jobs = list(jobs)
-    results: List[Optional[JobResult]] = [None] * len(jobs)
     keys: List[Optional[str]] = [None] * len(jobs)
 
     # Cache pass: anything already known never reaches a worker.
@@ -130,25 +139,29 @@ def run_campaign(jobs: Sequence[CampaignJob],
             payload = (cache.get(keys[index])
                        if keys[index] is not None else None)
             if payload is not None:
-                results[index] = JobResult(
+                yield index, JobResult(
                     job_id=job.job_id, status="ok", payload=payload,
                     wall_time_s=0.0, from_cache=True)
-                if progress:
-                    progress(results[index])
                 continue
         pending.append(index)
 
-    context = multiprocessing.get_context()
+    # Fork is load-bearing, not just the Linux default: workers must
+    # inherit the parent's populated COMPILE_CACHE for the one-compile-
+    # per-design guarantee of property sharding.  On platforms without
+    # fork (Windows) fall back to the default context — correctness holds
+    # (workers recompile), only the sharing optimization is lost.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
     queue: List[int] = list(pending)
     running: List[_Running] = []
 
-    def finish(slot: _Running, result: JobResult) -> None:
+    def finish(slot: _Running, result: JobResult) -> JobResult:
         result.wall_time_s = time.monotonic() - slot.started
-        results[slot.index] = result
         if result.ok and cache is not None and keys[slot.index] is not None:
             cache.put(keys[slot.index], result.payload)
-        if progress:
-            progress(result)
+        return result
 
     try:
         while queue or running:
@@ -182,8 +195,9 @@ def run_campaign(jobs: Sequence[CampaignJob],
                             f"worker died with exit code "
                             f"{slot.process.exitcode}")
                     slot.conn.close()
-                    finish(slot, JobResult(job_id=job.job_id, status=status,
-                                           payload=payload, error=error))
+                    yield slot.index, finish(slot, JobResult(
+                        job_id=job.job_id, status=status,
+                        payload=payload, error=error))
                     continue
                 if slot.deadline is not None and \
                         time.monotonic() > slot.deadline:
@@ -195,7 +209,7 @@ def run_campaign(jobs: Sequence[CampaignJob],
                     slot.process.terminate()
                     slot.process.join()
                     slot.conn.close()
-                    finish(slot, JobResult(
+                    yield slot.index, finish(slot, JobResult(
                         job_id=job.job_id, status="timeout",
                         error=f"wall-clock limit ({timeout_s:.1f}s) "
                               f"exceeded"))
@@ -214,14 +228,14 @@ def run_campaign(jobs: Sequence[CampaignJob],
                                 f"{slot.process.exitcode}")
                         slot.conn.close()
                         slot.process.join()
-                        finish(slot, JobResult(
+                        yield slot.index, finish(slot, JobResult(
                             job_id=job.job_id, status=status,
                             payload=payload, error=error))
                         continue
                     # Died without a message (e.g. hard OOM kill).
                     slot.conn.close()
                     slot.process.join()
-                    finish(slot, JobResult(
+                    yield slot.index, finish(slot, JobResult(
                         job_id=job.job_id, status="error",
                         error=f"worker died with exit code "
                               f"{slot.process.exitcode}"))
@@ -229,8 +243,33 @@ def run_campaign(jobs: Sequence[CampaignJob],
                 still.append(slot)
             running = still
     finally:
-        for slot in running:  # interrupted: leave no orphans behind
+        for slot in running:  # interrupted/abandoned: leave no orphans
             slot.process.terminate()
             slot.process.join()
 
+
+def run_campaign(jobs: Sequence[CampaignJob],
+                 workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout_s: Optional[float] = None,
+                 memory_limit_mb: Optional[int] = None,
+                 runner: Callable[[CampaignJob], Dict[str, object]]
+                 = execute_job,
+                 progress: Optional[Callable[[JobResult], None]] = None
+                 ) -> List[JobResult]:
+    """Run ``jobs`` on a pool of ``workers`` processes (batch wrapper).
+
+    Returns one :class:`JobResult` per job, **in job order**, regardless of
+    worker count or completion order.  ``progress`` (if given) is called
+    with each result as it lands, in completion order.  Streaming consumers
+    use :func:`iter_campaign` directly.
+    """
+    jobs = list(jobs)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    for index, result in iter_campaign(
+            jobs, workers=workers, cache=cache, timeout_s=timeout_s,
+            memory_limit_mb=memory_limit_mb, runner=runner):
+        results[index] = result
+        if progress:
+            progress(result)
     return [result for result in results if result is not None]

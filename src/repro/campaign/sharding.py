@@ -1,0 +1,174 @@
+"""Property-granularity campaigns: shard design jobs into property tasks.
+
+The whole-design :class:`~repro.campaign.jobs.CampaignJob` is the wrong
+scheduling unit when one design dominates the critical path (the A4/O2
+jobs in the corpus): a 4-worker pool idles while one worker grinds through
+a big property set.  This module re-expresses a design-granularity job
+list at per-property granularity on top of :mod:`repro.api`:
+
+* :func:`shard_jobs` — generate each job's formal testbench, compile the
+  design **once** (parent-side, through the shared compile cache) and
+  unfold its property inventory into :class:`~repro.api.task.PropertyTask`
+  groups;
+* :func:`merge_shard_results` — fold the per-task results back into one
+  :class:`~repro.campaign.scheduler.JobResult` per original job, with a
+  payload identical in shape *and verdicts* to what
+  :func:`~repro.campaign.jobs.execute_job` produces — reports, caches and
+  expectation checks downstream cannot tell the difference;
+* :func:`run_property_campaign` — the drop-in driver the CLI's
+  ``--granularity property`` mode uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+# NOTE: repro.api.session imports this package's scheduler; to keep both
+# import orders working (api first or campaign first), the session-layer
+# imports below happen inside the functions that need them.
+from ..api.task import PropertyTask, TaskEvent, expand_tasks
+from ..formal.engine import CheckReport
+from .cache import ArtifactCache
+from .jobs import CampaignJob, summarize_report
+from .scheduler import JobResult
+
+__all__ = ["ShardPlan", "shard_jobs", "merge_shard_results",
+           "run_property_campaign"]
+
+
+@dataclass
+class _JobShard:
+    """Book-keeping for one sharded design job."""
+
+    job: CampaignJob
+    task_ids: List[str] = field(default_factory=list)
+    annotation_loc: int = 0
+    property_count: int = 0
+    expand_error: Optional[str] = None   # FT/compile failed parent-side
+
+
+@dataclass
+class ShardPlan:
+    """The task list for a property-granularity campaign run."""
+
+    shards: List[_JobShard]
+    tasks: List[PropertyTask]
+
+    @property
+    def jobs(self) -> List[CampaignJob]:
+        return [shard.job for shard in self.shards]
+
+
+def shard_jobs(jobs: Sequence[CampaignJob],
+               group_size: int = 1) -> ShardPlan:
+    """Unfold design jobs into per-property tasks (one compile per job).
+
+    A job whose sources fail to load, annotate or compile is recorded on
+    the plan with ``expand_error`` and produces no tasks — the merge step
+    turns it into a per-job ``error`` result, preserving the campaign's
+    failure-isolation contract.
+    """
+    from ..core import generate_ft
+
+    shards: List[_JobShard] = []
+    tasks: List[PropertyTask] = []
+    for job in jobs:
+        shard = _JobShard(job=job)
+        shards.append(shard)
+        try:
+            sources = job.sources()
+            ft = generate_ft(sources[0], module_name=job.dut_module)
+            merged = "\n".join(sources + ft.testbench_sources())
+            job_tasks = expand_tasks(
+                [merged], job.dut_module, job.engine_config,
+                design=job.job_id, variant=job.variant,
+                group_size=group_size)
+        except Exception as exc:
+            shard.expand_error = f"{type(exc).__name__}: {exc}"
+            continue
+        shard.annotation_loc = ft.annotation_loc
+        shard.property_count = ft.property_count
+        shard.task_ids = [task.task_id for task in job_tasks]
+        tasks.extend(job_tasks)
+    return ShardPlan(shards=shards, tasks=tasks)
+
+
+def _merge_one(shard: _JobShard,
+               events: Dict[str, TaskEvent],
+               report: Optional[CheckReport]) -> JobResult:
+    job = shard.job
+    if shard.expand_error is not None:
+        return JobResult(job_id=job.job_id, status="error",
+                         error=f"testbench generation/compile failed: "
+                               f"{shard.expand_error}")
+    own = [events[task_id] for task_id in shard.task_ids
+           if task_id in events]
+    bad = [event for event in own if not event.ok]
+    wall = sum(event.wall_time_s for event in own)
+    if bad or len(own) != len(shard.task_ids):
+        status = bad[0].status if bad else "error"
+        details = "; ".join(
+            f"{event.task_id} [{event.status}] "
+            f"{(event.error or '').strip().splitlines()[-1] if event.error else ''}"
+            for event in bad) or "missing task results"
+        return JobResult(job_id=job.job_id, status=status,
+                         error=f"{len(bad)}/{len(shard.task_ids)} property "
+                               f"task(s) failed: {details}",
+                         wall_time_s=wall)
+    if report is None:  # degenerate: a design with zero properties
+        report = CheckReport(design=job.dut_module)
+    payload = summarize_report(report)
+    payload["annotation_loc"] = shard.annotation_loc
+    payload["property_count"] = shard.property_count
+    payload["engine_time_s"] = sum(event.engine_time_s for event in own)
+    return JobResult(job_id=job.job_id, status="ok", payload=payload,
+                     wall_time_s=wall,
+                     from_cache=bool(own) and all(event.from_cache
+                                                  for event in own))
+
+
+def merge_shard_results(plan: ShardPlan,
+                        events: Sequence[TaskEvent]) -> List[JobResult]:
+    """One :class:`JobResult` per original job, in job order.
+
+    Payloads match :func:`~repro.campaign.jobs.execute_job` field for
+    field; a job with any failed shard degrades to a per-job error result
+    (never a silently partial report).
+    """
+    from ..api.session import aggregate_reports
+
+    by_id = {event.task_id: event for event in events}
+    reports = aggregate_reports(plan.tasks, events)
+    return [_merge_one(shard, by_id, reports.get(shard.job.job_id))
+            for shard in plan.shards]
+
+
+def run_property_campaign(jobs: Sequence[CampaignJob],
+                          workers: int = 1,
+                          group_size: int = 1,
+                          cache: Optional[ArtifactCache] = None,
+                          timeout_s: Optional[float] = None,
+                          memory_limit_mb: Optional[int] = None,
+                          progress: Optional[Callable[[TaskEvent], None]]
+                          = None) -> List[JobResult]:
+    """Run a campaign at property granularity; results stay job-shaped.
+
+    The compile counter contract: every design × variant is compiled
+    exactly once, in this (parent) process, during sharding — check
+    ``repro.api.COMPILE_CACHE.stats()`` before/after to assert it.
+    Workers forked by the session inherit those compiles and report
+    ``compiled_in_worker=False``.
+    """
+    from ..api.session import VerificationSession
+
+    plan = shard_jobs(jobs, group_size=group_size)
+    session = VerificationSession(
+        plan.tasks, workers=workers, cache=cache, timeout_s=timeout_s,
+        memory_limit_mb=memory_limit_mb,
+        precompile=False)  # shard_jobs already compiled everything
+    for event in session.run():
+        if progress:
+            progress(event)
+    return merge_shard_results(plan, session.events)

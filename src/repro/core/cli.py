@@ -16,6 +16,11 @@ Table III) through :mod:`repro.campaign`::
     autosva campaign                       # full corpus on 1 worker
     autosva campaign --cases A1,A2 --workers 2
     autosva campaign --workers 4 --cache-dir .repro-cache --json t3.json
+    autosva campaign --granularity property --workers 4
+                                           # shard property sets, one
+                                           # compile per design (repro.api)
+    autosva campaign --sweep proof_engine=pdr,kind --json sweep.json
+    autosva campaign --history runs.jsonl  # regression check vs last run
 """
 
 from __future__ import annotations
@@ -84,6 +89,25 @@ def build_campaign_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset of fixed,buggy")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (default 1)")
+    parser.add_argument("--granularity", choices=("design", "property"),
+                        default="design",
+                        help="scheduling unit: one job per design (default) "
+                             "or shard each design's property set across "
+                             "the worker pool (one compile per design, "
+                             "per-property check tasks)")
+    parser.add_argument("--group-size", type=int, default=1, metavar="N",
+                        help="properties per task at property granularity "
+                             "(default 1)")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="FIELD=V1,V2",
+                        help="sweep an EngineConfig field over several "
+                             "values (e.g. --sweep proof_engine=pdr,kind "
+                             "or --sweep max_bound=4,8); repeatable, "
+                             "repeated flags form the cartesian product; "
+                             "the report gains a per-config comparison")
+    parser.add_argument("--history", type=Path, default=None, metavar="FILE",
+                        help="append this run to a JSONL history file and "
+                             "report regressions against the previous run")
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-job wall-clock bound in seconds")
     parser.add_argument("--memory-limit", type=int, default=None,
@@ -102,11 +126,72 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _expand_sweep(specs: List[str], base: EngineConfig) -> List[EngineConfig]:
+    """Turn ``--sweep FIELD=V1,V2`` flags into an EngineConfig list.
+
+    Each flag sweeps one field; repeated flags form the cartesian product.
+    Values are coerced to the field's type (int/bool/str); unknown fields
+    or unsweepable ones (tuples — their values would need the ','
+    separator) raise :class:`AutoSVAError`.
+    """
+    import dataclasses
+    from itertools import product
+
+    axes = []
+    for spec in specs:
+        name, sep, values_text = spec.partition("=")
+        name = name.strip()
+        if not sep or not values_text.strip():
+            raise AutoSVAError(
+                f"--sweep expects FIELD=V1,V2,..., got {spec!r}")
+        if name not in {f.name for f in dataclasses.fields(EngineConfig)}:
+            raise AutoSVAError(
+                f"--sweep: unknown EngineConfig field {name!r}")
+        if any(axis_name == name for axis_name, _ in axes):
+            raise AutoSVAError(
+                f"--sweep: field {name!r} given twice; put all its values "
+                f"in one flag (--sweep {name}=V1,V2)")
+        current = getattr(base, name)
+        if isinstance(current, tuple):
+            raise AutoSVAError(f"--sweep: field {name!r} is not sweepable")
+        values = []
+        for raw in values_text.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if isinstance(current, bool):
+                if raw.lower() not in ("0", "1", "true", "false"):
+                    raise AutoSVAError(
+                        f"--sweep: {name} expects true/false, got {raw!r}")
+                values.append(raw.lower() in ("1", "true"))
+            elif isinstance(current, int):
+                try:
+                    values.append(int(raw))
+                except ValueError:
+                    raise AutoSVAError(
+                        f"--sweep: {name} expects an integer, got {raw!r}")
+            else:
+                values.append(raw)
+        if not values:
+            raise AutoSVAError(f"--sweep: no values in {spec!r}")
+        axes.append((name, values))
+
+    configs = []
+    for combo in product(*(values for _, values in axes)):
+        overrides = {name: value
+                     for (name, _), value in zip(axes, combo)}
+        # dataclasses.replace re-runs validation, so a bad engine name in
+        # a sweep value fails here, before any job is scheduled.
+        configs.append(dataclasses.replace(base, **overrides))
+    return configs
+
+
 def campaign_main(argv: List[str]) -> int:
     import time
 
-    from ..campaign import (ArtifactCache, CampaignReport, expand_jobs,
-                            run_campaign)
+    from ..campaign import (ArtifactCache, CampaignHistory, CampaignReport,
+                            expand_jobs, run_campaign,
+                            run_property_campaign)
     from ..designs import CorpusError, validate
 
     try:
@@ -127,6 +212,10 @@ def campaign_main(argv: List[str]) -> int:
         print("autosva campaign: error: --memory-limit must be positive",
               file=sys.stderr)
         return 1
+    if args.group_size < 1:
+        print("autosva campaign: error: --group-size must be >= 1",
+              file=sys.stderr)
+        return 1
     case_ids = ([cid.strip() for cid in args.cases.split(",") if cid.strip()]
                 if args.cases else None)
     variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
@@ -138,10 +227,12 @@ def campaign_main(argv: List[str]) -> int:
             from ..designs import CORPUS
             cases = list(CORPUS)
         validate(tuple(cases), raise_on_issue=True)
-        jobs = expand_jobs(
-            cases=cases, variants=variants,
-            config=EngineConfig(max_bound=args.depth,
-                                max_frames=args.frames))
+        base_config = EngineConfig(max_bound=args.depth,
+                                   max_frames=args.frames)
+        configs = _expand_sweep(args.sweep, base_config) if args.sweep \
+            else None
+        jobs = expand_jobs(cases=cases, variants=variants,
+                           config=base_config, configs=configs)
     except (CorpusError, KeyError, ValueError) as exc:
         print(f"autosva campaign: error: {exc}", file=sys.stderr)
         return 1
@@ -150,22 +241,48 @@ def campaign_main(argv: List[str]) -> int:
         return 1
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
-    print(f"Running {len(jobs)} jobs on {args.workers} worker(s)...",
-          flush=True)
+    unit = ("property tasks" if args.granularity == "property"
+            else "design jobs")
+    print(f"Running {len(jobs)} jobs ({unit}) on {args.workers} "
+          f"worker(s)...", flush=True)
     begin = time.monotonic()
-    results = run_campaign(
-        jobs, workers=args.workers, cache=cache, timeout_s=args.timeout,
-        memory_limit_mb=args.memory_limit,
-        progress=lambda r: print(
-            f"  [{r.status:>7}] {r.job_id}"
-            + (" (cached)" if r.from_cache else f" {r.wall_time_s:.1f}s"),
-            flush=True))
+    if args.granularity == "property":
+        results = run_property_campaign(
+            jobs, workers=args.workers, group_size=args.group_size,
+            cache=cache, timeout_s=args.timeout,
+            memory_limit_mb=args.memory_limit,
+            progress=lambda e: print(
+                f"  [{e.status:>7}] {e.task_id}"
+                + (" (cached)" if e.from_cache
+                   else f" {e.wall_time_s:.1f}s"),
+                flush=True))
+    else:
+        results = run_campaign(
+            jobs, workers=args.workers, cache=cache, timeout_s=args.timeout,
+            memory_limit_mb=args.memory_limit,
+            progress=lambda r: print(
+                f"  [{r.status:>7}] {r.job_id}"
+                + (" (cached)" if r.from_cache
+                   else f" {r.wall_time_s:.1f}s"),
+                flush=True))
     report = CampaignReport(jobs, results, workers=args.workers,
                             wall_time_s=time.monotonic() - begin,
                             cache_stats=cache.stats() if cache else None)
 
     print()
     print(report.summary())
+    if args.history:
+        history = CampaignHistory(args.history)
+        regressions = history.regressions(report)
+        history.append(report)
+        print()
+        if regressions:
+            print(f"Regressions vs previous run ({len(regressions)}):")
+            for finding in regressions:
+                print(f"  !! {finding}")
+        else:
+            print("No regressions vs previous run.")
+        print(f"History appended -> {args.history}")
     if args.json:
         args.json.write_text(report.to_json())
         print(f"\nJSON report -> {args.json}")

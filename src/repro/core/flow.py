@@ -11,6 +11,13 @@ This is the public API most users touch:
 * submodule linking (``-AM``/``-AS`` script parameters in the paper): merge
   previously generated FTs of submodules into a parent run, optionally
   flipping their assumptions into assertions.
+
+:func:`run_fv` is a compatibility shim since the :mod:`repro.api` redesign:
+the public verification surface is now per-property
+(:func:`repro.api.expand_tasks` + :class:`repro.api.VerificationSession`,
+streaming :class:`~repro.api.task.TaskEvent` results), with whole-design
+``run_fv`` kept — unchanged in signature and output — for scripts that want
+one blocking call and trace-bearing reports.
 """
 
 from __future__ import annotations
@@ -20,9 +27,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..formal.engine import CheckReport, EngineConfig, FormalEngine
-from ..rtl.synth import Synthesizer, synthesize
-from ..rtl.parser import parse_design
-from ..rtl.preprocess import strip_ifdefs
 from .bindfile import render_bindfile
 from .language import AutoSVAError
 from .parser import parse_annotations
@@ -154,12 +158,20 @@ def run_fv(ft: FormalTestbench, rtl_sources: Sequence[str],
     ``rtl_sources`` must contain the DUT module and any submodules it
     instantiates.  Returns the engine's per-property report; this is the
     offline stand-in for launching JasperGold/SymbiYosys.
+
+    Compatibility shim over :mod:`repro.api`: compilation goes through the
+    shared :data:`~repro.api.compile.COMPILE_CACHE` (re-running the same
+    FT is check-only) and the check step is
+    :meth:`~repro.formal.engine.FormalEngine.check_all` on the compiled
+    design.  New code that wants streaming results or property-level
+    scheduling should use :func:`repro.api.expand_tasks` +
+    :class:`repro.api.VerificationSession` instead; this signature stays
+    for whole-design, trace-bearing reports.
     """
+    from ..api.compile import compile_design
+
     sources = list(rtl_sources) + ft.testbench_sources()
     merged = "\n".join(sources)
-
-    def factory():
-        return synthesize(merged, ft.dut_name, defines=defines)
-
-    engine = FormalEngine(factory, config or EngineConfig())
+    compiled = compile_design([merged], ft.dut_name, defines=defines)
+    engine = FormalEngine(compiled.system, config or EngineConfig())
     return engine.check_all()

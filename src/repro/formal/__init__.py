@@ -8,7 +8,13 @@ Layers, bottom to top:
 * :mod:`repro.formal.cnf` — Tseitin encoding / time-frame unrolling.
 * :mod:`repro.formal.bmc` / :mod:`repro.formal.kinduction` /
   :mod:`repro.formal.liveness` — the checking algorithms.
+* :mod:`repro.formal.engines` — the pluggable proof-engine registry
+  (``pdr`` / ``kind`` / ``bmc-only``, liveness strategies ``l2s`` /
+  ``bounded``) that ``EngineConfig`` names dispatch through.
 * :mod:`repro.formal.engine` — per-property orchestration and reports.
+
+The public, per-property verification surface built on this package lives
+in :mod:`repro.api` (property tasks, streaming sessions, compile cache).
 """
 
 from .aig import AIG, FALSE, TRUE
@@ -16,6 +22,10 @@ from .bmc import BmcResult, bmc_cover, bmc_safety
 from .cnf import Unroller
 from .engine import (CheckReport, EngineConfig, FormalEngine, PropertyResult,
                      CEX, COVERED, PROVEN, UNKNOWN, UNREACHABLE)
+from .engines import (Engine, EngineVerdict, LivenessStrategy,
+                      available_engines, available_liveness_strategies,
+                      get_engine, get_liveness_strategy, register_engine,
+                      register_liveness_strategy)
 from .kinduction import InductionResult, prove_safety
 from .liveness import LivenessCompilation, compile_liveness
 from .sat import Solver, SolverStats
@@ -28,6 +38,10 @@ __all__ = [
     "Unroller",
     "CheckReport", "EngineConfig", "FormalEngine", "PropertyResult",
     "CEX", "COVERED", "PROVEN", "UNKNOWN", "UNREACHABLE",
+    "Engine", "EngineVerdict", "LivenessStrategy",
+    "available_engines", "available_liveness_strategies",
+    "get_engine", "get_liveness_strategy", "register_engine",
+    "register_liveness_strategy",
     "InductionResult", "prove_safety",
     "LivenessCompilation", "compile_liveness",
     "Solver", "SolverStats",

@@ -161,6 +161,24 @@ class AIG:
             raise ValueError("mux_vec width mismatch")
         return [self.MUX(sel, t, e) for t, e in zip(thens, elses)]
 
+    def clone(self) -> "AIG":
+        """An independent copy sharing no mutable state with the original.
+
+        Node ids are preserved, so literals referring into the original are
+        valid in the clone.  All payloads are immutable (ints, tuples,
+        strings), which makes shallow container copies sufficient — cloning
+        is O(gates) dict copies, orders of magnitude cheaper than re-running
+        the RTL synthesizer that built the graph.
+        """
+        other = AIG.__new__(AIG)
+        other._next_node = self._next_node
+        other._and_of = dict(self._and_of)
+        other._strash = dict(self._strash)
+        other._inputs = list(self._inputs)
+        other._input_set = set(self._input_set)
+        other._input_names = dict(self._input_names)
+        return other
+
     # -- introspection ---------------------------------------------------
     @property
     def inputs(self) -> List[int]:

@@ -14,20 +14,26 @@ covers, liveness and fairness) and returns, per property, one of:
 
 The engine mirrors the paper's usage model: run everything, report a proof
 rate, and hand short CEX traces to the designer.
+
+Since the ``repro.api`` redesign the engine is the *check* half only: proof
+backends are looked up in the :mod:`repro.formal.engines` registry (so
+``EngineConfig.proof_engine`` is data, not an if/elif), the compile half
+lives in :mod:`repro.api.compile`, and :meth:`FormalEngine.check_properties`
+checks any named subset — the hook per-property scheduling builds on.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Collection, Dict, List, Optional
 
 from .bmc import bmc_cover, bmc_safety
 from .cnf import Unroller
-from .kinduction import prove_safety
+from .engines import (available_engines, available_liveness_strategies,
+                      get_engine, get_liveness_strategy)
 from .liveness import (SAVED_OBSERVABLE, compile_kliveness, compile_liveness,
                        find_loop_start)
-from .pdr import pdr_prove
 from .trace import Trace
 from .transition import TransitionSystem
 
@@ -44,13 +50,19 @@ UNKNOWN = "unknown"
 class EngineConfig:
     """Bounds and strategy knobs for the proof engine.
 
-    ``max_bound`` limits BMC bug hunting; ``proof_engine`` selects the proof
-    algorithm — ``"pdr"`` (IC3, the default and what production tools use)
-    or ``"kind"`` (k-induction, kept for the ablation study E12);
+    ``max_bound`` limits BMC bug hunting; ``proof_engine`` names a
+    registered proof engine (see :mod:`repro.formal.engines`) — built-ins
+    are ``"pdr"`` (IC3, the default and what production tools use),
+    ``"kind"`` (k-induction, kept for the ablation study E12) and
+    ``"bmc-only"`` (bug hunting without proof attempts);
     ``max_frames`` bounds PDR frames, ``max_k`` bounds induction depth;
     ``simple_path`` toggles the path-uniqueness strengthening of k-induction;
     ``liveness_strategy`` selects L2S+proof (``"l2s"``) or pure bounded lasso
     search (``"bounded"``, bug-hunting only).
+
+    Unknown ``proof_engine`` / ``liveness_strategy`` names raise
+    :class:`~repro.core.language.AutoSVAError` at construction — a config
+    typo must fail where it is written, not minutes later inside a worker.
     """
 
     max_bound: int = 20
@@ -60,6 +72,24 @@ class EngineConfig:
     proof_engine: str = "pdr"
     max_frames: int = 80
     kliveness_rounds: tuple = (1, 2, 4)
+
+    def __post_init__(self) -> None:
+        # Imported here: core.language must stay importable without pulling
+        # the whole core package through formal at module-import time.
+        from ..core.language import AutoSVAError
+        if self.proof_engine not in available_engines():
+            raise AutoSVAError(
+                f"unknown proof engine {self.proof_engine!r}; registered "
+                f"engines: {', '.join(available_engines())}")
+        if self.liveness_strategy not in available_liveness_strategies():
+            raise AutoSVAError(
+                f"unknown liveness strategy {self.liveness_strategy!r}; "
+                f"registered strategies: "
+                f"{', '.join(available_liveness_strategies())}")
+        for bound_name in ("max_bound", "max_k", "max_frames"):
+            if getattr(self, bound_name) < 0:
+                raise AutoSVAError(f"{bound_name} must be >= 0, "
+                                   f"got {getattr(self, bound_name)}")
 
 
 @dataclass
@@ -134,11 +164,18 @@ class CheckReport:
 
 
 class FormalEngine:
-    """Runs all properties of a testbench and collates a report.
+    """Runs properties of a compiled testbench and collates a report.
 
     ``system_factory`` must return a *fresh* TransitionSystem on each call;
     the engine builds separate instances for safety and liveness so the L2S
-    monitor state never weakens safety induction.
+    monitor state never weakens safety induction.  A
+    :class:`~repro.api.compile.CompiledDesign` provides exactly such a
+    factory (``compiled.system``) without re-running the RTL frontend.
+
+    The schedulable unit is a property *subset*: :meth:`check_properties`
+    checks any named group, which is what lets the campaign layer shard one
+    design's property set across workers; :meth:`check_all` is the
+    everything-at-once convenience wrapper.
     """
 
     def __init__(self, system_factory: Callable[[], TransitionSystem],
@@ -148,39 +185,50 @@ class FormalEngine:
 
     # -- public API -------------------------------------------------------
     def check_all(self) -> CheckReport:
+        return self.check_properties(None)
+
+    def check_properties(self,
+                         names: Optional[Collection[str]] = None
+                         ) -> CheckReport:
+        """Check the named properties (``None`` = every property).
+
+        Results come back in canonical order — asserts, covers, liveness,
+        each in declaration order — restricted to ``names``.  Unknown names
+        raise ``KeyError`` before any solving starts.
+        """
         start = time.perf_counter()
+        only = None if names is None else set(names)
         probe = self._factory()
+        if only is not None:
+            known = {p.name for p in
+                     probe.asserts + probe.covers + probe.liveness}
+            missing = sorted(only - known)
+            if missing:
+                raise KeyError(f"no property named {missing[0]!r}")
         report = CheckReport(design=probe.name)
-        report.results.extend(self._check_safety(probe))
-        report.results.extend(self._check_covers(probe))
-        if probe.liveness:
+        report.results.extend(self._check_safety(probe, only))
+        report.results.extend(self._check_covers(probe, only))
+        if self._selected(probe.liveness, only):
             live_system = self._factory()
-            report.results.extend(self._check_liveness(live_system))
+            report.results.extend(self._check_liveness(live_system,
+                                                       only=only))
         report.total_time_s = time.perf_counter() - start
         return report
 
     def check_property(self, name: str) -> PropertyResult:
         """Check a single property by name (assert, cover or liveness)."""
-        system = self._factory()
-        for prop in system.asserts:
-            if prop.name == name:
-                return self._check_one_safety(system, prop,
-                                              Unroller(system))
-        for prop in system.covers:
-            if prop.name == name:
-                return self._check_one_cover(system, prop, Unroller(system))
-        for prop in system.liveness:
-            if prop.name == name:
-                results = self._check_liveness(system, only=name)
-                if results:
-                    return results[0]
-        raise KeyError(f"no property named {name!r}")
+        return self.check_properties([name]).results[0]
+
+    @staticmethod
+    def _selected(props, only) -> List:
+        return [p for p in props if only is None or p.name in only]
 
     # -- safety -------------------------------------------------------------
-    def _check_safety(self, system: TransitionSystem) -> List[PropertyResult]:
+    def _check_safety(self, system: TransitionSystem,
+                      only: Optional[set] = None) -> List[PropertyResult]:
         results = []
         shared = Unroller(system)
-        for prop in system.asserts:
+        for prop in self._selected(system.asserts, only):
             results.append(self._check_one_safety(system, prop, shared))
         return results
 
@@ -201,39 +249,35 @@ class FormalEngine:
         if hunt.failed:
             return PropertyResult(name, kind, CEX, depth=hunt.depth,
                                   trace=hunt.trace)
-        if self.config.proof_engine == "kind":
-            outcome = prove_safety(system, assert_lit,
-                                   max_k=self.config.max_k,
-                                   property_name=name,
-                                   simple_path=self.config.simple_path)
-            if outcome.failed:
+        engine = get_engine(self.config.proof_engine)
+        verdict = engine.prove_invariant(system, assert_lit, self.config)
+        if verdict.proven:
+            return PropertyResult(name, kind, PROVEN, depth=verdict.depth)
+        if verdict.failed:
+            if verdict.trace is not None:
+                # Backends see only the literal; restore the property name
+                # the trace renderer prints.
+                verdict.trace.property_name = name
                 return PropertyResult(name, kind, CEX,
-                                      depth=outcome.cex_trace.depth - 1,
-                                      trace=outcome.cex_trace)
-            if outcome.proven:
-                return PropertyResult(name, kind, PROVEN, depth=outcome.k)
-            return PropertyResult(name, kind, UNKNOWN,
-                                  depth=self.config.max_k)
-        outcome = pdr_prove(system, assert_lit,
-                            max_frames=self.config.max_frames)
-        if outcome.proven:
-            return PropertyResult(name, kind, PROVEN, depth=outcome.frames)
-        if outcome.failed:
-            # Regenerate the trace via BMC at the discovered depth.
+                                      depth=verdict.cex_depth,
+                                      trace=verdict.trace)
+            # The backend learned only the depth: regenerate the trace via
+            # BMC there.
             deep = bmc_safety(system, assert_lit,
-                              max(outcome.cex_depth, self.config.max_bound),
+                              max(verdict.cex_depth, self.config.max_bound),
                               property_name=name, unroller=shared)
             if deep.failed:
                 return PropertyResult(name, kind, CEX, depth=deep.depth,
                                       trace=deep.trace)
         return PropertyResult(name, kind, UNKNOWN,
-                              depth=self.config.max_frames)
+                              depth=engine.unknown_depth(self.config))
 
     # -- covers ---------------------------------------------------------------
-    def _check_covers(self, system: TransitionSystem) -> List[PropertyResult]:
+    def _check_covers(self, system: TransitionSystem,
+                      only: Optional[set] = None) -> List[PropertyResult]:
         results = []
         shared = Unroller(system)
-        for prop in system.covers:
+        for prop in self._selected(system.covers, only):
             results.append(self._check_one_cover(system, prop, shared))
         return results
 
@@ -247,13 +291,21 @@ class FormalEngine:
             return PropertyResult(prop.name, "cover", COVERED,
                                   depth=outcome.depth, trace=outcome.trace,
                                   time_s=elapsed)
-        # Try to prove the cover unreachable (negation invariant).
-        proof = pdr_prove(system, prop.lit ^ 1,
-                          max_frames=self.config.max_frames)
+        if not get_engine(self.config.proof_engine).proves_covers:
+            # A no-proof engine (bmc-only) stops at the hunt.
+            return PropertyResult(prop.name, "cover", UNKNOWN,
+                                  depth=self.config.max_bound,
+                                  time_s=elapsed)
+        # Try to prove the cover unreachable (negation invariant).  Cover
+        # unreachability is frame-shaped work, so proving engines all go
+        # to PDR here regardless of the configured proof engine (matching
+        # the pre-registry behaviour for pdr and kind).
+        proof = get_engine("pdr").prove_invariant(system, prop.lit ^ 1,
+                                                  self.config)
         elapsed = time.perf_counter() - begin
         if proof.proven:
             return PropertyResult(prop.name, "cover", UNREACHABLE,
-                                  depth=proof.frames, time_s=elapsed)
+                                  depth=proof.depth, time_s=elapsed)
         if proof.failed:
             deep = bmc_cover(system, prop.lit,
                              max(proof.cex_depth, self.config.max_bound),
@@ -267,12 +319,12 @@ class FormalEngine:
 
     # -- liveness ---------------------------------------------------------------
     def _check_liveness(self, system: TransitionSystem,
-                        only: Optional[str] = None) -> List[PropertyResult]:
+                        only: Optional[set] = None) -> List[PropertyResult]:
         compilation = compile_liveness(system)
         results = []
         shared = Unroller(system)
         for name, bad_lit in compilation.bad_lits.items():
-            if only is not None and name != only:
+            if only is not None and name not in only:
                 continue
             begin = time.perf_counter()
             result = self._check_one_liveness(system, name, bad_lit, shared)
@@ -280,58 +332,53 @@ class FormalEngine:
             results.append(result)
         return results
 
+    @staticmethod
+    def _lasso_trace(trace: Trace) -> Trace:
+        """Mark the loop start on an L2S counterexample trace."""
+        saved = trace.cycles.get(SAVED_OBSERVABLE, [])
+        trace.loop_start = find_loop_start(saved)
+        return trace
+
     def _check_one_liveness(self, system: TransitionSystem, name: str,
                             bad_lit: int, shared: Unroller) -> PropertyResult:
         hunt = bmc_cover(system, bad_lit, self.config.max_bound,
                          property_name=name, unroller=shared)
         if hunt.failed:  # lasso found: liveness CEX
-            trace = hunt.trace
-            saved = trace.cycles.get(SAVED_OBSERVABLE, [])
-            trace.loop_start = find_loop_start(saved)
             return PropertyResult(name, "live", CEX, depth=hunt.depth,
-                                  trace=trace)
-        if self.config.liveness_strategy != "l2s":
+                                  trace=self._lasso_trace(hunt.trace))
+        strategy = get_liveness_strategy(self.config.liveness_strategy)
+        if not strategy.proves:
             return PropertyResult(name, "live", UNKNOWN,
                                   depth=self.config.max_bound)
-        if self.config.proof_engine == "kind":
-            proof = prove_safety(system, bad_lit ^ 1, max_k=self.config.max_k,
-                                 property_name=name,
-                                 simple_path=self.config.simple_path)
-            if proof.proven:
-                return PropertyResult(name, "live", PROVEN, depth=proof.k)
-            if proof.failed:
-                trace = proof.cex_trace
-                saved = trace.cycles.get(SAVED_OBSERVABLE, [])
-                trace.loop_start = find_loop_start(saved)
-                return PropertyResult(name, "live", CEX,
-                                      depth=trace.depth - 1, trace=trace)
-            return PropertyResult(name, "live", UNKNOWN,
-                                  depth=self.config.max_k)
-        # Proof ladder: k-liveness monitors first (tiny state, usually easy
-        # for PDR), then full L2S as the complete fallback.
-        for rounds in self.config.kliveness_rounds:
-            fresh = self._factory()
-            bad_k = compile_kliveness(fresh, name, rounds)
-            attempt = pdr_prove(fresh, bad_k ^ 1,
-                                max_frames=self.config.max_frames)
-            if attempt.proven:
-                return PropertyResult(name, "live", PROVEN,
-                                      depth=attempt.frames)
-            if not attempt.failed:
-                break  # frame bound exhausted: a bigger k will not help
-        proof = pdr_prove(system, bad_lit ^ 1,
-                          max_frames=self.config.max_frames)
+        engine = get_engine(self.config.proof_engine)
+        if engine.liveness_ladder:
+            # Proof ladder: k-liveness monitors first (tiny state, usually
+            # easy for a frame-based engine), then full L2S as the complete
+            # fallback.
+            for rounds in self.config.kliveness_rounds:
+                fresh = self._factory()
+                bad_k = compile_kliveness(fresh, name, rounds)
+                attempt = engine.prove_invariant(fresh, bad_k ^ 1,
+                                                 self.config)
+                if attempt.proven:
+                    return PropertyResult(name, "live", PROVEN,
+                                          depth=attempt.depth)
+                if not attempt.failed:
+                    break  # bound exhausted: a bigger k will not help
+        proof = engine.prove_invariant(system, bad_lit ^ 1, self.config)
         if proof.proven:
-            return PropertyResult(name, "live", PROVEN, depth=proof.frames)
+            return PropertyResult(name, "live", PROVEN, depth=proof.depth)
         if proof.failed:
+            if proof.trace is not None:
+                proof.trace.property_name = name
+                return PropertyResult(name, "live", CEX,
+                                      depth=proof.cex_depth,
+                                      trace=self._lasso_trace(proof.trace))
             deep = bmc_cover(system, bad_lit,
                              max(proof.cex_depth, self.config.max_bound),
                              property_name=name, unroller=shared)
             if deep.failed:
-                trace = deep.trace
-                saved = trace.cycles.get(SAVED_OBSERVABLE, [])
-                trace.loop_start = find_loop_start(saved)
                 return PropertyResult(name, "live", CEX, depth=deep.depth,
-                                      trace=trace)
+                                      trace=self._lasso_trace(deep.trace))
         return PropertyResult(name, "live", UNKNOWN,
-                              depth=self.config.max_frames)
+                              depth=engine.unknown_depth(self.config))

@@ -124,6 +124,33 @@ class TransitionSystem:
     def add_observable(self, name: str, bits: List[int]) -> None:
         self.observables[name] = list(bits)
 
+    def clone(self) -> "TransitionSystem":
+        """An independent copy of the system (fresh AIG, fresh latches).
+
+        Checking algorithms extend a system in place (L2S monitors,
+        k-liveness counters), so a compiled design handed to several checks
+        must give each one its own instance.  Cloning preserves node ids —
+        property literals recorded against the original resolve identically
+        in the clone — while guaranteeing that no mutation of one check's
+        system can leak into another's.
+        """
+        other = TransitionSystem.__new__(TransitionSystem)
+        other.name = self.name
+        other.aig = self.aig.clone()
+        other.inputs = list(self.inputs)
+        other.input_names = dict(self.input_names)
+        other.latches = [Latch(name=l.name, node=l.node, next_lit=l.next_lit,
+                               init=l.init) for l in self.latches]
+        other._latch_by_node = {l.node: l for l in other.latches}
+        other.constraints = list(self.constraints)
+        other.asserts = list(self.asserts)
+        other.covers = list(self.covers)
+        other.liveness = list(self.liveness)
+        other.fairness = list(self.fairness)
+        other.observables = {name: list(bits)
+                             for name, bits in self.observables.items()}
+        return other
+
     # -- helpers ----------------------------------------------------------
     def pending_monitor(self, name: str, trigger: int, discharge: int,
                         same_cycle: bool = True) -> int:

@@ -1,0 +1,103 @@
+"""Compile-step tests: cache hits, clone independence, key stability."""
+
+import pytest
+
+from repro.api import CompileCache, CompiledDesign, compile_design, design_key
+from repro.core import generate_ft
+from repro.designs import case_by_id, load
+from repro.formal import EngineConfig, FormalEngine
+
+
+def merged_source(case_id="A2", variant="fixed"):
+    case = case_by_id(case_id)
+    src = load(case.buggy_file if variant == "buggy" else case.dut_file)
+    extra = [load(name) for name in case.extra_files]
+    ft = generate_ft(src, module_name=case.dut_module)
+    return ("\n".join([src] + extra + ft.testbench_sources()),
+            case.dut_module)
+
+
+class TestCompileCache:
+    def test_compile_once_per_design(self):
+        cache = CompileCache()
+        merged, module = merged_source()
+        first = cache.get_or_compile([merged], module)
+        second = cache.get_or_compile([merged], module)
+        assert first is second
+        assert cache.stats() == {"compiles": 1, "hits": 1, "entries": 1}
+
+    def test_distinct_variants_compile_separately(self):
+        cache = CompileCache()
+        fixed, module = merged_source("A3")
+        buggy, _ = merged_source("A3", variant="buggy")
+        cache.get_or_compile([fixed], module)
+        cache.get_or_compile([buggy], module)
+        assert cache.stats()["compiles"] == 2
+
+    def test_key_covers_sources_top_and_defines(self):
+        assert design_key(["a"], "m") != design_key(["b"], "m")
+        assert design_key(["a"], "m") != design_key(["a"], "n")
+        assert design_key(["a"], "m") != design_key(["a"], "m", ["X"])
+        # Length framing: source-boundary moves must change the key.
+        assert design_key(["ab", "c"], "m") != design_key(["a", "bc"], "m")
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = CompileCache(max_entries=1)
+        merged, module = merged_source()
+        other, other_module = merged_source("A1")
+        cache.get_or_compile([merged], module)
+        cache.get_or_compile([other], other_module)
+        assert len(cache) == 1
+        cache.get_or_compile([merged], module)  # evicted: recompiles
+        assert cache.stats()["compiles"] == 3
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CompileCache(max_entries=0)
+
+
+class TestCloneIndependence:
+    def test_checks_cannot_corrupt_the_base(self):
+        """Liveness checking mutates its system (L2S monitors); a cached
+        base must hand every check a fresh clone so verdicts stay identical
+        across arbitrarily many reuses."""
+        merged, module = merged_source()
+        cache = CompileCache()
+        compiled = cache.get_or_compile([merged], module)
+        base_stats = compiled.base.stats()
+        config = EngineConfig(max_bound=6, max_frames=25)
+
+        first = FormalEngine(compiled.system, config).check_all()
+        assert compiled.base.stats() == base_stats  # untouched by L2S
+        second = FormalEngine(compiled.system, config).check_all()
+        verdicts = lambda report: [(r.name, r.kind, r.status, r.depth)
+                                   for r in report.results]
+        assert verdicts(first) == verdicts(second)
+        assert compiled.clones >= 4  # safety + liveness systems, twice
+
+    def test_clone_preserves_node_ids(self):
+        merged, module = merged_source()
+        compiled = CompileCache().get_or_compile([merged], module)
+        clone = compiled.base.clone()
+        assert [p.lit for p in clone.asserts] == \
+            [p.lit for p in compiled.base.asserts]
+        assert [l.name for l in clone.latches] == \
+            [l.name for l in compiled.base.latches]
+        # Mutating the clone's AIG grows the clone only.
+        before = compiled.base.aig.num_ands
+        g = clone.aig
+        g.AND(g.new_input("probe"), clone.latches[0].node)
+        assert clone.aig.num_ands == before + 1
+        assert compiled.base.aig.num_ands == before
+        assert len(clone.aig.inputs) == len(compiled.base.aig.inputs) + 1
+
+    def test_inventory_is_canonical_check_order(self):
+        merged, module = merged_source()
+        compiled = compile_design([merged], module)
+        kinds = [kind for _, kind in compiled.inventory]
+        # asserts, then covers, then liveness — the whole-design order.
+        boundaries = [kinds.index(k) for k in ("assert", "cover", "live")
+                      if k in kinds]
+        assert boundaries == sorted(boundaries)
+        assert len(compiled.property_names()) == len(set(
+            compiled.property_names()))

@@ -1,0 +1,136 @@
+"""Engine registry contract tests: dispatch, plugins, eager validation."""
+
+import pytest
+
+from repro.core.language import AutoSVAError
+from repro.formal import (AIG, EngineConfig, EngineVerdict, FormalEngine,
+                          TransitionSystem, available_engines,
+                          available_liveness_strategies, get_engine,
+                          get_liveness_strategy, register_engine)
+from repro.formal.engines import _ENGINES, Engine
+
+
+def make_counter(width=3):
+    ts = TransitionSystem("counter")
+    g = ts.aig
+    lats = ts.add_latch_vec("cnt", width, init=0)
+    bits = [lat.node for lat in lats]
+    inc = g.add_vec(bits, g.const_vec(1, width))
+    for lat, nxt in zip(lats, inc):
+        ts.set_next(lat, nxt)
+    return ts, bits
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"pdr", "kind", "bmc-only"} <= set(available_engines())
+        assert set(available_liveness_strategies()) >= {"l2s", "bounded"}
+
+    def test_unknown_engine_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="pdr"):
+            get_engine("zz3")
+        with pytest.raises(KeyError, match="l2s"):
+            get_liveness_strategy("zz")
+
+    def test_verdict_shapes(self):
+        ts, bits = make_counter()
+        g = ts.aig
+        good = g.NOT(g.eq_vec(bits, g.const_vec(5, 3)))
+        config = EngineConfig(max_bound=4, max_frames=20)
+        verdict = get_engine("pdr").prove_invariant(ts, good, config)
+        assert verdict.failed and verdict.cex_depth == 5
+        assert verdict.trace is None  # PDR learns the depth only
+        verdict = get_engine("kind").prove_invariant(ts, good, config)
+        assert verdict.failed and verdict.cex_depth == 5
+        assert verdict.trace is not None  # induction base case has a trace
+        verdict = get_engine("bmc-only").prove_invariant(ts, good, config)
+        assert verdict.status == "unknown"
+
+    def test_custom_engine_dispatches_from_config(self):
+        class AlwaysProven(Engine):
+            name = "always-proven"
+
+            def prove_invariant(self, system, good_lit, config):
+                return EngineVerdict("proven", depth=1)
+
+        register_engine(AlwaysProven())
+        try:
+            def factory():
+                ts, bits = make_counter()
+                g = ts.aig
+                # False beyond the BMC bound: only the "proof" can claim it.
+                ts.add_assert("claim", g.NOT(g.eq_vec(bits,
+                                                      g.const_vec(7, 3))))
+                return ts
+
+            config = EngineConfig(max_bound=2,
+                                  proof_engine="always-proven")
+            report = FormalEngine(factory, config).check_all()
+            assert report.by_name("claim").status == "proven"
+        finally:
+            _ENGINES.pop("always-proven", None)
+
+    def test_nameless_engine_rejected(self):
+        with pytest.raises(ValueError):
+            register_engine(Engine())
+
+
+class TestEagerConfigValidation:
+    def test_unknown_proof_engine_fails_at_construction(self):
+        with pytest.raises(AutoSVAError, match="unknown proof engine"):
+            EngineConfig(proof_engine="jasper")
+
+    def test_unknown_liveness_strategy_fails_at_construction(self):
+        with pytest.raises(AutoSVAError, match="liveness strategy"):
+            EngineConfig(liveness_strategy="k-liveness")
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(AutoSVAError, match="max_bound"):
+            EngineConfig(max_bound=-1)
+
+    def test_error_message_names_the_candidates(self):
+        with pytest.raises(AutoSVAError, match="pdr"):
+            EngineConfig(proof_engine="prd")
+
+    def test_valid_configs_unaffected(self):
+        for engine in ("pdr", "kind", "bmc-only"):
+            assert EngineConfig(proof_engine=engine).proof_engine == engine
+
+
+class TestKindTraceLabeling:
+    def test_proof_step_cex_keeps_property_name(self):
+        """A CEX found by the kind backend's base case (beyond the BMC
+        hunt bound) must carry the property's name into the trace the CLI
+        renders, not the extract_trace default."""
+        def factory():
+            ts, bits = make_counter()
+            g = ts.aig
+            ts.add_assert("never5", g.NOT(g.eq_vec(bits, g.const_vec(5, 3))))
+            return ts
+
+        config = EngineConfig(max_bound=2, proof_engine="kind")
+        result = FormalEngine(factory, config).check_property("never5")
+        assert result.status == "cex" and result.depth == 5
+        assert result.trace.property_name == "never5"
+
+
+class TestBmcOnlyEngine:
+    def test_hunts_but_never_proves(self):
+        def factory():
+            ts, bits = make_counter()
+            g = ts.aig
+            ts.add_assert("never5", g.NOT(g.eq_vec(bits, g.const_vec(5, 3))))
+            # Holds in every state, but bmc-only has no proof step.
+            ts.add_assert("low_bits", g.OR(g.NOT(bits[0]), bits[0]))
+            # Unreachable within any bound: must stay unknown, never
+            # "unreachable" — that verdict needs a proof engine.
+            ts.add_cover("reach_never", g.AND(bits[0], g.NOT(bits[0])))
+            return ts
+
+        config = EngineConfig(max_bound=8, proof_engine="bmc-only")
+        report = FormalEngine(factory, config).check_all()
+        assert report.by_name("never5").status == "cex"
+        # A true property stays unknown: bmc-only never claims proofs.
+        assert report.by_name("low_bits").status == "unknown"
+        assert report.by_name("low_bits").depth == 8
+        assert report.by_name("reach_never").status == "unknown"

@@ -1,0 +1,116 @@
+"""Property-granularity campaign tests — the PR's acceptance criterion:
+sharding a design across >=2 workers, exactly one compile per design ×
+variant (via the compile-cache counter), verdict-identical reports."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import COMPILE_CACHE
+from repro.campaign import (ArtifactCache, expand_jobs, merge_shard_results,
+                            run_campaign, run_property_campaign, shard_jobs)
+from repro.core.cli import main as cli_main
+from repro.formal import EngineConfig
+
+FAST = EngineConfig(max_bound=6, max_frames=25)
+
+
+def _strip_timing(results):
+    out = []
+    for result in results:
+        payload = dict(result.payload or {})
+        payload.pop("engine_time_s", None)
+        out.append((result.job_id, result.status, result.error, payload))
+    return out
+
+
+class TestShardPlan:
+    def test_one_compile_per_design_variant(self):
+        jobs = expand_jobs(case_ids=["A3"], config=FAST)  # fixed + buggy
+        COMPILE_CACHE.clear()
+        before = COMPILE_CACHE.compiles
+        plan = shard_jobs(jobs)
+        assert COMPILE_CACHE.compiles - before == 2
+        assert len(plan.tasks) > len(jobs)  # genuinely sharded
+        # Re-sharding the same jobs is compile-free.
+        shard_jobs(jobs)
+        assert COMPILE_CACHE.compiles - before == 2
+
+    def test_group_size_reduces_task_count(self):
+        jobs = expand_jobs(case_ids=["A2"], config=FAST)
+        singles = shard_jobs(jobs, group_size=1)
+        pairs = shard_jobs(jobs, group_size=2)
+        assert len(pairs.tasks) < len(singles.tasks)
+        singles_props = [p for t in singles.tasks for p in t.properties]
+        pairs_props = [p for t in pairs.tasks for p in t.properties]
+        assert singles_props == pairs_props  # same inventory, same order
+
+    def test_broken_job_isolated_in_plan(self):
+        jobs = expand_jobs(case_ids=["A2"], config=FAST)
+        broken = dataclasses.replace(jobs[0], job_id="broken",
+                                     dut_file="ariane/missing.sv")
+        plan = shard_jobs([broken] + jobs)
+        assert plan.shards[0].expand_error is not None
+        assert plan.shards[0].task_ids == []
+        results = merge_shard_results(plan, [])
+        assert results[0].status == "error"
+        assert "missing" in results[0].error
+
+
+class TestAcceptanceCriterion:
+    def test_sharded_run_matches_design_granularity(self):
+        """One design's property set across 2 workers: one compile per
+        design x variant, verdicts identical to the design-granularity
+        campaign."""
+        jobs = expand_jobs(case_ids=["A2"], config=FAST)
+        COMPILE_CACHE.clear()
+        before = COMPILE_CACHE.compiles
+        sharded = run_property_campaign(jobs, workers=2)
+        assert COMPILE_CACHE.compiles - before == len(jobs)
+        whole = run_campaign(jobs, workers=2)
+        assert _strip_timing(sharded) == _strip_timing(whole)
+
+    def test_worker_count_does_not_change_results(self):
+        jobs = expand_jobs(case_ids=["A2", "E10"], config=FAST)
+        serial = run_property_campaign(jobs, workers=1)
+        parallel = run_property_campaign(jobs, workers=4)
+        assert _strip_timing(serial) == _strip_timing(parallel)
+        assert [r.job_id for r in serial] == [j.job_id for j in jobs]
+
+    def test_cli_property_granularity_smoke(self, tmp_path, capsys):
+        json_out = tmp_path / "prop.json"
+        rc = cli_main(["campaign", "--cases", "A2", "--workers", "2",
+                       "--granularity", "property",
+                       "--json", str(json_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "property tasks" in out
+        assert "A2.fixed/p" in out        # per-property progress lines
+        assert "100% liveness/safety properties proof" in out
+        assert json_out.exists()
+
+    def test_cli_bad_group_size_exits_1(self, capsys):
+        assert cli_main(["campaign", "--cases", "A2",
+                         "--granularity", "property",
+                         "--group-size", "0"]) == 1
+        capsys.readouterr()
+
+
+class TestPropertyTaskCaching:
+    def test_second_sharded_run_is_cached(self, tmp_path):
+        jobs = expand_jobs(case_ids=["A2"], config=FAST)
+        cache = ArtifactCache(tmp_path)
+        first = run_property_campaign(jobs, workers=2, cache=cache)
+        assert not any(r.from_cache for r in first)
+        second = run_property_campaign(jobs, workers=2, cache=cache)
+        assert all(r.from_cache for r in second)
+        assert _strip_timing(first) == _strip_timing(second)
+
+    def test_task_and_job_cache_entries_do_not_collide(self, tmp_path):
+        jobs = expand_jobs(case_ids=["A2"], config=FAST)
+        cache = ArtifactCache(tmp_path)
+        run_campaign(jobs, workers=1, cache=cache)
+        design_entries = cache.stats()["entries"]
+        run_property_campaign(jobs, workers=1, cache=cache)
+        # Property tasks key differently (they include the group names).
+        assert cache.stats()["entries"] > design_entries
