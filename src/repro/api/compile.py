@@ -24,16 +24,33 @@ This module splits compilation out:
 from __future__ import annotations
 
 import hashlib
+import json
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..formal.transition import TransitionSystem
 from ..rtl.synth import synthesize
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..formal.engine import EngineConfig, FormalEngine
+
 __all__ = ["CompiledDesign", "CompileCache", "COMPILE_CACHE",
-           "compile_design", "design_key", "hash_chunks"]
+           "compile_design", "design_key", "hash_chunks",
+           "config_fingerprint"]
+
+
+def config_fingerprint(config) -> str:
+    """Canonical content fingerprint of an :class:`EngineConfig`.
+
+    The ONE serialization used wherever a config keys a cache — the
+    campaign artifact cache, the shard-plan cache and the per-design
+    engine LRU.  Divergent serializations would fingerprint the same
+    config differently per key space, which is exactly the class of silent
+    staleness bug content addressing is meant to rule out.
+    """
+    return json.dumps(asdict(config), sort_keys=True, default=list)
 
 
 def hash_chunks(pairs) -> str:
@@ -86,6 +103,42 @@ class CompiledDesign:
         """A fresh, independent system instance (the engine factory)."""
         self.clones += 1
         return self.base.clone()
+
+    def engine_for(self, config: "EngineConfig") -> "FormalEngine":
+        """A persistent :class:`~repro.formal.engine.FormalEngine`.
+
+        The same compiled design checked repeatedly (per-property tasks of
+        one group, warm ``run_fv`` calls, interactive sessions) reuses one
+        engine per (design, engine-config): the batched engine keeps its
+        sweep unroller and L2S compilation warm between
+        ``check_properties`` calls, so the N-th check of a design pays
+        zero re-encoding.  Backed by the module-level
+        :data:`_WARM_ENGINES` LRU — bounded globally, not per design, so
+        a process that walks many designs (a sweep loop, a notebook)
+        holds a handful of warm engines total, and an engine whose solver
+        arenas outgrew the size cap is retired rather than reused (arenas
+        only grow; dead learned/guard slots are not compacted).
+        """
+        from dataclasses import replace
+
+        from ..formal.engine import FormalEngine
+
+        cache_key = (self.key, config_fingerprint(config))
+        engine = _WARM_ENGINES.get(cache_key)
+        if engine is not None:
+            if engine.warm_ints() <= _MAX_WARM_INTS:
+                _WARM_ENGINES.move_to_end(cache_key)
+                return engine
+            del _WARM_ENGINES[cache_key]  # oversized: rebuild fresh
+        # The engine gets its own config copy: the cache entry is keyed by
+        # the config's *current* content, and a caller mutating the object
+        # afterwards must not retroactively change what the cached engine
+        # checks with.
+        engine = FormalEngine(self.system, replace(config))
+        _WARM_ENGINES[cache_key] = engine
+        while len(_WARM_ENGINES) > _MAX_WARM_ENGINES:
+            _WARM_ENGINES.popitem(last=False)
+        return engine
 
     @property
     def inventory(self) -> List[Tuple[str, str]]:
@@ -160,6 +213,19 @@ class CompileCache:
 #: The process-wide cache.  Workers forked from a parent that already
 #: compiled a design inherit these entries and never recompile it.
 COMPILE_CACHE = CompileCache()
+
+#: Warm engines across ALL compiled designs, keyed by
+#: (design key, config fingerprint) — see CompiledDesign.engine_for.
+_WARM_ENGINES: "OrderedDict[Tuple[str, str], FormalEngine]" = OrderedDict()
+#: Total warm engines held per process.
+_MAX_WARM_ENGINES = 4
+#: Retire a warm engine once its solver arenas exceed this many list
+#: slots.  A CPython slot of distinct (mostly non-cached) ints costs
+#: ~36 bytes, so the worst-case retained set is roughly
+#: _MAX_WARM_ENGINES x _MAX_WARM_INTS x 36B ~ 280 MB — size this down if
+#: running under a tight campaign ``memory_limit_mb``.  (Campaign workers
+#: fork per task and exit, so they never accumulate warm engines.)
+_MAX_WARM_INTS = 2_000_000
 
 
 def compile_design(sources: Sequence[str], top: str,

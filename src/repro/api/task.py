@@ -23,8 +23,8 @@ from ..formal.engine import CheckReport, EngineConfig, FormalEngine, \
     PropertyResult
 from .compile import COMPILE_CACHE, CompiledDesign, compile_design
 
-__all__ = ["PropertyTask", "TaskEvent", "expand_tasks", "execute_task",
-           "group_properties"]
+__all__ = ["PropertyTask", "TaskEvent", "build_tasks", "expand_tasks",
+           "execute_task", "group_properties"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,26 @@ def group_properties(names: Sequence[str],
             for i in range(0, len(names), group_size)]
 
 
+def build_tasks(label: str, dut_module: str, sources: Sequence[str],
+                config: EngineConfig, groups: Sequence[Sequence[str]],
+                variant: str = "fixed",
+                defines: Sequence[str] = ()) -> List[PropertyTask]:
+    """The ONE constructor of a design's task list from its groups.
+
+    Both :func:`expand_tasks` (fresh expansion) and the campaign's
+    shard-plan cache restore go through here, so the task-id scheme and
+    field wiring cannot drift between the two paths — drift would change
+    cache keys and break warm-rerun replay silently.
+    """
+    return [
+        PropertyTask(task_id=f"{label}/p{index}", design=label,
+                     dut_module=dut_module, sources=tuple(sources),
+                     engine_config=config, properties=tuple(group),
+                     variant=variant, defines=tuple(defines))
+        for index, group in enumerate(groups)
+    ]
+
+
 def expand_tasks(sources: Sequence[str], dut_module: str,
                  config: Optional[EngineConfig] = None,
                  design: Optional[str] = None,
@@ -124,14 +144,9 @@ def expand_tasks(sources: Sequence[str], dut_module: str,
         if unknown:
             raise KeyError(f"no property named {unknown[0]!r}")
         names = [n for n in names if n in wanted]
-    label = design or dut_module
-    return [
-        PropertyTask(task_id=f"{label}/p{index}", design=label,
-                     dut_module=dut_module, sources=tuple(sources),
-                     engine_config=config, properties=group,
-                     variant=variant, defines=tuple(defines))
-        for index, group in enumerate(group_properties(names, group_size))
-    ]
+    return build_tasks(design or dut_module, dut_module, sources, config,
+                       group_properties(names, group_size),
+                       variant=variant, defines=defines)
 
 
 def result_payload(result: PropertyResult) -> Dict[str, object]:
@@ -150,7 +165,10 @@ def execute_task(task: PropertyTask) -> Dict[str, object]:
     compiles_before = COMPILE_CACHE.compiles
     compiled = compile_design(task.sources, task.dut_module, task.defines)
     compiled_here = COMPILE_CACHE.compiles > compiles_before
-    engine = FormalEngine(compiled.system, task.engine_config)
+    # Persistent per-config engine: consecutive tasks of one design in the
+    # same process (or repeated checks of one compiled design) reuse the
+    # warm sweep unroller and proof contexts instead of re-encoding.
+    engine = compiled.engine_for(task.engine_config)
     names = list(task.properties) if task.properties else None
     report = engine.check_properties(names)
     return {

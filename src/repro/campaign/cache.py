@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -48,27 +47,41 @@ class ArtifactCache:
         property-group names so different shards of one design get
         distinct entries.
         """
-        from ..api.compile import hash_chunks
+        from ..api.compile import config_fingerprint, hash_chunks
 
         pairs = [("schema", str(_SCHEMA_VERSION))]
         pairs.extend(job.cache_chunks())
-        pairs.append(("config", json.dumps(asdict(job.engine_config),
-                                           sort_keys=True, default=list)))
+        pairs.append(("config", config_fingerprint(job.engine_config)))
         return hash_chunks(pairs)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
     # -- lookup / store ----------------------------------------------------
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        path = self._path(key)
+    def _read(self, key: str) -> Optional[Dict[str, object]]:
+        """The one read-and-validate path behind get() and contains()."""
         try:
-            payload = json.loads(path.read_text())
+            return json.loads(self._path(key).read_text())
         except (OSError, ValueError):
+            return None
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        payload = self._read(key)
+        if payload is None:
             self.misses += 1
             return None
         self.hits += 1
         return payload
+
+    def contains(self, key: str) -> bool:
+        """Valid-entry peek that does not touch the hit/miss counters.
+
+        Used by the shard planner to decide whether a restored job still
+        needs a parent-side compile without distorting replay statistics.
+        Shares :meth:`_read` with :meth:`get`, so an entry this says is
+        present is one the replay can actually serve.
+        """
+        return self._read(key) is not None
 
     def put(self, key: str, payload: Dict[str, object]) -> None:
         path = self._path(key)

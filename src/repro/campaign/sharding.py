@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 # NOTE: repro.api.session imports this package's scheduler; to keep both
 # import orders working (api first or campaign first), the session-layer
 # imports below happen inside the functions that need them.
-from ..api.task import PropertyTask, TaskEvent, expand_tasks
+from ..api.task import PropertyTask, TaskEvent, build_tasks, expand_tasks
 from ..formal.engine import CheckReport
 from .cache import ArtifactCache
 from .jobs import CampaignJob, summarize_report
@@ -44,9 +44,13 @@ class _JobShard:
 
     job: CampaignJob
     task_ids: List[str] = field(default_factory=list)
+    tasks: List[PropertyTask] = field(default_factory=list)
     annotation_loc: int = 0
     property_count: int = 0
     expand_error: Optional[str] = None   # FT/compile failed parent-side
+    #: True when the shard was restored from a cached plan — FT generation
+    #: and the parent-side compile were both skipped.
+    from_plan_cache: bool = False
 
 
 @dataclass
@@ -61,14 +65,65 @@ class ShardPlan:
         return [shard.job for shard in self.shards]
 
 
+#: Bump to invalidate every cached shard plan (schema/semantics change).
+_PLAN_SCHEMA = 1
+
+
+def _plan_key(job: CampaignJob, group_size: int) -> str:
+    """Content hash of everything that determines a job's shard plan.
+
+    Deliberately its own key space (the ``shard-plan`` tag) next to job-
+    and task-result entries in the same artifact cache directory.
+    """
+    from ..api.compile import config_fingerprint, hash_chunks
+
+    pairs = [("shard-plan", str(_PLAN_SCHEMA)),
+             ("group-size", str(group_size))]
+    pairs.extend(job.cache_chunks())
+    pairs.append(("config", config_fingerprint(job.engine_config)))
+    return hash_chunks(pairs)
+
+
+def _restore_shard(shard: _JobShard, entry: dict) -> List[PropertyTask]:
+    """Rebuild a shard's task list from a cached plan entry.
+
+    Reconstructs exactly what :func:`~repro.api.task.expand_tasks` would
+    have produced — same task ids, same groups, same merged source — but
+    without running the RTL frontend or the compiler (both go through the
+    shared :func:`~repro.api.task.build_tasks`, so the schemes cannot
+    drift).
+    """
+    job = shard.job
+    merged = entry["merged"]
+    tasks = build_tasks(job.job_id, job.dut_module, (merged,),
+                        job.engine_config,
+                        [tuple(group) for group in entry["groups"]],
+                        variant=job.variant,
+                        defines=tuple(entry.get("defines", ())))
+    shard.annotation_loc = int(entry["annotation_loc"])
+    shard.property_count = int(entry["property_count"])
+    shard.task_ids = [task.task_id for task in tasks]
+    shard.tasks = tasks
+    shard.from_plan_cache = True
+    return tasks
+
+
 def shard_jobs(jobs: Sequence[CampaignJob],
-               group_size: int = 1) -> ShardPlan:
+               group_size: int = 1,
+               cache: Optional[ArtifactCache] = None) -> ShardPlan:
     """Unfold design jobs into per-property tasks (one compile per job).
 
     A job whose sources fail to load, annotate or compile is recorded on
     the plan with ``expand_error`` and produces no tasks — the merge step
     turns it into a per-job ``error`` result, preserving the campaign's
     failure-isolation contract.
+
+    With a ``cache``, each job's *shard plan* (testbench-merged source +
+    property grouping) is itself content-cached: a warm rerun rebuilds its
+    task list from disk and skips FT generation and the parent-side
+    compile entirely, which is what makes a fully-warm
+    ``--granularity property --cache-dir`` rerun as instant as a
+    design-granularity one.
     """
     from ..core import generate_ft
 
@@ -77,6 +132,16 @@ def shard_jobs(jobs: Sequence[CampaignJob],
     for job in jobs:
         shard = _JobShard(job=job)
         shards.append(shard)
+        plan_key = _plan_key(job, group_size) if cache is not None else None
+        if plan_key is not None:
+            entry = cache.get(plan_key)
+            if entry is not None:
+                try:
+                    tasks.extend(_restore_shard(shard, entry))
+                    continue
+                except (KeyError, TypeError, ValueError):
+                    # Malformed/stale entry: fall through to a fresh plan.
+                    shard.from_plan_cache = False
         try:
             sources = job.sources()
             ft = generate_ft(sources[0], module_name=job.dut_module)
@@ -91,7 +156,17 @@ def shard_jobs(jobs: Sequence[CampaignJob],
         shard.annotation_loc = ft.annotation_loc
         shard.property_count = ft.property_count
         shard.task_ids = [task.task_id for task in job_tasks]
+        shard.tasks = list(job_tasks)
         tasks.extend(job_tasks)
+        if plan_key is not None:
+            cache.put(plan_key, {
+                "merged": merged,
+                "groups": [list(task.properties) for task in job_tasks],
+                "defines": (list(job_tasks[0].defines)
+                            if job_tasks else []),
+                "annotation_loc": ft.annotation_loc,
+                "property_count": ft.property_count,
+            })
     return ShardPlan(shards=shards, tasks=tasks)
 
 
@@ -156,18 +231,44 @@ def run_property_campaign(jobs: Sequence[CampaignJob],
     """Run a campaign at property granularity; results stay job-shaped.
 
     The compile counter contract: every design × variant is compiled
-    exactly once, in this (parent) process, during sharding — check
+    *at most* once, in this (parent) process, during sharding — check
     ``repro.api.COMPILE_CACHE.stats()`` before/after to assert it.
     Workers forked by the session inherit those compiles and report
-    ``compiled_in_worker=False``.
+    ``compiled_in_worker=False``.  With a warm cache the count drops
+    further: a job restored from a cached shard plan whose task results
+    are all cached compiles *zero* times (and skips FT generation too).
     """
+    from ..api.compile import compile_design
     from ..api.session import VerificationSession
 
-    plan = shard_jobs(jobs, group_size=group_size)
+    plan = shard_jobs(jobs, group_size=group_size, cache=cache)
+    if cache is not None:
+        # Plan-cache-restored jobs skipped their parent-side compile.  If
+        # any of their task results is missing from the artifact cache, a
+        # worker would otherwise recompile per task — compile those (and
+        # only those) designs here, preserving the one-compile guarantee.
+        # (contains() parses each entry it peeks at, so a fully-warm rerun
+        # reads result JSONs twice — once here, once at replay.  Entries
+        # are small and the peek short-circuits on the first miss; fold
+        # the peeked payloads into the session if this ever shows up.)
+        for shard in plan.shards:
+            if not shard.from_plan_cache or not shard.tasks:
+                continue
+            if all(cache.contains(cache.key(task))
+                   for task in shard.tasks):
+                continue
+            try:
+                compile_design(list(shard.tasks[0].sources),
+                               shard.job.dut_module,
+                               shard.tasks[0].defines)
+            except Exception:
+                # Workers will fail the same way, per task, preserving
+                # the failure-isolation contract.
+                pass
     session = VerificationSession(
         plan.tasks, workers=workers, cache=cache, timeout_s=timeout_s,
         memory_limit_mb=memory_limit_mb,
-        precompile=False)  # shard_jobs already compiled everything
+        precompile=False)  # shard_jobs / the loop above compiled everything
     for event in session.run():
         if progress:
             progress(event)

@@ -173,5 +173,7 @@ def run_fv(ft: FormalTestbench, rtl_sources: Sequence[str],
     sources = list(rtl_sources) + ft.testbench_sources()
     merged = "\n".join(sources)
     compiled = compile_design([merged], ft.dut_name, defines=defines)
-    engine = FormalEngine(compiled.system, config or EngineConfig())
+    # Persistent per-config engine: re-running the same FT in one process
+    # (sweep configs, notebooks, tests) reuses the warm solver state.
+    engine = compiled.engine_for(config or EngineConfig())
     return engine.check_all()

@@ -3,20 +3,38 @@
 BMC unrolls the transition relation ``k`` cycles from the reset state and asks
 the SAT solver for a path violating an assertion (or reaching a cover target)
 at cycle ``k``.  It is the bug-finding half of the engine; proofs are the job
-of :mod:`repro.formal.kinduction`.
+of :mod:`repro.formal.kinduction` / :mod:`repro.formal.pdr`.
+
+Two entry-point shapes:
+
+* :func:`bmc_safety` / :func:`bmc_cover` — one property, walking depths
+  ``start_depth..max_depth``.  ``start_depth`` lets a caller resume past an
+  already-cleared bound instead of re-hunting from zero (the proof engines
+  report a counterexample *depth* beyond the hunt bound; regenerating its
+  trace only needs the not-yet-cleared depths).
+* :func:`bmc_sweep` — the batched form: one walk over the depths deciding a
+  whole property *set* on one shared :class:`~repro.formal.cnf.Unroller`.
+  At each depth every still-undecided target is queried under its own
+  assumption literal, so frame encodings and learned clauses amortize
+  across the set.  This mirrors how the paper's flow proves a property set
+  per module, not one property at a time, and it is verdict/depth/trace
+  equivalent to running the per-property functions (each BMC query is an
+  independent exact decision — batching changes solver state, never
+  answers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from .cnf import Unroller
 from .sat import Solver
 from .trace import Trace, extract_trace
 from .transition import TransitionSystem
 
-__all__ = ["BmcResult", "bmc_safety", "bmc_cover"]
+__all__ = ["BmcResult", "SweepTarget", "bmc_safety", "bmc_cover",
+           "bmc_sweep"]
 
 
 @dataclass
@@ -34,38 +52,134 @@ class BmcResult:
     solver_stats: Optional[dict] = None
 
 
+@dataclass(frozen=True)
+class SweepTarget:
+    """One property in a batched sweep.
+
+    ``kind`` decides the query polarity at each depth: ``"assert"`` asks
+    for a state where ``lit`` is *false* (a violation); ``"cover"`` (also
+    used for liveness lasso hunts) asks for a state where ``lit`` is *true*
+    (a witness).
+    """
+
+    name: str
+    lit: int
+    kind: str = "assert"  # "assert" | "cover"
+
+
 def bmc_safety(system: TransitionSystem, assert_lit: int, max_depth: int,
                property_name: str = "assertion",
-               unroller: Optional[Unroller] = None) -> BmcResult:
+               unroller: Optional[Unroller] = None,
+               start_depth: int = 0) -> BmcResult:
     """Search for a violation of ``assert_lit`` within ``max_depth`` cycles.
 
     The unroller may be shared across properties of the same system so that
     learned clauses and frame encodings are reused (this mirrors how a formal
     tool proves a property *set*, not one property at a time).
+    ``start_depth`` skips depths a previous hunt already cleared.
     """
-    unroller = unroller or Unroller(system)
-    solver = unroller.solver
-    for k in range(max_depth + 1):
-        bad = -unroller.sat_literal(assert_lit, k)
-        if solver.solve(assumptions=[bad]):
-            trace = extract_trace(property_name, system, unroller, depth=k)
-            return BmcResult(failed=True, depth=k, trace=trace,
-                             solver_stats=solver.stats.as_dict())
-    return BmcResult(failed=False, depth=max_depth,
-                     solver_stats=solver.stats.as_dict())
+    results = bmc_sweep(system,
+                        [SweepTarget(property_name, assert_lit, "assert")],
+                        max_depth, unroller=unroller,
+                        start_depth=start_depth)
+    return results[(property_name, "assert")]
 
 
 def bmc_cover(system: TransitionSystem, cover_lit: int, max_depth: int,
               property_name: str = "cover",
-              unroller: Optional[Unroller] = None) -> BmcResult:
+              unroller: Optional[Unroller] = None,
+              start_depth: int = 0) -> BmcResult:
     """Search for a path reaching ``cover_lit`` within ``max_depth`` cycles."""
+    results = bmc_sweep(system,
+                        [SweepTarget(property_name, cover_lit, "cover")],
+                        max_depth, unroller=unroller,
+                        start_depth=start_depth)
+    return results[(property_name, "cover")]
+
+
+def bmc_sweep(system: TransitionSystem, targets: Sequence[SweepTarget],
+              max_depth: int,
+              unroller: Optional[Unroller] = None,
+              start_depth: int = 0) -> "Dict[Tuple[str, str], BmcResult]":
+    """Decide every target with one walk over depths ``start_depth..max_depth``.
+
+    At each depth every still-undecided target is solved under its own
+    assumption literal on the shared unroller; a SAT answer decides that
+    target (``failed=True`` at that depth, trace extracted from the model)
+    and removes it from the sweep.  Targets surviving all depths come back
+    ``failed=False`` at ``max_depth``.
+
+    Results are keyed by ``(name, kind)`` — names must be unique within a
+    kind, mirroring the namespace rule of the property inventory.
+    Verdicts and depths are identical to running
+    :func:`bmc_safety` / :func:`bmc_cover` per target, because each
+    (target, depth) SAT query is decided by the formula, not by solver
+    state; traces are witnesses at the same (minimal) depth, extracted
+    from whatever model the shared solver produced.
+
+    Query batching: at each depth the sweep first asks one *disjunction*
+    query — "does any still-undecided target fire at this depth?" — under
+    a single guard assumption.  UNSAT (the overwhelmingly common answer on
+    proving designs) clears every target at that depth for the price of
+    one query instead of P.  A SAT answer decides, from its model, every
+    target it witnesses, and the disjunction over the remainder is
+    re-asked until it comes back UNSAT — so each extra query decides at
+    least one more target.  Per-target assumption queries and verdicts are
+    exactly those of the unbatched loop; only the number of solver calls
+    changes.
+    """
+    keys = [(t.name, t.kind) for t in targets]
+    if len(set(keys)) != len(keys):
+        raise ValueError(f"duplicate (name, kind) targets in sweep: {keys}")
     unroller = unroller or Unroller(system)
     solver = unroller.solver
-    for k in range(max_depth + 1):
-        target = unroller.sat_literal(cover_lit, k)
-        if solver.solve(assumptions=[target]):
-            trace = extract_trace(property_name, system, unroller, depth=k)
-            return BmcResult(failed=True, depth=k, trace=trace,
-                             solver_stats=solver.stats.as_dict())
-    return BmcResult(failed=False, depth=max_depth,
-                     solver_stats=solver.stats.as_dict())
+    results: Dict[Tuple[str, str], BmcResult] = {}
+    pending = list(targets)
+    for k in range(start_depth, max_depth + 1):
+        if not pending:
+            break
+        queries = {
+            (target.name, target.kind):
+                (unroller.sat_literal(target.lit, k) if
+                 target.kind == "cover"
+                 else -unroller.sat_literal(target.lit, k))
+            for target in pending}
+        while pending:
+            if len(pending) == 1:
+                # One target left: its own assumption literal is the query.
+                target = pending[0]
+                if solver.solve(
+                        assumptions=[queries[(target.name, target.kind)]]):
+                    results[(target.name, target.kind)] = BmcResult(
+                        failed=True, depth=k,
+                        trace=extract_trace(target.name, system, unroller,
+                                            depth=k),
+                        solver_stats=solver.stats.as_dict())
+                    pending = []
+                break
+            # Disjunction pre-filter under one guard assumption.
+            guard = solver.new_var()
+            solver.add_clause([-guard] + [queries[(t.name, t.kind)]
+                                          for t in pending])
+            sat = solver.solve(assumptions=[guard])
+            if not sat:
+                solver.add_clause([-guard])  # retire the guard
+                break  # every pending target survives depth k
+            # The model witnesses at least one target; decide all it hits.
+            still = []
+            for target in pending:
+                if solver.value(queries[(target.name, target.kind)]):
+                    results[(target.name, target.kind)] = BmcResult(
+                        failed=True, depth=k,
+                        trace=extract_trace(target.name, system, unroller,
+                                            depth=k),
+                        solver_stats=solver.stats.as_dict())
+                else:
+                    still.append(target)
+            solver.add_clause([-guard])  # retire the guard
+            pending = still
+    for target in pending:
+        results[(target.name, target.kind)] = BmcResult(
+            failed=False, depth=max_depth,
+            solver_stats=solver.stats.as_dict())
+    return results

@@ -32,11 +32,13 @@ Third-party engines plug in without touching the orchestrator::
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from .cnf import Unroller
 from .kinduction import prove_safety
-from .pdr import pdr_prove
+from .pdr import PdrContext, pdr_prove
 from .trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,11 +46,44 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .transition import TransitionSystem
 
 __all__ = [
-    "Engine", "EngineVerdict", "LivenessStrategy",
+    "Engine", "EngineVerdict", "LivenessStrategy", "ProofContext",
     "register_engine", "get_engine", "available_engines",
     "register_liveness_strategy", "get_liveness_strategy",
-    "available_liveness_strategies",
+    "available_liveness_strategies", "prove_with",
 ]
+
+
+@dataclass
+class ProofContext:
+    """Warm solver state the orchestrator shares with proof backends.
+
+    ``hunt_unroller`` is the BMC sweep's concrete-init unrolling of the
+    same system — k-induction base cases extend its frames instead of
+    re-encoding.  ``cleared_depth`` is the highest depth that sweep proved
+    violation-free for the property being handed over (base cases up to it
+    need no re-solving).  ``pdr`` is the system's shared
+    :class:`~repro.formal.pdr.PdrContext` (transition encoding + learned
+    clauses amortized across every property's PDR run).
+
+    Backends accept it as the optional ``context`` keyword; engines that
+    ignore it (or third-party engines written before it existed) keep
+    working — :func:`prove_with` only passes what a backend's signature
+    admits.
+    """
+
+    hunt_unroller: Optional[Unroller] = None
+    cleared_depth: int = -1
+    pdr: Optional[PdrContext] = None
+
+
+def prove_with(engine: "Engine", system: "TransitionSystem", good_lit: int,
+               config: "EngineConfig",
+               context: Optional[ProofContext] = None) -> "EngineVerdict":
+    """Invoke a backend, passing ``context`` only if its signature takes it."""
+    if context is not None and engine.accepts_context:
+        return engine.prove_invariant(system, good_lit, config,
+                                      context=context)
+    return engine.prove_invariant(system, good_lit, config)
 
 
 @dataclass
@@ -93,9 +128,23 @@ class Engine:
     proves_covers: bool = True
 
     def prove_invariant(self, system: "TransitionSystem", good_lit: int,
-                        config: "EngineConfig") -> EngineVerdict:
-        """Try to prove ``good_lit`` holds in every reachable state."""
+                        config: "EngineConfig", **kwargs) -> EngineVerdict:
+        """Try to prove ``good_lit`` holds in every reachable state.
+
+        Backends may declare an optional ``context`` keyword
+        (:class:`ProofContext`) to reuse the orchestrator's warm solver
+        state; :func:`prove_with` checks the signature before passing it.
+        """
         raise NotImplementedError
+
+    @property
+    def accepts_context(self) -> bool:
+        if not hasattr(self, "_accepts_context"):
+            params = inspect.signature(self.prove_invariant).parameters
+            self._accepts_context = ("context" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values()))
+        return self._accepts_context
 
     def unknown_depth(self, config: "EngineConfig") -> int:
         """The exhausted bound reported on an unknown verdict."""
@@ -108,8 +157,11 @@ class PdrEngine(Engine):
     name = "pdr"
     liveness_ladder = True
 
-    def prove_invariant(self, system, good_lit, config) -> EngineVerdict:
-        outcome = pdr_prove(system, good_lit, max_frames=config.max_frames)
+    def prove_invariant(self, system, good_lit, config,
+                        context=None) -> EngineVerdict:
+        pdr_context = context.pdr if context is not None else None
+        outcome = pdr_prove(system, good_lit, max_frames=config.max_frames,
+                            context=pdr_context)
         if outcome.proven:
             return EngineVerdict("proven", depth=outcome.frames)
         if outcome.failed:
@@ -127,9 +179,14 @@ class KInductionEngine(Engine):
 
     name = "kind"
 
-    def prove_invariant(self, system, good_lit, config) -> EngineVerdict:
+    def prove_invariant(self, system, good_lit, config,
+                        context=None) -> EngineVerdict:
+        base_unroller = context.hunt_unroller if context is not None else None
+        base_cleared = context.cleared_depth if context is not None else -1
         outcome = prove_safety(system, good_lit, max_k=config.max_k,
-                               simple_path=config.simple_path)
+                               simple_path=config.simple_path,
+                               base_unroller=base_unroller,
+                               base_cleared=base_cleared)
         if outcome.failed:
             return EngineVerdict("cex", cex_depth=outcome.cex_trace.depth - 1,
                                  trace=outcome.cex_trace)

@@ -11,8 +11,19 @@ A safety property P is proven by k-induction when
 The inductive step is strengthened with *simple-path* constraints (no two
 states in the window are identical), which makes k-induction complete for
 finite systems: every system is provable at some k bounded by its recurrence
-diameter.  For the small control-logic designs AutoSVA targets this converges
-quickly, matching the paper's "proof in a few seconds" observations.
+diameter.  Simple-path states are compared on the property's cone-of-
+influence latches only: the COI closure (property + constraints, see
+:mod:`repro.formal.coi`) is a self-contained subsystem, so any lasso in it
+projects to a lasso over exactly those latches — comparing fewer bits is
+lossless and far cheaper to encode.
+
+Two reuse hooks keep repeated proofs cheap:
+
+* ``base_unroller`` — the engine passes its BMC hunt unroller, so base
+  cases extend frames the hunt already encoded instead of re-encoding the
+  design from scratch;
+* ``base_cleared`` — depths the hunt already proved violation-free are
+  skipped entirely (the hunt's UNSAT answers are exactly the base cases).
 """
 
 from __future__ import annotations
@@ -20,10 +31,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .bmc import bmc_safety
 from .cnf import Unroller
+from .coi import coi_latches
 from .sat import Solver
-from .trace import Trace
+from .trace import Trace, extract_trace
 from .transition import TransitionSystem
 
 __all__ = ["InductionResult", "prove_safety"]
@@ -49,10 +60,10 @@ class InductionResult:
 
 
 def _add_simple_path(unroller: Unroller, solver: Solver,
-                     system: TransitionSystem, i: int, j: int) -> None:
-    """Require state(i) != state(j): at least one latch differs."""
+                     latches, i: int, j: int) -> None:
+    """Require state(i) != state(j): at least one COI latch differs."""
     diff_lits: List[int] = []
-    for latch in system.latches:
+    for latch in latches:
         a = unroller.sat_literal(latch.node, i)
         b = unroller.sat_literal(latch.node, j)
         # fresh var d <-> (a xor b)
@@ -68,24 +79,31 @@ def _add_simple_path(unroller: Unroller, solver: Solver,
 def prove_safety(system: TransitionSystem, assert_lit: int, max_k: int,
                  property_name: str = "assertion",
                  simple_path: bool = True,
-                 base_unroller: Optional[Unroller] = None) -> InductionResult:
+                 base_unroller: Optional[Unroller] = None,
+                 base_cleared: int = -1) -> InductionResult:
     """Attempt to prove ``assert_lit`` invariant by k-induction up to ``max_k``.
 
     Interleaves base-case BMC (which may return a genuine counterexample)
-    with inductive steps of increasing depth.
+    with inductive steps of increasing depth.  ``base_cleared`` marks the
+    highest depth already known violation-free (e.g. by the engine's BMC
+    hunt): base cases up to it are skipped, not re-solved.
     """
     base = base_unroller or Unroller(system)
-    step = Unroller(system, symbolic_init=True)
+    # The step unrolling keeps the historical eager encoding: simple-path
+    # constraints touch the COI latches in every frame anyway, and the
+    # stable variable numbering keeps induction's solver trajectory stable.
+    step = Unroller(system, symbolic_init=True, eager_latches=True)
     step_solver = step.solver
+    sp_latches = coi_latches(system, [assert_lit]) if simple_path else []
 
     for k in range(max_k + 1):
-        # Base case at exactly depth k.
-        bad = -base.sat_literal(assert_lit, k)
-        if base.solver.solve(assumptions=[bad]):
-            from .trace import extract_trace
-            trace = extract_trace(property_name, system, base, depth=k)
-            return InductionResult(proven=False, k=k, cex_trace=trace,
-                                   solver_stats=base.solver.stats.as_dict())
+        # Base case at exactly depth k (unless a hunt already cleared it).
+        if k > base_cleared:
+            bad = -base.sat_literal(assert_lit, k)
+            if base.solver.solve(assumptions=[bad]):
+                trace = extract_trace(property_name, system, base, depth=k)
+                return InductionResult(proven=False, k=k, cex_trace=trace,
+                                       solver_stats=base.solver.stats.as_dict())
         # Inductive step: P holds at frames 0..k, fails at k+1?
         # (Frames start from a symbolic state; constraints apply everywhere.)
         step.frame(k + 1)
@@ -95,7 +113,7 @@ def prove_safety(system: TransitionSystem, assert_lit: int, max_k: int,
         step_solver.add_clause([p_k])
         if simple_path:
             for i in range(k + 1):
-                _add_simple_path(step, step_solver, system, i, k + 1)
+                _add_simple_path(step, step_solver, sp_latches, i, k + 1)
         bad_step = -step.sat_literal(assert_lit, k + 1)
         if not step_solver.solve(assumptions=[bad_step]):
             return InductionResult(proven=True, k=k,

@@ -19,6 +19,15 @@ Brayton 2011):
 Invariant-style assumptions (``constraints``) are enforced at both sides of
 the transition; the caller is expected to have bug-hunted with BMC first (the
 0/1-step base cases), as :class:`repro.formal.engine.FormalEngine` does.
+
+**Context sharing** (:class:`PdrContext`): every clause PDR adds to its
+solver is guarded by an activation literal, so one two-frame unrolling of
+the transition relation can serve PDR runs for *every* property of a
+system — each run retires its guards on exit, and the (expensive, lazily
+cone-sliced) transition encoding plus all learned clauses stay warm for the
+next property.  :class:`~repro.formal.engine.FormalEngine` keeps one context
+per checked system; :func:`pdr_prove` without a context builds a throwaway
+one, preserving the old single-shot behaviour.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from .coi import coi_latches
 from .sat import Solver
 from .transition import Latch, TransitionSystem
 
-__all__ = ["PdrResult", "Pdr", "pdr_prove"]
+__all__ = ["PdrResult", "Pdr", "PdrContext", "pdr_prove"]
 
 
 @dataclass
@@ -49,46 +58,97 @@ class PdrResult:
 
 
 class _Clause:
-    """A blocked-cube clause with its frame level and activation literal."""
+    """A blocked-cube clause with its frame level."""
 
-    __slots__ = ("lits", "level", "act", "retired")
+    __slots__ = ("lits", "level", "retired", "tried_mods")
 
-    def __init__(self, lits: Tuple[int, ...], level: int, act: int) -> None:
+    def __init__(self, lits: Tuple[int, ...], level: int) -> None:
         self.lits = lits        # clause literals over frame-0 latch SAT vars
         self.level = level
-        self.act = act
         self.retired = False
+        # Frame-modification snapshot at the last *failed* push attempt:
+        # the push query's answer only changes when some clause lands at a
+        # level >= this clause's, so unchanged snapshots skip the re-solve.
+        self.tried_mods = -1
+
+
+class PdrContext:
+    """Shared two-frame unrolling reusable across PDR runs on one system.
+
+    Holds the symbolic-init :class:`Unroller` (frame 0 = current state,
+    frame 1 = successor; invariant constraints asserted in both by the
+    unroller itself) and memoizes per-latch SAT literals.  All clauses a
+    :class:`Pdr` run adds are activation-guarded; :meth:`retire` permanently
+    disables a batch of guards when the run finishes, so the next run
+    starts from a clean frame state but a warm solver.
+    """
+
+    def __init__(self, system: TransitionSystem) -> None:
+        self.system = system
+        # Eager latch encoding: the unrolling is two frames deep, so the
+        # slicing win is small, and keeping the historical variable
+        # numbering keeps PDR's (trajectory-sensitive) search behaviour.
+        self.unroller = Unroller(system, symbolic_init=True,
+                                 eager_latches=True)
+        self.solver: Solver = self.unroller.solver
+        self.unroller.frame(1)
+        self._cur: Dict[int, int] = {}   # latch node -> frame-0 SAT literal
+        self._nxt: Dict[int, int] = {}   # latch node -> frame-1 SAT literal
+        self.runs = 0
+
+    def cur_lit(self, node: int) -> int:
+        sat = self._cur.get(node)
+        if sat is None:
+            sat = self.unroller.sat_literal(node, 0)
+            self._cur[node] = sat
+        return sat
+
+    def nxt_lit(self, node: int) -> int:
+        sat = self._nxt.get(node)
+        if sat is None:
+            sat = self.unroller.sat_literal(node, 1)
+            self._nxt[node] = sat
+        return sat
+
+    def retire(self, acts: Sequence[int]) -> None:
+        """Permanently disable a run's activation guards."""
+        for act in acts:
+            self.solver.add_clause([-act])
 
 
 class Pdr:
     """One PDR run for a single bad literal on a transition system."""
 
     def __init__(self, system: TransitionSystem, bad_lit: int,
-                 max_frames: int = 60) -> None:
+                 max_frames: int = 60,
+                 context: Optional[PdrContext] = None) -> None:
         self.system = system
         self.bad_lit = bad_lit
         self.max_frames = max_frames
-        # Two-frame unrolling with symbolic init: frame 0 = current state,
-        # frame 1 = successor.  Constraints are asserted in both frames by
-        # the Unroller itself.
-        self.unroller = Unroller(system, symbolic_init=True)
-        self.solver: Solver = self.unroller.solver
-        self.unroller.frame(1)
+        self.context = context or PdrContext(system)
+        if self.context.system is not system:
+            raise ValueError("PdrContext belongs to a different system")
+        self.context.runs += 1
+        self.unroller = self.context.unroller
+        self.solver: Solver = self.context.solver
         self._bad_sat = self.unroller.sat_literal(bad_lit, 0)
         # Latch variable maps, restricted to the property's cone of
         # influence (constraint support included — exact reduction).
         self._latches: List[Latch] = coi_latches(system, [bad_lit])
-        self._cur: Dict[int, int] = {}   # latch node -> frame-0 SAT var
-        self._nxt: Dict[int, int] = {}   # latch node -> frame-1 SAT literal
-        for latch in self._latches:
-            self._cur[latch.node] = self.unroller.sat_literal(latch.node, 0)
-            self._nxt[latch.node] = self.unroller.sat_literal(latch.node, 1)
+        self._cur: Dict[int, int] = {
+            latch.node: self.context.cur_lit(latch.node)
+            for latch in self._latches}
+        self._nxt: Dict[int, int] = {
+            latch.node: self.context.nxt_lit(latch.node)
+            for latch in self._latches}
         self._init_value: Dict[int, Optional[bool]] = {
             latch.node: latch.init for latch in self._latches}
         self._var_to_node: Dict[int, int] = {
             abs(sat): node for node, sat in self._cur.items()}
+        # Every clause this run adds is guarded; the guards retire on exit.
+        self._acts: List[int] = []
         # F_0 is the init predicate, guarded by one activation literal.
-        self._init_act = self.solver.new_var()
+        self._init_act = self._new_act()
         for latch in self._latches:
             if latch.init is None:
                 continue
@@ -97,6 +157,32 @@ class Pdr:
                 [-self._init_act, sat if latch.init else -sat])
         self._clauses: List[_Clause] = []
         self._num_frames = 1
+        # One activation literal per *frame level*, not per clause: a
+        # frame clause at level L is guarded by act[L], and the query for
+        # F_X assumes the descending chain [act[N], ..., act[X]].  That
+        # keeps assumption lists at O(frames) instead of O(clauses) — the
+        # per-query establishment cost used to dominate PDR — and makes
+        # each deeper query's assumption list an exact extension of the
+        # previous one, which the solver's trail reuse turns into almost
+        # free re-establishment.  Pushing a clause to L+1 re-asserts it
+        # under act[L+1]; the stale copy under act[L] stays, harmlessly,
+        # because frames are monotone (F_X contains all clauses of level
+        # >= X either way).
+        self._level_acts: List[int] = [self._new_act()]  # act for level 0*
+        # (*level 0 frame clauses never exist, but keeping index parity
+        #  makes the arithmetic below uniform.)
+        # Per-level frame-modification counters backing _Clause.tried_mods.
+        self._level_mods: List[int] = [0]
+        # Concrete model nodes ternary lifting reads: COI inputs and
+        # latches with their frame-0 SAT literals, precomputed once.
+        frame0 = self.unroller.frame(0)
+        self._model_nodes: List[Tuple[int, int]] = [
+            (node, sat) for node, sat in frame0.input_sat.items()]
+
+    def _new_act(self) -> int:
+        act = self.solver.new_var()
+        self._acts.append(act)
+        return act
 
     # -- ternary-simulation lifting ------------------------------------------
     # Predecessor cubes from the SAT model assign *every* COI latch; most of
@@ -111,9 +197,10 @@ class Pdr:
         """Three-valued evaluation of an AIG literal; 0, 1 or X(2).
 
         ``values`` maps input/latch nodes to 0/1/X and doubles as the memo
-        table for internal nodes.
+        table for internal nodes.  Hot path of cube lifting — the AND-node
+        table is read directly and fanin values are computed inline.
         """
-        aig = self.system.aig
+        and_of = self.system.aig._and_of
         X = self._X
         stack = [lit & ~1]
         while stack:
@@ -121,25 +208,38 @@ class Pdr:
             if node == FALSE or node in values:
                 stack.pop()
                 continue
-            if not aig.is_and(node):
+            pair = and_of.get(node)
+            if pair is None:
                 values[node] = X  # unconstrained node
                 stack.pop()
                 continue
-            lhs, rhs = aig.fanins(node)
-            pending = [n for n in (lhs & ~1, rhs & ~1)
-                       if n != FALSE and n not in values]
-            if pending:
-                stack.extend(pending)
+            lhs, rhs = pair
+            lnode = lhs & ~1
+            rnode = rhs & ~1
+            ready = True
+            if lnode != FALSE and lnode not in values:
+                stack.append(lnode)
+                ready = False
+            if rnode != FALSE and rnode not in values:
+                stack.append(rnode)
+                ready = False
+            if not ready:
                 continue
-
-            def lit_val(l: int) -> int:
-                v = values.get(l & ~1, 0) if (l & ~1) != FALSE else 0
-                if v == X:
-                    return X
-                return v ^ (l & 1)
-
-            a, b = lit_val(lhs), lit_val(rhs)
-            if a == 0 or b == 0:
+            if lnode == FALSE:
+                a = lhs & 1
+            else:
+                v = values[lnode]
+                a = X if v == X else v ^ (lhs & 1)
+            if a == 0:
+                values[node] = 0
+                stack.pop()
+                continue
+            if rnode == FALSE:
+                b = rhs & 1
+            else:
+                v = values[rnode]
+                b = X if v == X else v ^ (rhs & 1)
+            if b == 0:
                 values[node] = 0
             elif a == X or b == X:
                 values[node] = X
@@ -156,17 +256,12 @@ class Pdr:
         """Drop cube literals while all required (lit, value) stay determined."""
         if not required:
             return cube
-        # Concrete model values for inputs and all latches.
+        # Concrete model values for the frame-0 nodes the unrolling
+        # encoded (cone-sliced: exactly the nodes lifting can ever read).
+        value = self.solver.value
         base_values: Dict[int, int] = {}
-        for node in self.system.inputs:
-            sat = self.unroller.frame(0).input_sat.get(node)
-            if sat is None:
-                continue
-            base_values[node] = 1 if self.solver.value(sat) else 0
-        for latch in self.system.latches:
-            sat = self.unroller.frame(0).input_sat.get(latch.node)
-            if sat is not None:
-                base_values[latch.node] = 1 if self.solver.value(sat) else 0
+        for node, sat in self._model_nodes:
+            base_values[node] = 1 if value(sat) else 0
         kept: List[int] = []
         dropped: set = set()
         for idx, lit in enumerate(cube):
@@ -207,22 +302,46 @@ class Pdr:
         return True
 
     # -- frame queries ------------------------------------------------------
+    def _level_act(self, level: int) -> int:
+        while len(self._level_acts) <= level:
+            self._level_acts.append(self._new_act())
+        return self._level_acts[level]
+
     def _frame_assumptions(self, level: int) -> List[int]:
-        acts = [c.act for c in self._clauses
-                if not c.retired and c.level >= level]
+        # Descending level order: the act chain for frame X is a *prefix*
+        # of the chain for X-1, which is exactly what the solver's
+        # assumption-prefix trail reuse wants — a blocking cascade
+        # descends levels and keeps extending, not rebuilding, the
+        # assumption trail.
+        top = max(self._num_frames, len(self._level_acts) - 1)
+        acts = [self._level_act(l) for l in range(top, level - 1, -1)]
         if level == 0:
             acts.append(self._init_act)
         return acts
 
+    def _note_level_mod(self, level: int) -> None:
+        while len(self._level_mods) <= level:
+            self._level_mods.append(0)
+        self._level_mods[level] += 1
+
     def _add_frame_clause(self, lits: Tuple[int, ...], level: int) -> None:
-        act = self.solver.new_var()
-        self.solver.add_clause([-act] + list(lits))
-        self._clauses.append(_Clause(lits, level, act))
+        self.solver.add_clause([-self._level_act(level)] + list(lits))
+        self._clauses.append(_Clause(lits, level))
+        self._note_level_mod(level)
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> PdrResult:
         if self.bad_lit == FALSE:
+            self.context.retire(self._acts)
             return PdrResult(proven=True, frames=0)
+        try:
+            return self._run()
+        finally:
+            # Whatever the outcome, this run's guarded clauses must never
+            # constrain the next run on the shared context.
+            self.context.retire(self._acts)
+
+    def _run(self) -> PdrResult:
         while True:
             # Find a bad state inside the outermost frame.
             assumptions = self._frame_assumptions(self._num_frames)
@@ -284,7 +403,7 @@ class Pdr:
             return None
         while True:
             # Relative induction: F_{level-1} ∧ ¬cube ∧ T ∧ cube'
-            not_cube_act = self.solver.new_var()
+            not_cube_act = self._new_act()
             self.solver.add_clause([-not_cube_act] + [-lit for lit in cube])
             assumptions = self._frame_assumptions(level - 1)
             assumptions.append(not_cube_act)
@@ -348,10 +467,31 @@ class Pdr:
                 return keep + [lit]
         return list(cube)
 
+    def _relatively_inductive(self, cube_lits: Sequence[int],
+                              level: int) -> bool:
+        """Is ``F_{level-1} ∧ ¬cube ∧ T ∧ cube'`` unsatisfiable?"""
+        not_cube_act = self._new_act()
+        self.solver.add_clause([-not_cube_act]
+                               + [-lit for lit in cube_lits])
+        assumptions = self._frame_assumptions(level - 1)
+        assumptions.append(not_cube_act)
+        assumptions.extend(self._prime(cube_lits))
+        sat = self.solver.solve(assumptions=assumptions)
+        self.solver.add_clause([-not_cube_act])
+        return not sat
+
     def _drop_literals(self, cube: Tuple[int, ...], level: int,
-                       max_attempts: int = 3) -> Tuple[int, ...]:
+                       max_attempts: int = 8) -> Tuple[int, ...]:
         """Try removing individual literals while the clause stays relatively
-        inductive (bounded pass: PDR works without it, just slower)."""
+        inductive (bounded pass: PDR works without it, just slower).
+
+        The budget of 8 is measured, not arbitrary: stronger
+        generalization means fewer, stronger frame clauses and roughly
+        half the total queries on the slow-converging liveness monitors
+        (A4's k-liveness rung: 17.8s at 3 attempts, 7.5s at 8, no further
+        gain unbounded; a bounded ctgDown pass was also tried here and
+        measured net-negative on this corpus).
+        """
         current = list(cube)
         attempts = 0
         idx = 0
@@ -363,32 +503,54 @@ class Pdr:
                 idx += 1
                 continue
             attempts += 1
-            not_cube_act = self.solver.new_var()
-            self.solver.add_clause([-not_cube_act]
-                                   + [-lit for lit in candidate])
-            assumptions = self._frame_assumptions(level - 1)
-            assumptions.append(not_cube_act)
-            assumptions.extend(self._prime(candidate))
-            sat = self.solver.solve(assumptions=assumptions)
-            self.solver.add_clause([-not_cube_act])
-            if sat:
-                idx += 1
-            else:
+            if self._relatively_inductive(candidate, level):
                 current = candidate
+            else:
+                idx += 1
         return tuple(current)
 
     # -- propagation -----------------------------------------------------------
     def _propagate(self) -> bool:
-        """Push clauses forward; True when a fixpoint frame is found."""
+        """Push clauses forward; True when a fixpoint frame is found.
+
+        A clause that failed to push is only retried once some clause has
+        landed at (or moved into) a level at or above its own — the push
+        query's formula is unchanged otherwise, so its UNSAT/SAT answer is
+        too.  This prunes the bulk of the O(frames x clauses) re-solves on
+        slow-converging proofs.
+        """
+        mods = self._level_mods
+        # suffix[l] = total modifications at levels >= l.
+        suffix = [0] * (len(mods) + 1)
+        for l in range(len(mods) - 1, -1, -1):
+            suffix[l] = suffix[l + 1] + mods[l]
         for clause in self._clauses:
             if clause.retired or clause.level >= self._num_frames:
                 continue
+            snapshot = suffix[min(clause.level, len(suffix) - 1)]
+            if clause.tried_mods == snapshot:
+                continue  # frame unchanged since the last failed attempt
             # Does the clause hold one frame later?  F_level ∧ T ∧ ¬c'
             cube = tuple(-lit for lit in clause.lits)
             assumptions = self._frame_assumptions(clause.level)
             assumptions.extend(self._prime(cube))
             if not self.solver.solve(assumptions=assumptions):
                 clause.level += 1
+                clause.tried_mods = -1
+                # Re-assert under the stronger level's act (the old copy
+                # stays active for weaker queries — frames are monotone).
+                self.solver.add_clause(
+                    [-self._level_act(clause.level)] + list(clause.lits))
+                self._note_level_mod(clause.level)
+                # The new modification is at clause.level: every suffix
+                # count at or below it grows by one (and only those —
+                # overcounting higher entries would let a later clause
+                # store an inflated snapshot and wrongly skip a retry).
+                for l in range(min(clause.level, len(suffix) - 1),
+                               -1, -1):
+                    suffix[l] += 1
+            else:
+                clause.tried_mods = snapshot
         # Fixpoint: some frame 1..N-1 has no clause at exactly its level.
         active = [c for c in self._clauses if not c.retired]
         for level in range(1, self._num_frames):
@@ -398,10 +560,13 @@ class Pdr:
 
 
 def pdr_prove(system: TransitionSystem, assert_lit: int,
-              max_frames: int = 60) -> PdrResult:
+              max_frames: int = 60,
+              context: Optional[PdrContext] = None) -> PdrResult:
     """Prove ``assert_lit`` invariant (or find it violable) with PDR.
 
     ``assert_lit`` is the property literal (must always hold); PDR works on
-    its negation as the bad state.
+    its negation as the bad state.  ``context`` (see :class:`PdrContext`)
+    shares the transition encoding and solver across runs on one system.
     """
-    return Pdr(system, bad_lit=assert_lit ^ 1, max_frames=max_frames).run()
+    return Pdr(system, bad_lit=assert_lit ^ 1, max_frames=max_frames,
+               context=context).run()

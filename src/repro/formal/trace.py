@@ -70,9 +70,7 @@ def extract_trace(property_name: str, system: TransitionSystem, unroller,
     trace = Trace(property_name=property_name, depth=depth + 1,
                   loop_start=loop_start)
     aig: AIG = system.aig
-    per_cycle_values: List[Dict[int, bool]] = [
-        unroller.input_values(k) for k in range(depth + 1)
-    ]
+    per_cycle_values: List[Dict[int, bool]] = unroller.frame_values(depth)
     for name, bits in system.observables.items():
         values: List[int] = []
         for k in range(depth + 1):

@@ -190,3 +190,81 @@ class TestAgainstBruteForce:
         expected = _brute_force(num_vars,
                                 clauses + [[a] for a in assumptions])
         assert under_assumptions == expected
+
+
+class TestIncrementalAssumptionSequences:
+    """Trail reuse across shifting assumption sets must never change
+    answers: one incremental solver vs a fresh solver per query."""
+
+    @given(cnf_instances(),
+           st.lists(st.lists(st.integers(min_value=-6, max_value=6)
+                             .filter(lambda x: x != 0),
+                             max_size=4),
+                    min_size=2, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_fresh_solver_per_query(self, instance, queries):
+        num_vars, clauses = instance
+        incremental = Solver()
+        for _ in range(num_vars):
+            incremental.new_var()
+        ok = True
+        for clause in clauses:
+            ok = incremental.add_clause(clause) and ok
+        for assumptions in queries:
+            assumptions = [a for a in assumptions
+                           if abs(a) <= num_vars]
+            got = incremental.solve(assumptions=assumptions) if ok else False
+            expected = _brute_force(
+                num_vars, clauses + [[a] for a in assumptions])
+            assert got == expected, (clauses, assumptions)
+            if got:
+                for clause in clauses:
+                    assert any(incremental.value(l) for l in clause)
+                for a in assumptions:
+                    assert incremental.value(a) is True
+
+
+class TestLearnedClauseReduction:
+    def _hard_chain(self, s, n=60):
+        """A random 3-SAT instance near the phase transition: enough real
+        conflict-driven learning that clauses with LBD above the glue
+        threshold exist when reduction triggers."""
+        import random
+        rng = random.Random(11)
+        vs = [s.new_var() for _ in range(n)]
+        clauses = []
+        for _ in range(int(4.3 * n)):
+            trio = rng.sample(vs, 3)
+            clause = [v if rng.random() < 0.5 else -v for v in trio]
+            clauses.append(clause)
+        return vs, clauses
+
+    def test_reduction_preserves_answers(self):
+        eager = Solver()
+        eager._max_learnts = 10          # reduce constantly
+        lazy = Solver()
+        lazy._max_learnts = 10 ** 9      # never reduce
+        _, clauses = self._hard_chain(eager)
+        self._hard_chain(lazy)
+        answers = []
+        for solver in (eager, lazy):
+            ok = True
+            for clause in clauses:
+                ok = solver.add_clause(clause) and ok
+            answers.append(solver.solve() if ok else False)
+        assert answers[0] == answers[1]
+        # The eager solver must actually have deleted something.
+        assert eager.stats.clauses_deleted > 0
+        assert eager.stats.reductions > 0
+        assert lazy.stats.clauses_deleted == 0
+
+    def test_stats_carry_wall_time_and_deletions(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve()
+        stats = s.stats.as_dict()
+        assert {"wall_time_s", "clauses_deleted",
+                "reductions"} <= set(stats)
+        assert stats["wall_time_s"] >= 0.0
+        assert stats["solve_calls"] == 1

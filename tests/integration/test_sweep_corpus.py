@@ -1,0 +1,66 @@
+"""Corpus-wide sweep equivalence: batched vs per-property verdicts.
+
+The acceptance contract of the hot-path overhaul: on every Table III
+design (both variants), the batched engine — one bmc_sweep for all
+asserts+covers, one for the liveness lassos, shared proof contexts —
+returns property-for-property the same statuses as the legacy
+property-at-a-time orchestration, with identical depths for the exact
+(trace-backed) verdicts.  Runs at the standard corpus config (bound 8 /
+30 frames) — the same comparison `benchmarks/bench_formal_hotpath.py
+--compare` gates on; *smaller* bounds are a trap, not a speedup: a CEX
+pushed beyond the hunt bound must be rediscovered through a full proof
+engine run, which costs orders of magnitude more than hunting it.
+
+Granularity equivalence (property-sharded campaign == design jobs) is
+asserted in ``tests/campaign/test_property_granularity.py`` on top of the
+same batched engine, so together the two files pin batched == per-property
+== sharded.
+"""
+
+import pytest
+
+from repro.api.compile import CompileCache
+from repro.core import generate_ft
+from repro.designs import CORPUS
+from repro.formal import EngineConfig, FormalEngine
+
+CONFIG = EngineConfig(max_bound=8, max_frames=30)
+
+_CACHE = CompileCache()
+
+
+def _variants():
+    for case in CORPUS:
+        yield pytest.param(case, "fixed", id=f"{case.case_id}.fixed")
+        if case.buggy_file:
+            yield pytest.param(case, "buggy", id=f"{case.case_id}.buggy")
+
+
+def _outcome(report):
+    out = []
+    for r in report.results:
+        depth = r.depth if r.status in ("cex", "covered") else None
+        trace_shape = None
+        if r.trace is not None:
+            # loop_start is deliberately NOT compared: a lasso CEX at
+            # minimal depth can snapshot its loop at different cycles in
+            # different (equally valid) witness models.
+            trace_shape = (r.trace.depth, sorted(r.trace.cycles))
+        out.append((r.name, r.kind, r.status, depth, trace_shape))
+    return out
+
+
+@pytest.mark.parametrize("case,variant", list(_variants()))
+def test_batched_sweep_matches_per_property(case, variant):
+    source = (case.dut_source() if variant == "fixed"
+              else case.buggy_source())
+    ft = generate_ft(source, module_name=case.dut_module)
+    merged = "\n".join([source] + case.extra_sources()
+                       + ft.testbench_sources())
+    compiled = _CACHE.get_or_compile([merged], case.dut_module)
+    batched = FormalEngine(compiled.system, CONFIG,
+                           batched=True).check_all()
+    legacy = FormalEngine(compiled.system, CONFIG,
+                          batched=False).check_all()
+    assert _outcome(batched) == _outcome(legacy), \
+        f"{case.case_id}.{variant}: batched != per-property"
