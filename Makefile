@@ -3,8 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test corpus-check smoke-campaign smoke-property campaign \
-	bench-campaign bench-hotpath perf-smoke verify
+.PHONY: test corpus-check smoke-campaign smoke-property pipeline-smoke \
+	campaign bench-campaign bench-hotpath perf-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,12 @@ smoke-property:
 	$(PYTHON) -m repro.core.cli campaign --cases A2 \
 	--granularity property --workers 2 --timeout 120
 
+# Streaming-pipeline equivalence gate: a 2-worker property campaign under
+# --schedule cost (LPT groups + work stealing) must produce verdicts
+# bit-identical to --schedule inventory.
+pipeline-smoke:
+	$(PYTHON) benchmarks/pipeline_smoke.py --workers 2
+
 campaign:
 	$(PYTHON) -m repro.core.cli campaign --workers 4 \
 	--cache-dir .repro-cache
@@ -39,4 +45,4 @@ bench-hotpath:
 perf-smoke:
 	$(PYTHON) benchmarks/bench_formal_hotpath.py --quick --check
 
-verify: test corpus-check smoke-campaign smoke-property
+verify: test corpus-check smoke-campaign smoke-property pipeline-smoke

@@ -19,7 +19,12 @@ orchestration ones:
    which is what makes the wall-clock comparison meaningful;
 5. **property granularity** (the ``repro.api`` redesign) — sharding each
    design's property set across the pool removes the longest-job floor of
-   design granularity while compiling every design exactly once.
+   design granularity while compiling every design exactly once;
+6. **schedule makespan** (the streaming pipeline) — ``cost`` scheduling
+   (LPT-balanced property groups, costliest-first issue, work stealing,
+   compile/check overlap) vs the ``inventory`` baseline on the same
+   corpus slice.  Verdict equality is asserted everywhere; the wall-clock
+   comparison is printed always and asserted only on multi-core hosts.
 """
 
 import os
@@ -190,3 +195,41 @@ def test_property_granularity_scaling(benchmark):
     # worker-side no-recompile guarantee is asserted via
     # TaskEvent.compiled_in_worker in tests/api/test_session.py).
     assert compiles <= len(jobs)
+
+
+def test_schedule_makespan(benchmark):
+    """Cost schedule vs inventory baseline on the same property campaign.
+
+    The cost schedule changes three things at once: groups are
+    LPT-balanced instead of inventory chunks, the queue issues costliest
+    work first, and the tail is work-stolen when workers would idle.
+    Verdicts must be identical; the makespan win is asserted only with
+    real cores (on one core the schedules merely tie), and loosely —
+    these jobs are short, so overhead noise is a large fraction."""
+    jobs = _jobs()
+
+    def run_both():
+        walls = {}
+        outcomes = {}
+        steals = {}
+        for schedule in ("inventory", "cost"):
+            begin = time.monotonic()
+            outcomes[schedule] = run_property_campaign(
+                jobs, workers=4, schedule=schedule)
+            walls[schedule] = time.monotonic() - begin
+            steals[schedule] = sum(r.steals for r in outcomes[schedule])
+        return walls, outcomes, steals
+
+    walls, outcomes, steals = benchmark.pedantic(run_both, rounds=1,
+                                                 iterations=1)
+    cores = _cores()
+    print(f"\nE13 schedule makespan ({len(jobs)} designs, {cores} "
+          f"core(s), 4 workers): inventory {walls['inventory']:.1f}s, "
+          f"cost {walls['cost']:.1f}s ({steals['cost']} steal(s))")
+    assert _strip_timing(outcomes["inventory"]) == \
+        _strip_timing(outcomes["cost"])
+    assert all(r.ok for r in outcomes["cost"])
+    _skip_scaling_if_single_core()
+    # With real cores, cost-balanced scheduling must not *lose* to
+    # inventory order beyond noise.
+    assert walls["cost"] < walls["inventory"] * 1.25, walls

@@ -39,13 +39,22 @@ def main() -> None:
 
     begin = time.monotonic()
     if args.granularity == "property":
+        def on_event(e):
+            if e.kind == "compile_started":
+                print(f"[{e.design}] compiling...", flush=True)
+            elif e.kind == "compile_done":
+                print(f"[{e.design}] compiled in {e.wall_time_s:.1f}s",
+                      flush=True)
+            elif e.kind == "steal":
+                print(f"[{e.task_id}] re-split (work stealing)",
+                      flush=True)
+            else:
+                print(f"[{e.task_id}] {e.status}"
+                      + (" (cached)" if e.from_cache
+                         else f" in {e.wall_time_s:.1f}s"), flush=True)
+
         results = run_property_campaign(
-            jobs, workers=args.workers, cache=cache,
-            progress=lambda e: print(
-                f"[{e.task_id}] {e.status}"
-                + (" (cached)" if e.from_cache
-                   else f" in {e.wall_time_s:.1f}s"),
-                flush=True))
+            jobs, workers=args.workers, cache=cache, progress=on_event)
     else:
         results = run_campaign(
             jobs, workers=args.workers, cache=cache,

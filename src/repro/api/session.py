@@ -1,17 +1,24 @@
 """Verification sessions: schedule property tasks, stream results.
 
-A :class:`VerificationSession` is the new top of the verification API:
+A :class:`VerificationSession` is the top of the verification API:
 
-* it takes a list of :class:`~repro.api.task.PropertyTask` (from
-  :func:`~repro.api.task.expand_tasks` or the campaign layer),
-* pre-compiles each distinct design × variant **once** in the calling
-  process (populating the shared compile cache, which forked workers
-  inherit — this is what makes per-property sharding recompile-free),
+* it takes :class:`~repro.api.task.PropertyTask` units — a list (from
+  :func:`~repro.api.task.expand_tasks`) or a *stream* (the campaign
+  layer's sharding generator, which interleaves
+  :class:`~repro.campaign.scheduler.SourceNotice` compile-progress
+  markers between designs so frontend work overlaps checking),
+* for list input it pre-compiles each distinct design × variant **once**
+  in the calling process (populating the shared compile cache, which
+  forked workers inherit — this is what makes per-property sharding
+  recompile-free); streaming sources compile for themselves,
 * :meth:`run` streams :class:`~repro.api.task.TaskEvent` objects as tasks
-  finish on the worker pool,
+  finish on the worker pool — plus ``compile_started`` /
+  ``compile_done`` / ``steal`` progress events when the source emits
+  notices or work stealing re-splits a pending task,
 * and :meth:`reports` rebuilds per-design
-  :class:`~repro.formal.engine.CheckReport` aggregates from the events, in
-  canonical property order, identical in verdicts to a whole-design run.
+  :class:`~repro.formal.engine.CheckReport` aggregates from the events,
+  in canonical property order, identical in verdicts to a whole-design
+  run no matter how properties were grouped, scheduled or stolen.
 
 Batch usage::
 
@@ -28,7 +35,7 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..campaign.cache import ArtifactCache
-from ..campaign.scheduler import iter_campaign
+from ..campaign.scheduler import Scheduler, SourceNotice
 from ..formal.engine import CheckReport, PropertyResult
 from .compile import compile_design
 from .task import PropertyTask, TaskEvent, execute_task
@@ -44,6 +51,7 @@ def _event_from(task: PropertyTask, result) -> TaskEvent:
         results=list(payload.get("properties", [])),
         error=result.error, wall_time_s=result.wall_time_s,
         from_cache=result.from_cache,
+        original_wall_time_s=result.original_wall_time_s,
         # A cache replay compiled nothing *this* run, whatever the stored
         # payload recorded about the run that produced it.
         compiled_in_worker=(not result.from_cache
@@ -52,56 +60,113 @@ def _event_from(task: PropertyTask, result) -> TaskEvent:
         engine_time_s=float(payload.get("engine_time_s", 0.0)))
 
 
+def _combine_payloads(task: PropertyTask, first: Dict, second: Dict
+                      ) -> Dict[str, object]:
+    """Reassemble a split task's payload from its halves (in order).
+
+    The scheduler caches this under the *parent's* key after a steal, so
+    warm reruns replay the original grouping untouched.
+    """
+    return {
+        "design": first.get("design") or second.get("design"),
+        "task_id": task.task_id,
+        "properties": (list(first.get("properties", []))
+                       + list(second.get("properties", []))),
+        "compiled_in_worker": (bool(first.get("compiled_in_worker", False))
+                               or bool(second.get("compiled_in_worker",
+                                                  False))),
+        "engine_time_s": (float(first.get("engine_time_s", 0.0))
+                          + float(second.get("engine_time_s", 0.0))),
+    }
+
+
 def aggregate_reports(tasks: Sequence[PropertyTask],
                       events: Sequence[TaskEvent]
                       ) -> Dict[str, CheckReport]:
     """Rebuild per-design :class:`CheckReport` objects from task events.
 
-    Only ``ok`` events contribute; failed tasks are the caller's to
-    inspect (:attr:`VerificationSession.failures`).  Property order is the
-    task-expansion order, which :func:`~repro.api.task.expand_tasks`
-    guarantees is the canonical (whole-design) check order — so verdicts
-    *and* ordering match a design-granularity run.
+    Only ``ok`` *result* events contribute (compile/steal progress events
+    are skipped); failed tasks are the caller's to inspect
+    (:attr:`VerificationSession.failures`).  Property order in each report
+    is the design's **canonical inventory order**, reassembled from the
+    per-property ``order`` metadata the tasks carry — so verdicts *and*
+    ordering match a whole-design run regardless of how properties were
+    grouped (cost bins, inventory chunks) or re-split by work stealing.
+    Tasks without order metadata fall back to task-expansion order, which
+    for inventory-chunked groups is the same thing.
     """
-    order = {task.task_id: index for index, task in enumerate(tasks)}
+    tasks = list(tasks)
+    task_order = {task.task_id: index for index, task in enumerate(tasks)}
+    name_order: Dict[tuple, int] = {}
+    for task in tasks:
+        if task.order and len(task.order) == len(task.properties):
+            for name, position in zip(task.properties, task.order):
+                name_order[(task.design, name)] = position
     by_design: Dict[str, List[TaskEvent]] = {}
     modules: Dict[str, str] = {}
     for task in tasks:
         by_design.setdefault(task.design, [])
         modules[task.design] = task.dut_module
     for event in events:
-        if event.ok:
+        if event.is_result and event.ok:
             by_design.setdefault(event.design, []).append(event)
     reports: Dict[str, CheckReport] = {}
     for design, design_events in by_design.items():
-        design_events.sort(key=lambda e: order.get(e.task_id, len(order)))
+        design_events.sort(
+            key=lambda e: task_order.get(e.task_id, len(task_order)))
         report = CheckReport(design=modules.get(design, design))
+        items: List[tuple] = []
+        fallback = 0
         for event in design_events:
             for item in event.results:
-                report.results.append(PropertyResult(
-                    name=item["name"], kind=item["kind"],
-                    status=item["status"], depth=item.get("depth", 0)))
+                position = name_order.get((design, item["name"]))
+                sort_key = (0, position) if position is not None \
+                    else (1, fallback)
+                items.append((sort_key, item))
+                fallback += 1
             report.total_time_s += event.engine_time_s
+        items.sort(key=lambda pair: pair[0])
+        for _, item in items:
+            report.results.append(PropertyResult(
+                name=item["name"], kind=item["kind"],
+                status=item["status"], depth=item.get("depth", 0)))
         reports[design] = report
     return reports
 
 
 class VerificationSession:
-    """One scheduled run over a set of property tasks."""
+    """One scheduled run over a set (or stream) of property tasks.
 
-    def __init__(self, tasks: Sequence[PropertyTask],
+    ``tasks`` may be a list/tuple (the classic shape) or any iterable —
+    e.g. the campaign sharding generator, whose per-design frontend work
+    then overlaps the checking of already-issued tasks.  With
+    ``steal=True`` the scheduler re-splits pending property groups when
+    workers would otherwise idle at the tail (``cost_model`` ranks which
+    group to split first); verdicts are unaffected.
+    """
+
+    def __init__(self, tasks,
                  workers: int = 1,
                  cache: Optional[ArtifactCache] = None,
                  timeout_s: Optional[float] = None,
                  memory_limit_mb: Optional[int] = None,
-                 precompile: bool = True) -> None:
-        self.tasks: List[PropertyTask] = list(tasks)
+                 precompile: bool = True,
+                 steal: bool = False,
+                 cost_model=None) -> None:
+        self._source = tasks
+        self._static = isinstance(tasks, (list, tuple))
+        #: Every task that produced (or will produce) a result event.  For
+        #: streaming sources this fills in as the run progresses.
+        self.tasks: List[PropertyTask] = list(tasks) if self._static else []
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
         self.memory_limit_mb = memory_limit_mb
         self.precompile = precompile
+        self.steal = steal
+        self.cost_model = cost_model
         self.events: List[TaskEvent] = []
+        self.steal_counts: Dict[str, int] = {}
         self.wall_time_s = 0.0
 
     # -- execution ---------------------------------------------------------
@@ -110,6 +175,7 @@ class VerificationSession:
 
         Forked workers inherit the populated global compile cache, so a
         design's N property tasks cost one frontend run total instead of N.
+        (List input only — a streaming source compiles as it expands.)
         """
         seen = set()
         for task in self.tasks:
@@ -124,24 +190,53 @@ class VerificationSession:
                 # the same way, and reports a per-task error result.
                 continue
 
+    def _cost_of(self, task: PropertyTask) -> float:
+        if self.cost_model is not None:
+            return self.cost_model.task_cost(task)
+        return float(len(task.properties))
+
     def run(self) -> Iterator[TaskEvent]:
         """Execute all tasks, yielding a :class:`TaskEvent` per completion.
 
-        Events stream in completion order (cached tasks first).  The full
-        event list is also collected on :attr:`events` for post-run
-        aggregation.
+        Result events stream in completion order (cached tasks as they
+        are admitted); ``compile_*``/``steal`` progress events interleave
+        where they happen.  The full event list is also collected on
+        :attr:`events` for post-run aggregation.
         """
         self.events = []
+        self.steal_counts = {}
         begin = time.monotonic()
-        if self.precompile:
+        if self.precompile and self._static:
             self._precompile()
+        scheduler = Scheduler(
+            self._source, workers=self.workers, cache=self.cache,
+            timeout_s=self.timeout_s,
+            memory_limit_mb=self.memory_limit_mb, runner=execute_task,
+            split=(lambda task: task.split()) if self.steal else None,
+            combine=_combine_payloads if self.steal else None,
+            cost_of=self._cost_of)
         try:
-            for index, result in iter_campaign(
-                    self.tasks, workers=self.workers, cache=self.cache,
-                    timeout_s=self.timeout_s,
-                    memory_limit_mb=self.memory_limit_mb,
-                    runner=execute_task):
-                event = _event_from(self.tasks[index], result)
+            for item in scheduler.run():
+                tag = item[0]
+                if tag == "done":
+                    _, _, task, result = item
+                    if not self._static:
+                        self.tasks.append(task)
+                    event = _event_from(task, result)
+                elif tag == "notice":
+                    notice: SourceNotice = item[1]
+                    event = TaskEvent(
+                        task_id="", design=notice.design, variant="",
+                        status="ok", kind=notice.kind,
+                        wall_time_s=notice.wall_time_s,
+                        from_cache=notice.from_cache)
+                else:  # "steal"
+                    _, parent, _halves = item
+                    self.steal_counts[parent.design] = \
+                        self.steal_counts.get(parent.design, 0) + 1
+                    event = TaskEvent(
+                        task_id=parent.task_id, design=parent.design,
+                        variant=parent.variant, status="ok", kind="steal")
                 self.events.append(event)
                 yield event
         finally:
@@ -155,8 +250,14 @@ class VerificationSession:
 
     # -- results -----------------------------------------------------------
     @property
+    def results(self) -> List[TaskEvent]:
+        """The result events only (no compile/steal progress)."""
+        return [event for event in self.events if event.is_result]
+
+    @property
     def failures(self) -> List[TaskEvent]:
-        return [event for event in self.events if not event.ok]
+        return [event for event in self.events
+                if event.is_result and not event.ok]
 
     def reports(self) -> Dict[str, CheckReport]:
         """Aggregated per-design reports (design label → CheckReport)."""

@@ -36,6 +36,15 @@ class PropertyTask:
     empty tuple means *every* property (the whole-design degenerate case).
     ``sources`` is the complete merged RTL + testbench text, by value, so
     the task survives pickling to any worker.
+
+    ``kinds`` / ``coi_sizes`` / ``order`` are optional per-property
+    scheduling metadata, parallel to ``properties``: the property's kind
+    (``assert``/``cover``/``live``), its cone-of-influence latch count,
+    and its position in the design's canonical (inventory-order) check
+    sequence.  The cost model prices tasks with the first two; report
+    aggregation reassembles canonical property order from the third no
+    matter how properties were grouped or work-stolen.  None of them
+    affect verdicts, so they are deliberately absent from the cache key.
     """
 
     task_id: str
@@ -46,6 +55,9 @@ class PropertyTask:
     properties: Tuple[str, ...] = ()
     variant: str = "fixed"
     defines: Tuple[str, ...] = ()
+    kinds: Tuple[str, ...] = ()
+    coi_sizes: Tuple[int, ...] = ()
+    order: Tuple[int, ...] = ()
 
     @property
     def job_id(self) -> str:
@@ -63,17 +75,52 @@ class PropertyTask:
         for name in self.properties:
             yield "property", name
 
+    def split(self) -> Optional[Tuple["PropertyTask", "PropertyTask"]]:
+        """Halve this task's property group (work stealing), or None.
+
+        The halves keep the parent's relative property order and slice the
+        scheduling metadata alongside, so merged reports and cost
+        estimates stay exact.  Task ids extend the parent's
+        (``.../p3`` → ``.../p3a`` + ``.../p3b``), keeping them unique.
+        """
+        from dataclasses import replace
+
+        if len(self.properties) < 2:
+            return None
+        mid = (len(self.properties) + 1) // 2
+
+        def part(suffix: str, lo: int, hi: int) -> "PropertyTask":
+            return replace(
+                self, task_id=f"{self.task_id}{suffix}",
+                properties=self.properties[lo:hi],
+                kinds=self.kinds[lo:hi], coi_sizes=self.coi_sizes[lo:hi],
+                order=self.order[lo:hi])
+
+        return part("a", 0, mid), part("b", mid, len(self.properties))
+
 
 @dataclass
 class TaskEvent:
-    """One streamed result: a task finished (ok, error or timeout).
+    """One streamed event: a task finished, or pipeline progress.
+
+    ``kind`` distinguishes the event classes the session streams:
+
+    * ``"result"`` (default) — a task finished (ok, error or timeout);
+    * ``"compile_started"`` / ``"compile_done"`` — the streaming frontend
+      began / finished a design's FT generation + compile (``design``
+      names it; ``wall_time_s`` on *done* is the frontend time);
+    * ``"steal"`` — the scheduler re-split the task named by ``task_id``
+      to feed idle workers (its verdicts arrive via the halves' result
+      events).
 
     ``results`` carries the per-property verdicts as plain data
     (``name``/``kind``/``status``/``depth``), deliberately excluding wall
     times so events are deterministic across worker counts and cache
     replays.  ``compiled_in_worker`` is False when the worker served the
     check from an inherited (or warm) compile cache entry — the signal the
-    one-compile-per-design guarantee is asserted on.
+    one-compile-per-design guarantee is asserted on.  A cache replay sets
+    ``from_cache`` and reports the original check's wall time in
+    ``original_wall_time_s``.
     """
 
     task_id: str
@@ -86,10 +133,16 @@ class TaskEvent:
     from_cache: bool = False
     compiled_in_worker: bool = False
     engine_time_s: float = 0.0
+    kind: str = "result"
+    original_wall_time_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def is_result(self) -> bool:
+        return self.kind == "result"
 
 
 def group_properties(names: Sequence[str],
@@ -105,19 +158,37 @@ def group_properties(names: Sequence[str],
 def build_tasks(label: str, dut_module: str, sources: Sequence[str],
                 config: EngineConfig, groups: Sequence[Sequence[str]],
                 variant: str = "fixed",
-                defines: Sequence[str] = ()) -> List[PropertyTask]:
+                defines: Sequence[str] = (),
+                meta: Optional[Dict[str, Tuple[str, int, int]]] = None
+                ) -> List[PropertyTask]:
     """The ONE constructor of a design's task list from its groups.
 
     Both :func:`expand_tasks` (fresh expansion) and the campaign's
     shard-plan cache restore go through here, so the task-id scheme and
     field wiring cannot drift between the two paths — drift would change
     cache keys and break warm-rerun replay silently.
+
+    ``meta`` maps property name → ``(kind, coi_size, inventory_order)``
+    and populates the scheduling metadata on each task; names missing
+    from it get neutral metadata (kind ``assert``, COI 0, running order).
     """
+
+    def metadata(group: Sequence[str]) -> Dict[str, tuple]:
+        if meta is None:
+            return {}
+        picked = [meta.get(name, ("assert", 0, 0)) for name in group]
+        return {
+            "kinds": tuple(entry[0] for entry in picked),
+            "coi_sizes": tuple(int(entry[1]) for entry in picked),
+            "order": tuple(int(entry[2]) for entry in picked),
+        }
+
     return [
         PropertyTask(task_id=f"{label}/p{index}", design=label,
                      dut_module=dut_module, sources=tuple(sources),
                      engine_config=config, properties=tuple(group),
-                     variant=variant, defines=tuple(defines))
+                     variant=variant, defines=tuple(defines),
+                     **metadata(group))
         for index, group in enumerate(groups)
     ]
 
@@ -137,16 +208,22 @@ def expand_tasks(sources: Sequence[str], dut_module: str,
     """
     config = config or EngineConfig()
     compiled = compile_design(sources, dut_module, defines)
-    names = compiled.property_names()
+    inventory = compiled.inventory
+    names = [name for name, _ in inventory]
     if properties is not None:
         wanted = set(properties)
         unknown = sorted(wanted - set(names))
         if unknown:
             raise KeyError(f"no property named {unknown[0]!r}")
         names = [n for n in names if n in wanted]
+    # Kind + canonical order are free here; COI sizes are not (a closure
+    # walk per property) — the sharding layer computes those when it
+    # prices tasks for cost scheduling.
+    meta = {name: (kind, 0, position)
+            for position, (name, kind) in enumerate(inventory)}
     return build_tasks(design or dut_module, dut_module, sources, config,
                        group_properties(names, group_size),
-                       variant=variant, defines=defines)
+                       variant=variant, defines=defines, meta=meta)
 
 
 def result_payload(result: PropertyResult) -> Dict[str, object]:

@@ -42,11 +42,19 @@ API tour
       print(report.summary())
 
 * :func:`~repro.campaign.sharding.run_property_campaign` re-runs the same
-  job list at **property granularity** on :mod:`repro.api`: each design is
-  compiled once (parent-side, shared compile cache) and its property set
-  is sharded across the pool as :class:`~repro.api.task.PropertyTask`
+  job list at **property granularity** as a streaming pipeline on
+  :mod:`repro.api`: each design is compiled once (parent-side, shared
+  compile cache) *as the scheduler pulls its shard plan* — so design B's
+  frontend overlaps design A's checking — and its property set is
+  sharded across the pool as :class:`~repro.api.task.PropertyTask`
   groups, with results merged back into verdict-identical per-job
-  payloads.  This removes the slowest-design wall-clock floor::
+  payloads.  Under ``schedule="cost"`` (the default) the
+  :class:`~repro.campaign.costmodel.CostModel` prices every property
+  (liveness ≫ assert ≫ cover, scaled by COI size and engine bounds),
+  groups are LPT-packed into balanced bins issued costliest-first, and
+  the scheduler *work-steals* (re-splits pending groups) when workers
+  would idle at the tail.  This removes the slowest-design wall-clock
+  floor::
 
       results = run_property_campaign(jobs, workers=4, group_size=1)
 
@@ -80,22 +88,26 @@ package::
 ``examples/table3_outcomes.py`` is the scripted equivalent.
 """
 
-from .cache import ArtifactCache
+from .cache import ArtifactCache, CacheEntry
+from .costmodel import CostModel, pack_lpt
 from .history import CampaignHistory
 from .jobs import (CampaignJob, default_engine_config, execute_job,
                    expand_jobs, summarize_report)
 from .report import CampaignReport, DesignRow
-from .scheduler import JobResult, iter_campaign, run_campaign
+from .scheduler import (JobResult, Scheduler, SourceNotice, iter_campaign,
+                        run_campaign)
 from .sharding import (ShardPlan, merge_shard_results, run_property_campaign,
-                       shard_jobs)
+                       shard_jobs, stream_tasks)
 
 __all__ = [
-    "ArtifactCache",
+    "ArtifactCache", "CacheEntry",
     "CampaignHistory",
     "CampaignJob", "default_engine_config", "execute_job", "expand_jobs",
     "summarize_report",
     "CampaignReport", "DesignRow",
-    "JobResult", "iter_campaign", "run_campaign",
+    "CostModel", "pack_lpt",
+    "JobResult", "Scheduler", "SourceNotice", "iter_campaign",
+    "run_campaign",
     "ShardPlan", "merge_shard_results", "run_property_campaign",
-    "shard_jobs",
+    "shard_jobs", "stream_tasks",
 ]

@@ -15,16 +15,29 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
 from .jobs import CampaignJob
 
-__all__ = ["ArtifactCache"]
+__all__ = ["ArtifactCache", "CacheEntry"]
 
 #: Bump when the result payload schema or engine semantics change: old
-#: entries then miss instead of replaying stale results.
-_SCHEMA_VERSION = 1
+#: entries then miss instead of replaying stale results.  (2: entries
+#: became ``{"payload": ..., "wall_time_s": ...}`` envelopes so cached
+#: replays can report the original check time.)
+_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored result: the payload plus when-it-ran metadata."""
+
+    payload: Dict[str, object]
+    #: Wall time of the run that produced the payload (None for entries
+    #: without timing, e.g. shard plans).
+    wall_time_s: Optional[float] = None
 
 
 class ArtifactCache:
@@ -58,20 +71,31 @@ class ArtifactCache:
         return self.cache_dir / f"{key}.json"
 
     # -- lookup / store ----------------------------------------------------
-    def _read(self, key: str) -> Optional[Dict[str, object]]:
+    def _read(self, key: str) -> Optional[CacheEntry]:
         """The one read-and-validate path behind get() and contains()."""
         try:
-            return json.loads(self._path(key).read_text())
+            raw = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
             return None
+        if not isinstance(raw, dict) or "payload" not in raw:
+            return None  # pre-envelope entry (unreachable via keyed salt)
+        wall = raw.get("wall_time_s")
+        return CacheEntry(payload=raw["payload"],
+                          wall_time_s=float(wall) if wall is not None
+                          else None)
 
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        payload = self._read(key)
-        if payload is None:
+    def get_entry(self, key: str) -> Optional[CacheEntry]:
+        """Payload plus stored metadata (original wall time)."""
+        entry = self._read(key)
+        if entry is None:
             self.misses += 1
             return None
         self.hits += 1
-        return payload
+        return entry
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        entry = self.get_entry(key)
+        return entry.payload if entry is not None else None
 
     def contains(self, key: str) -> bool:
         """Valid-entry peek that does not touch the hit/miss counters.
@@ -83,13 +107,16 @@ class ArtifactCache:
         """
         return self._read(key) is not None
 
-    def put(self, key: str, payload: Dict[str, object]) -> None:
+    def put(self, key: str, payload: Dict[str, object],
+            wall_time_s: Optional[float] = None) -> None:
         path = self._path(key)
         # Per-process tmp name: concurrent campaigns sharing a cache dir
         # must not race on the rename source.  Content-addressing makes the
         # replace itself safe — writers of the same key agree on content.
         tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.write_text(json.dumps(
+            {"payload": payload, "wall_time_s": wall_time_s},
+            sort_keys=True))
         tmp.replace(path)
 
     def stats(self) -> Dict[str, int]:

@@ -1,0 +1,204 @@
+"""Per-property cost estimation and LPT bin packing for campaign sharding.
+
+The units a campaign schedules differ in cost by orders of magnitude: a
+liveness property compiles an L2S monitor and hunts lassos across the
+whole frame range, an assert pays BMC plus a proof attempt, a cover is a
+single reachability sweep.  Chunking a design's property inventory in
+*declaration* order therefore produces wildly unbalanced tasks — one
+group of liveness lassos dominates the pool while groups of covers finish
+instantly.
+
+This module provides the cost side of the ``--schedule cost`` pipeline:
+
+* :class:`CostModel` — estimates one property's check cost from its
+  *kind* (liveness ≫ assert ≫ cover), the size of its cone of influence
+  (solver work scales with the latches actually encoded) and the engine
+  bounds (deeper sweeps/proofs cost more).  Units are arbitrary "cost
+  units" out of the box; calibration rescales them toward measured
+  seconds.
+* :func:`pack_lpt` — Longest-Processing-Time-first bin packing: packs
+  property costs into a fixed number of balanced bins (the classic 4/3
+  approximation of the makespan optimum), replacing inventory-order
+  chunking.
+* :meth:`CostModel.calibrated` — folds measured per-task wall times (the
+  ``timings`` records :class:`~repro.campaign.history.CampaignHistory`
+  appends) back into the kind weights, so repeated campaigns converge on
+  the actual machine's cost ratios.
+
+Everything here is pure data-in/data-out — no imports from the API or
+scheduler layers — so the model is equally usable parent-side (grouping,
+issue order) and by a future remote scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["CostModel", "DEFAULT_KIND_WEIGHTS", "pack_lpt"]
+
+#: Relative per-property base weights by kind.  The ratios encode the
+#: engine's structure (liveness = L2S compile + lasso hunt + proof;
+#: assert = sweep + proof attempt; cover = sweep only) and were sanity-
+#: checked against measured corpus task times; calibration refines them.
+DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
+    "live": 24.0,
+    "assert": 6.0,
+    "cover": 1.0,
+}
+
+#: Cost multiplier per COI latch: a property whose cone covers the whole
+#: design costs a few times one whose cone is a handful of control bits.
+_COI_SCALE = 0.02
+
+#: Calibration never moves a weight more than this factor in one run —
+#: a single noisy campaign must not invert the liveness ≫ cover ordering.
+_MAX_CALIBRATION_STEP = 4.0
+
+#: Calibrated weights snap to quarter-octave buckets (~19% wide).  The
+#: model fingerprint keys the shard-plan cache, so raw float medians
+#: would re-key every cached plan on every run from timing noise alone;
+#: quantization makes the fingerprint stable until ratios genuinely move.
+_QUANT_BUCKETS_PER_OCTAVE = 4
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _quantize(weight: float) -> float:
+    if weight <= 0:
+        return weight
+    step = round(math.log2(weight) * _QUANT_BUCKETS_PER_OCTAVE)
+    return round(2.0 ** (step / _QUANT_BUCKETS_PER_OCTAVE), 6)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Estimates property-group check cost for scheduling decisions."""
+
+    kind_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KIND_WEIGHTS))
+    coi_scale: float = _COI_SCALE
+
+    # -- estimation --------------------------------------------------------
+    def property_cost(self, kind: str, coi_size: int = 0,
+                      max_bound: int = 0, max_frames: int = 0) -> float:
+        """Estimated cost of checking one property, in model units.
+
+        ``coi_size`` is the property's cone-of-influence latch count (0 =
+        unknown, costs the base weight); ``max_bound``/``max_frames`` are
+        the engine bounds — covers pay the sweep depth, asserts and
+        liveness additionally pay the proof frame budget.
+        """
+        base = float(self.kind_weights.get(kind, 1.0))
+        depth = max(1, max_bound)
+        if kind in ("assert", "live"):
+            depth += max(0, max_frames)
+        return base * (1.0 + self.coi_scale * max(0, coi_size)) \
+            * depth / 10.0
+
+    def task_cost(self, task, config=None) -> float:
+        """Estimated cost of one :class:`~repro.api.task.PropertyTask`.
+
+        Uses the per-property ``kinds``/``coi_sizes`` metadata sharding
+        attaches; properties without metadata cost one base unit, so the
+        model degrades to property-count balancing instead of failing.
+        """
+        config = config if config is not None \
+            else getattr(task, "engine_config", None)
+        max_bound = getattr(config, "max_bound", 0) if config else 0
+        max_frames = getattr(config, "max_frames", 0) if config else 0
+        kinds = getattr(task, "kinds", ()) or ()
+        cois = getattr(task, "coi_sizes", ()) or ()
+        names = getattr(task, "properties", ()) or ()
+        total = 0.0
+        for position in range(len(names)):
+            kind = kinds[position] if position < len(kinds) else "assert"
+            coi = cois[position] if position < len(cois) else 0
+            total += self.property_cost(kind, coi, max_bound, max_frames)
+        return total if names else 1.0
+
+    def fingerprint(self) -> str:
+        """Content hash input for plan-cache keys: grouping depends on
+        the model, so a recalibrated model must re-key cached plans."""
+        return json.dumps({"weights": dict(sorted(self.kind_weights.items())),
+                           "coi_scale": round(self.coi_scale, 6)},
+                          sort_keys=True)
+
+    # -- calibration -------------------------------------------------------
+    def calibrated(self, samples: Iterable[Mapping]) -> "CostModel":
+        """A new model with kind weights rescaled by measured wall times.
+
+        ``samples`` are the timing records the campaign history appends:
+        mappings with ``kinds`` (kind → property count) and ``wall_time_s``.
+        Only single-kind samples identify a kind's cost unambiguously, so
+        calibration uses those.
+
+        Only cross-kind *ratios* matter for bin balancing, so measured
+        seconds are converted into model units through an **anchor** kind
+        (the cheapest measured one): every measured kind's weight becomes
+        its median seconds relative to the anchor's, scaled by the
+        anchor's current weight.  With fewer than two measured kinds
+        there is no ratio information and the model is returned unchanged
+        — raw seconds must never mix with unmeasured kinds' abstract
+        units.  Each weight moves at most ``_MAX_CALIBRATION_STEP`` × per
+        run and snaps to a quantization bucket, so the fingerprint (and
+        with it every shard-plan cache key) shifts only when ratios
+        genuinely drift, not from run-to-run timing noise.
+        """
+        per_kind: Dict[str, List[float]] = {}
+        for sample in samples:
+            kinds = sample.get("kinds") or {}
+            wall = sample.get("wall_time_s")
+            if wall is None or len(kinds) != 1:
+                continue
+            (kind, count), = kinds.items()
+            if count and wall > 0:
+                per_kind.setdefault(kind, []).append(wall / count)
+        if len(per_kind) < 2:
+            return self
+        medians = {kind: _median(seconds)
+                   for kind, seconds in per_kind.items()}
+        weights = dict(self.kind_weights)
+        anchor = min(medians, key=lambda kind: (medians[kind], kind))
+        unit = medians[anchor] / weights.get(anchor, 1.0)
+        for kind, measured in medians.items():
+            if kind == anchor:
+                continue
+            current = weights.get(kind, 1.0)
+            target = measured / unit
+            lo = current / _MAX_CALIBRATION_STEP
+            hi = current * _MAX_CALIBRATION_STEP
+            weights[kind] = _quantize(min(max(target, lo), hi))
+        return replace(self, kind_weights=weights)
+
+
+def pack_lpt(costs: Sequence[float], bins: int) -> List[List[int]]:
+    """Pack item indices into ``bins`` cost-balanced bins, LPT-greedy.
+
+    Items are assigned in descending cost order to the least-loaded bin
+    (ties broken by index / bin number, so packing is deterministic).
+    Returns non-empty bins ordered by **descending total cost** — the
+    issue order that keeps the costliest work at the front of the queue —
+    with indices inside each bin in ascending (inventory) order.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    bins = min(bins, len(costs)) or 1
+    loads = [0.0] * bins
+    packed: List[List[int]] = [[] for _ in range(bins)]
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for index in order:
+        target = min(range(bins), key=lambda b: (loads[b], b))
+        packed[target].append(index)
+        loads[target] += costs[index]
+    filled = [(loads[b], packed[b]) for b in range(bins) if packed[b]]
+    filled.sort(key=lambda pair: (-pair[0], pair[1][0]))
+    return [sorted(indices) for _, indices in filled]

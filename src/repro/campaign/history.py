@@ -16,6 +16,12 @@ drifts that matter for a verification campaign:
 The file is plain JSONL: one self-contained object per run, safe to
 truncate, rotate or diff.  ``autosva campaign --history FILE`` wires this
 in; the regression section prints after the Table III summary.
+
+Besides run summaries the log also carries ``timings`` records — measured
+per-task wall times keyed by property-kind counts — which
+:meth:`~repro.campaign.costmodel.CostModel.calibrated` folds back into
+the cost model, so cost-scheduled campaigns converge on the machine's
+real liveness/assert/cover cost ratios.
 """
 
 from __future__ import annotations
@@ -81,17 +87,54 @@ class CampaignHistory:
         return out
 
     def last(self) -> Optional[Dict[str, object]]:
-        entries = self.entries()
-        return entries[-1] if entries else None
+        """The previous *run summary* (timing records don't count)."""
+        runs = [entry for entry in self.entries()
+                if entry.get("type") != "timings"]
+        return runs[-1] if runs else None
 
-    def append(self, report: CampaignReport,
-               label: Optional[str] = None) -> Dict[str, object]:
-        """Append this run's summary; returns the record written."""
-        record = summarize_run(report, label=label)
+    def _write(self, record: Dict[str, object]) -> Dict[str, object]:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
         return record
+
+    def append(self, report: CampaignReport,
+               label: Optional[str] = None) -> Dict[str, object]:
+        """Append this run's summary; returns the record written."""
+        return self._write(summarize_run(report, label=label))
+
+    # -- cost-model timing samples ----------------------------------------
+    def append_timings(self, samples: List[Dict[str, object]],
+                       label: Optional[str] = None
+                       ) -> Optional[Dict[str, object]]:
+        """Append measured per-task wall times for cost-model calibration.
+
+        Each sample is ``{"kinds": {kind: count}, "wall_time_s": s}`` —
+        one per executed (non-cached) property task.  No record is written
+        when there are no samples (an all-cached rerun teaches nothing).
+        """
+        if not samples:
+            return None
+        return self._write({
+            "version": _FORMAT_VERSION,
+            "type": "timings",
+            "timestamp": time.time(),
+            "label": label,
+            "samples": samples,
+        })
+
+    def timing_samples(self, limit_runs: int = 5
+                       ) -> List[Dict[str, object]]:
+        """Samples from the most recent ``limit_runs`` timing records,
+        newest last — the input :meth:`CostModel.calibrated` expects."""
+        records = [entry for entry in self.entries()
+                   if entry.get("type") == "timings"]
+        out: List[Dict[str, object]] = []
+        for record in records[-limit_runs:]:
+            samples = record.get("samples")
+            if isinstance(samples, list):
+                out.extend(s for s in samples if isinstance(s, dict))
+        return out
 
     # -- regression detection ----------------------------------------------
     def regressions(self, report: CampaignReport,

@@ -31,6 +31,11 @@ class DesignRow:
     cex_properties: List[str] = field(default_factory=list)
     cex_depths: List[int] = field(default_factory=list)
     time_s: float = 0.0
+    #: Wall time of the original (cache-writing) runs behind any cached
+    #: replays in this row — the "what it would have cost" number.
+    original_time_s: float = 0.0
+    #: Work-stealing re-splits that hit this design's tasks.
+    steals: int = 0
     errors: List[str] = field(default_factory=list)
     #: Registry expectations (DesignCase.expect_*) the run contradicted.
     mismatches: List[str] = field(default_factory=list)
@@ -43,7 +48,10 @@ class DesignRow:
             "buggy_proof_rate": self.buggy_proof_rate,
             "cex_properties": self.cex_properties,
             "cex_depths": self.cex_depths,
-            "time_s": self.time_s, "errors": self.errors,
+            "time_s": self.time_s,
+            "original_time_s": self.original_time_s,
+            "steals": self.steals,
+            "errors": self.errors,
             "mismatches": self.mismatches,
         }
 
@@ -62,6 +70,11 @@ class CampaignReport:
     workers: int = 1
     wall_time_s: float = 0.0
     cache_stats: Optional[Dict[str, int]] = None
+    #: Scheduling policy of the run (property granularity: "inventory" or
+    #: "cost"); None for design-granularity campaigns.
+    schedule: Optional[str] = None
+    #: Total work-stealing re-splits across the run.
+    steals: int = 0
 
     def __post_init__(self) -> None:
         if len(self.jobs) != len(self.results):
@@ -108,6 +121,10 @@ class CampaignReport:
             for index in indices:
                 job, result = self.jobs[index], self.results[index]
                 row.time_s += result.wall_time_s
+                row.steals += result.steals
+                if result.from_cache and \
+                        result.original_wall_time_s is not None:
+                    row.original_time_s += result.original_wall_time_s
                 if not result.ok:
                     row.errors.append(
                         f"{job.job_id}: {result.status}"
@@ -252,6 +269,8 @@ class CampaignReport:
             "properties": total_props, "annotation_loc": total_loc,
             "wall_time_s": self.wall_time_s,
             "engine_time_s": engine_time,
+            "schedule": self.schedule,
+            "steals": self.steals,
         }
 
     # -- exports -----------------------------------------------------------
@@ -263,6 +282,8 @@ class CampaignReport:
             "results": [
                 {"job_id": r.job_id, "status": r.status,
                  "from_cache": r.from_cache, "wall_time_s": r.wall_time_s,
+                 "original_wall_time_s": r.original_wall_time_s,
+                 "steals": r.steals,
                  "error": r.error, "payload": r.payload}
                 for r in self.results
             ],
@@ -302,8 +323,13 @@ class CampaignReport:
         lines = [f"{'RTL Module':<36} {'Result':<55} {'time':>7}"]
         for row in self.rows():
             label = f"{row.case_id}. {row.name}"
+            note = ""
+            if row.original_time_s:
+                note = f"  (cached; originally {row.original_time_s:.1f}s)"
+            if row.steals:
+                note += f"  [{row.steals} steal(s)]"
             lines.append(f"{label:<36} {row.outcome:<55} "
-                         f"{row.time_s:6.1f}s")
+                         f"{row.time_s:6.1f}s{note}")
             for error in row.errors:
                 lines.append(f"  !! {error}")
             for mismatch in row.mismatches:
@@ -315,6 +341,11 @@ class CampaignReport:
             f"jobs ({totals['cached']} cached) on {totals['workers']} "
             f"worker(s) in {totals['wall_time_s']:.1f}s "
             f"(engine time {totals['engine_time_s']:.1f}s)")
+        if self.schedule is not None:
+            lines.append(
+                f"Scheduling: {self.schedule}"
+                + (f", {self.steals} work-stealing re-split(s)"
+                   if self.steals else ", no steals"))
         if len(self.swept_configs) > 1:
             lines.append("\nConfig sweep comparison:")
             for text in self._comparison_lines():

@@ -1,4 +1,4 @@
-"""The campaign scheduler: a bounded worker pool with streaming results.
+"""The campaign scheduler: a streaming worker pool fed by a job source.
 
 Design points:
 
@@ -6,29 +6,48 @@ Design points:
   most ``workers`` are alive at once.  Model checking is CPU-bound pure
   Python, so processes (not threads) are the only way to scale past the
   GIL.
-* **Streaming** — :func:`iter_campaign` is the primitive: a generator
-  yielding ``(index, JobResult)`` as jobs finish, in completion order.
-  :class:`repro.api.VerificationSession` builds its ``TaskEvent`` stream on
-  it; :func:`run_campaign` is the batch wrapper that collects the stream
-  back into job order.
+* **Streaming input** — :class:`Scheduler` consumes an *iterator* of
+  jobs, pulling the next one only when a worker slot frees up.  A source
+  that does expensive parent-side work per job (the property-sharding
+  frontend: FT generation + compile) therefore overlaps that work with
+  the checking of already-issued jobs.  A plain list works too
+  (:func:`iter_campaign` is the list-shaped shim); a socket feeding a
+  remote queue is the same shape, which is what the distributed-transport
+  roadmap item needs.
+* **Event-driven waiting** — the pool blocks in
+  :func:`multiprocessing.connection.wait` on the worker pipes instead of
+  polling each one on a fixed interval.  The wait timeout is bounded by
+  the nearest per-job deadline, so wall-clock limits fire within
+  :data:`_DEADLINE_SLACK_S` of expiry instead of a poll period later.
+* **Work stealing** — when the source is exhausted and more worker slots
+  are free than jobs are queued, the scheduler asks ``split`` to re-split
+  the costliest queued job and issues the halves, keeping the tail of a
+  campaign parallel.  ``combine`` folds the halves' payloads back into
+  the parent's shape so the artifact cache still receives one entry per
+  *original* job (a warm rerun replays it no matter how the cold run was
+  split).
 * **Per-job bounds** — a wall-clock deadline per job (the parent
   terminates overdue workers) and an address-space cap applied with
   ``resource.setrlimit`` inside the worker, mirroring the execution-scope
   resource bounding of the reference orchestrators.
-* **Deterministic ordering** — ``run_campaign`` returns results in job
-  order; the worker count can only change wall time, never the result
-  list.
+* **Deterministic results** — ``run_campaign`` returns results in job
+  order; worker count, schedule and stealing can only change wall time
+  and task *grouping*, never the per-property verdicts downstream
+  consumers aggregate.
 * **Failure isolation** — a job that raises, exhausts memory, dies, or
   times out yields a per-job ``error``/``timeout`` result; the campaign
   always runs to completion.
 * **Incremental reruns** — with an :class:`~repro.campaign.cache.ArtifactCache`
   attached, jobs whose content hash is cached replay instantly and never
-  reach a worker.
+  reach a worker.  Cache entries remember the original check wall time,
+  which replayed results surface as ``original_wall_time_s``.
 
 The scheduler is unit-agnostic: a "job" is anything picklable with a
 ``job_id`` attribute that ``runner`` can execute — a whole-design
 :class:`~repro.campaign.jobs.CampaignJob` (the default) or a per-property
-:class:`~repro.api.task.PropertyTask`.
+:class:`~repro.api.task.PropertyTask`.  A source may also yield
+:class:`SourceNotice` markers (compile progress from the sharding
+frontend); they pass through the event stream untouched.
 """
 
 from __future__ import annotations
@@ -36,15 +55,23 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from .cache import ArtifactCache
 from .jobs import CampaignJob, execute_job
 
-__all__ = ["JobResult", "iter_campaign", "run_campaign"]
+__all__ = ["JobResult", "Scheduler", "SourceNotice", "iter_campaign",
+           "run_campaign"]
 
-_POLL_INTERVAL_S = 0.02
+#: Upper bound on how long a worker's deadline may overshoot: the pool
+#: never sleeps past the earliest deadline, and never longer than this
+#: between bookkeeping rounds even without deadlines.
+_DEADLINE_SLACK_S = 0.05
+_IDLE_WAIT_S = 1.0
 
 
 @dataclass
@@ -55,7 +82,9 @@ class JobResult:
     ``"error"`` (the job raised / crashed / hit the memory cap; ``error``
     carries the reason) or ``"timeout"``.  ``payload`` is plain JSON-able
     data in all cases (possibly None), so results cross process and disk
-    boundaries unchanged.
+    boundaries unchanged.  A cache replay sets ``from_cache`` and carries
+    the *original* check wall time in ``original_wall_time_s``
+    (``wall_time_s`` is then the replay time, effectively zero).
     """
 
     job_id: str
@@ -64,10 +93,29 @@ class JobResult:
     error: Optional[str] = None
     wall_time_s: float = 0.0
     from_cache: bool = False
+    original_wall_time_s: Optional[float] = None
+    #: Number of times this job's work was re-split by work stealing
+    #: (only set on merged per-design results, see the campaign layer).
+    steals: int = 0
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class SourceNotice:
+    """A pass-through marker a job source may emit between jobs.
+
+    The sharding frontend uses these to surface ``compile_started`` /
+    ``compile_done`` progress into the session's event stream; the
+    scheduler forwards them in-order and otherwise ignores them.
+    """
+
+    kind: str                 # "compile_started" | "compile_done"
+    design: str
+    wall_time_s: float = 0.0
+    from_cache: bool = False
 
 
 def _child_main(conn, runner, job, memory_limit_mb) -> None:
@@ -97,10 +145,362 @@ def _child_main(conn, runner, job, memory_limit_mb) -> None:
 @dataclass
 class _Running:
     index: int
+    job: object
     process: multiprocessing.Process
     conn: object
     started: float
     deadline: Optional[float]
+
+
+@dataclass
+class _SplitNode:
+    """Book-keeping for one work-stealing split: parent = half_0 + half_1."""
+
+    parent_job: object
+    parent_key: Optional[str]
+    parts: List[Optional[Dict[str, object]]] = field(
+        default_factory=lambda: [None, None])
+    done: List[bool] = field(default_factory=lambda: [False, False])
+    failed: bool = False
+    wall_time_s: float = 0.0
+    #: Set when the split parent was itself a stolen half: (node, slot).
+    grandparent: Optional[Tuple["_SplitNode", int]] = None
+
+
+class Scheduler:
+    """Streams jobs from ``source`` onto a bounded forked worker pool.
+
+    :meth:`run` yields tagged events in a deterministic interleaving:
+
+    * ``("done", index, job, result)`` — a job finished (or replayed from
+      cache); ``index`` is the job's admission order.
+    * ``("notice", notice)`` — a :class:`SourceNotice` the source emitted.
+    * ``("steal", parent_job, (half_a, half_b))`` — a queued job was
+      re-split to feed idle workers.
+
+    Exactly one ``done`` event is emitted per admitted job, except jobs
+    consumed by a steal — their verdicts arrive through the halves'
+    ``done`` events instead.
+    """
+
+    def __init__(self, source: Iterable,
+                 workers: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 timeout_s: Optional[float] = None,
+                 memory_limit_mb: Optional[int] = None,
+                 runner: Callable = execute_job,
+                 split: Optional[Callable] = None,
+                 combine: Optional[Callable] = None,
+                 cost_of: Optional[Callable] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (None = unbounded)")
+        if memory_limit_mb is not None and memory_limit_mb <= 0:
+            raise ValueError(
+                "memory_limit_mb must be positive (None = unbounded)")
+        self._source = iter(source)
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.memory_limit_mb = memory_limit_mb
+        self.runner = runner
+        self.split = split
+        self.combine = combine
+        self.cost_of = cost_of
+        #: Jobs re-split by work stealing during the run.
+        self.steal_count = 0
+
+        # Fork is load-bearing, not just the Linux default: workers must
+        # inherit the parent's populated COMPILE_CACHE for the one-compile-
+        # per-design guarantee of property sharding.  On platforms without
+        # fork (Windows) fall back to the default context — correctness
+        # holds (workers recompile), only the sharing is lost.
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:
+            self._context = multiprocessing.get_context()
+
+        self._queue: deque = deque()      # (index, job)
+        self._running: List[_Running] = []
+        self._emit: deque = deque()       # buffered out-of-band events
+        self._keys: Dict[int, Optional[str]] = {}
+        self._next_index = 0
+        self._exhausted = False
+        # job admission index -> (split node, part slot) for stolen halves.
+        self._half_of: Dict[int, Tuple[_SplitNode, int]] = {}
+
+    # -- source -----------------------------------------------------------
+    def _admit(self, job) -> int:
+        index = self._next_index
+        self._next_index += 1
+        if self.cache is not None:
+            try:
+                self._keys[index] = self.cache.key(job)
+            except Exception:
+                self._keys[index] = None  # unloadable source: worker reports
+        else:
+            self._keys[index] = None
+        return index
+
+    def _pull_one(self) -> None:
+        """Advance the source until one runnable job is queued.
+
+        Notices pass through to the emit buffer; cache-hit jobs replay as
+        immediate ``done`` events and never occupy a worker slot.
+        """
+        while not self._exhausted:
+            try:
+                item = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                return
+            if isinstance(item, SourceNotice):
+                self._emit.append(("notice", item))
+                continue
+            index = self._admit(item)
+            key = self._keys[index]
+            if key is not None:
+                entry = self.cache.get_entry(key)
+                if entry is not None:
+                    self._emit.append(("done", index, item, JobResult(
+                        job_id=item.job_id, status="ok",
+                        payload=entry.payload, wall_time_s=0.0,
+                        from_cache=True,
+                        original_wall_time_s=entry.wall_time_s)))
+                    continue
+            self._queue.append((index, item))
+            return
+
+    # -- work stealing ----------------------------------------------------
+    def _try_steal(self) -> None:
+        """Re-split queued jobs while idle workers outnumber them.
+
+        Splits the costliest splittable queued job first (``cost_of``
+        ranks them; admission order breaks ties), so the halves that get
+        reissued are the ones most likely to still dominate the tail.
+        """
+        if self.split is None:
+            return
+        while len(self._queue) < self.workers - len(self._running):
+            best = None
+            for position, (index, job) in enumerate(self._queue):
+                halves = self.split(job)
+                if halves is None:
+                    continue
+                cost = self.cost_of(job) if self.cost_of else 0.0
+                if best is None or cost > best[0]:
+                    best = (cost, position, index, job, halves)
+            if best is None:
+                return
+            _, position, index, job, (half_a, half_b) = best
+            del self._queue[position]
+            node = _SplitNode(parent_job=job, parent_key=self._keys[index])
+            parent_link = self._half_of.pop(index, None)
+            if parent_link is not None:
+                # Splitting an already-split half: chain the nodes so the
+                # grandparent's payload still assembles bottom-up.
+                node.grandparent = parent_link
+            for part, half in enumerate((half_a, half_b)):
+                half_index = self._admit(half)
+                self._half_of[half_index] = (node, part)
+                self._queue.append((half_index, half))
+            self.steal_count += 1
+            self._emit.append(("steal", job, (half_a, half_b)))
+
+    def _record_half(self, index: int, result: JobResult) -> None:
+        """Fold a stolen half's payload toward its parent's cache entry."""
+        link = self._half_of.get(index)
+        if link is None:
+            return
+        node, slot = link
+        node.done[slot] = True
+        node.wall_time_s += result.wall_time_s
+        if result.ok:
+            node.parts[slot] = result.payload
+        else:
+            node.failed = True
+        if all(node.done):
+            self._finish_node(node)
+
+    def _finish_node(self, node: _SplitNode) -> None:
+        """A split's halves are all in: rebuild and cache the parent.
+
+        The combined payload is written under the *parent's* cache key, so
+        a warm rerun — which shards the original grouping — replays the
+        parent no matter how the cold run happened to split it.
+        """
+        payload = None
+        if not node.failed and self.combine is not None:
+            try:
+                payload = self.combine(node.parent_job, node.parts[0],
+                                       node.parts[1])
+            except Exception:
+                payload = None
+        if payload is not None and self.cache is not None \
+                and node.parent_key is not None:
+            self.cache.put(node.parent_key, payload,
+                           wall_time_s=node.wall_time_s)
+        if node.grandparent is not None:
+            gp_node, gp_slot = node.grandparent
+            gp_node.done[gp_slot] = True
+            gp_node.wall_time_s += node.wall_time_s
+            if payload is not None:
+                gp_node.parts[gp_slot] = payload
+            else:
+                gp_node.failed = True
+            if all(gp_node.done):
+                self._finish_node(gp_node)
+
+    # -- pool -------------------------------------------------------------
+    def _launch(self, index: int, job) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_child_main,
+            args=(child_conn, self.runner, job, self.memory_limit_mb))
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        self._running.append(_Running(
+            index=index, job=job, process=process, conn=parent_conn,
+            started=now,
+            deadline=(now + self.timeout_s) if self.timeout_s is not None
+            else None))
+
+    def _fill(self) -> None:
+        """Pull, steal-split and launch until the pool is saturated.
+
+        Queued work launches eagerly — a pull can block on the next
+        design's parent-side frontend, and already-expanded tasks must be
+        checking *during* that compile, not after it.  The one exception
+        preserves tail stealing: when the last queued item is splittable
+        and launching it would still leave idle slots, the source is
+        probed first — if it turns out to be dry, that group is exactly
+        the steal candidate the idle slots need, and committing it whole
+        to one worker would have forfeited the split.  (Single-property
+        tasks are never held back: unsplittable work can't be stolen, so
+        probing would only delay it.)
+        """
+        while len(self._running) < self.workers:
+            free = self.workers - len(self._running)
+            if self._exhausted:
+                self._try_steal()
+                if not self._queue:
+                    break
+            elif not self._queue:
+                self._pull_one()
+                continue
+            elif len(self._queue) == 1 and free > 1 \
+                    and self.split is not None \
+                    and self.split(self._queue[0][1]) is not None:
+                self._pull_one()
+                continue
+            index, job = self._queue.popleft()
+            self._launch(index, job)
+
+    def _wait_timeout(self) -> Optional[float]:
+        """How long the pool may block without missing a deadline.
+
+        Never longer than the time to the earliest running deadline (so
+        wall-clock limits fire within ``_DEADLINE_SLACK_S`` of expiry —
+        the wait wakes *at* the deadline and termination follows
+        immediately), and never longer than ``_IDLE_WAIT_S``.
+        """
+        deadlines = [slot.deadline for slot in self._running
+                     if slot.deadline is not None]
+        if not deadlines:
+            return _IDLE_WAIT_S
+        return min(max(0.0, min(deadlines) - time.monotonic()),
+                   _IDLE_WAIT_S)
+
+    def _finish(self, slot: _Running, result: JobResult) -> JobResult:
+        result.wall_time_s = time.monotonic() - slot.started
+        if result.ok and self.cache is not None \
+                and self._keys.get(slot.index) is not None:
+            self.cache.put(self._keys[slot.index], result.payload,
+                           wall_time_s=result.wall_time_s)
+        self._record_half(slot.index, result)
+        return result
+
+    def _reap(self) -> List[Tuple[_Running, JobResult]]:
+        """Collect every finished/expired worker (may be empty)."""
+        ready = set(mp_connection.wait(
+            [slot.conn for slot in self._running],
+            timeout=self._wait_timeout()))
+        finished: List[Tuple[_Running, JobResult]] = []
+        still: List[_Running] = []
+        now = time.monotonic()
+        for slot in self._running:
+            if slot.conn in ready:
+                # Readiness means either a result message or EOF (the
+                # worker died — crash, hard OOM kill — closing the pipe).
+                try:
+                    status, payload, error = slot.conn.recv()
+                    slot.process.join()
+                except EOFError:
+                    slot.process.join()
+                    status, payload, error = (
+                        "error", None,
+                        f"worker died with exit code "
+                        f"{slot.process.exitcode}")
+                slot.conn.close()
+                finished.append((slot, JobResult(
+                    job_id=slot.job.job_id, status=status,
+                    payload=payload, error=error)))
+                continue
+            if slot.deadline is not None and now > slot.deadline:
+                # A result that landed since the wait returned wins over
+                # the deadline — don't discard completed work.
+                if slot.conn.poll(0):
+                    still.append(slot)
+                    continue
+                slot.process.terminate()
+                slot.process.join()
+                slot.conn.close()
+                finished.append((slot, JobResult(
+                    job_id=slot.job.job_id, status="timeout",
+                    error=f"wall-clock limit ({self.timeout_s:.1f}s) "
+                          f"exceeded")))
+                continue
+            still.append(slot)
+        self._running = still
+        return finished
+
+    # -- the run loop ------------------------------------------------------
+    def run(self) -> Iterator[tuple]:
+        """Execute the source to completion, yielding tagged events.
+
+        The interleaving is deterministic where it matters: after every
+        ``done`` event the pool refills (pulling the source — i.e. running
+        the next design's frontend — and steal-splitting) *before* the
+        next ``done`` is processed, which is what lets an event-order test
+        prove compile/check overlap without wall-clock assertions.
+        """
+        try:
+            while True:
+                self._fill()
+                while self._emit:
+                    event = self._emit.popleft()
+                    yield event
+                    self._fill()
+                if not self._running:
+                    if self._queue or not self._exhausted:
+                        continue
+                    if self._emit:
+                        continue
+                    break
+                for slot, result in self._reap():
+                    yield ("done", slot.index, slot.job,
+                           self._finish(slot, result))
+                    self._fill()
+                    while self._emit:
+                        event = self._emit.popleft()
+                        yield event
+                        self._fill()
+        finally:
+            for slot in self._running:  # interrupted/abandoned: no orphans
+                slot.process.terminate()
+                slot.process.join()
 
 
 def iter_campaign(jobs: Sequence[CampaignJob],
@@ -113,139 +513,19 @@ def iter_campaign(jobs: Sequence[CampaignJob],
                   ) -> Iterator[Tuple[int, JobResult]]:
     """Run ``jobs`` on a worker pool, yielding results as they finish.
 
-    Yields ``(index, result)`` pairs in **completion order** (cached jobs
-    first, then whatever lands).  ``index`` is the job's position in the
-    input sequence, so callers can rebuild job order.  Abandoning the
+    The list-shaped shim over :class:`Scheduler`: yields ``(index,
+    result)`` pairs in **completion order**, where ``index`` is the job's
+    position in the input sequence, so callers can rebuild job order.
+    Cached jobs replay without occupying a worker slot.  Abandoning the
     generator terminates any still-running workers.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if timeout_s is not None and timeout_s <= 0:
-        raise ValueError("timeout_s must be positive (None = unbounded)")
-    if memory_limit_mb is not None and memory_limit_mb <= 0:
-        raise ValueError(
-            "memory_limit_mb must be positive (None = unbounded)")
-    jobs = list(jobs)
-    keys: List[Optional[str]] = [None] * len(jobs)
-
-    # Cache pass: anything already known never reaches a worker.
-    pending: List[int] = []
-    for index, job in enumerate(jobs):
-        if cache is not None:
-            try:
-                keys[index] = cache.key(job)
-            except Exception:
-                keys[index] = None  # unloadable source: the worker reports it
-            payload = (cache.get(keys[index])
-                       if keys[index] is not None else None)
-            if payload is not None:
-                yield index, JobResult(
-                    job_id=job.job_id, status="ok", payload=payload,
-                    wall_time_s=0.0, from_cache=True)
-                continue
-        pending.append(index)
-
-    # Fork is load-bearing, not just the Linux default: workers must
-    # inherit the parent's populated COMPILE_CACHE for the one-compile-
-    # per-design guarantee of property sharding.  On platforms without
-    # fork (Windows) fall back to the default context — correctness holds
-    # (workers recompile), only the sharing optimization is lost.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        context = multiprocessing.get_context()
-    queue: List[int] = list(pending)
-    running: List[_Running] = []
-
-    def finish(slot: _Running, result: JobResult) -> JobResult:
-        result.wall_time_s = time.monotonic() - slot.started
-        if result.ok and cache is not None and keys[slot.index] is not None:
-            cache.put(keys[slot.index], result.payload)
-        return result
-
-    try:
-        while queue or running:
-            # Launch while worker slots are free.
-            while queue and len(running) < workers:
-                index = queue.pop(0)
-                parent_conn, child_conn = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=_child_main,
-                    args=(child_conn, runner, jobs[index], memory_limit_mb))
-                process.start()
-                child_conn.close()
-                now = time.monotonic()
-                running.append(_Running(
-                    index=index, process=process, conn=parent_conn,
-                    started=now,
-                    deadline=(now + timeout_s) if timeout_s is not None
-                    else None))
-
-            still: List[_Running] = []
-            for slot in running:
-                job = jobs[slot.index]
-                if slot.conn.poll(_POLL_INTERVAL_S / max(1, len(running))):
-                    try:
-                        status, payload, error = slot.conn.recv()
-                        slot.process.join()
-                    except EOFError:
-                        slot.process.join()
-                        status, payload, error = (
-                            "error", None,
-                            f"worker died with exit code "
-                            f"{slot.process.exitcode}")
-                    slot.conn.close()
-                    yield slot.index, finish(slot, JobResult(
-                        job_id=job.job_id, status=status,
-                        payload=payload, error=error))
-                    continue
-                if slot.deadline is not None and \
-                        time.monotonic() > slot.deadline:
-                    # A result that landed since the poll above wins over
-                    # the deadline — don't discard completed work.
-                    if slot.conn.poll(0):
-                        still.append(slot)
-                        continue
-                    slot.process.terminate()
-                    slot.process.join()
-                    slot.conn.close()
-                    yield slot.index, finish(slot, JobResult(
-                        job_id=job.job_id, status="timeout",
-                        error=f"wall-clock limit ({timeout_s:.1f}s) "
-                              f"exceeded"))
-                    continue
-                if not slot.process.is_alive():
-                    # The worker may have sent its result and exited in the
-                    # window since the poll above — drain the pipe before
-                    # declaring it dead.
-                    if slot.conn.poll(0):
-                        try:
-                            status, payload, error = slot.conn.recv()
-                        except EOFError:
-                            status, payload, error = (
-                                "error", None,
-                                f"worker died with exit code "
-                                f"{slot.process.exitcode}")
-                        slot.conn.close()
-                        slot.process.join()
-                        yield slot.index, finish(slot, JobResult(
-                            job_id=job.job_id, status=status,
-                            payload=payload, error=error))
-                        continue
-                    # Died without a message (e.g. hard OOM kill).
-                    slot.conn.close()
-                    slot.process.join()
-                    yield slot.index, finish(slot, JobResult(
-                        job_id=job.job_id, status="error",
-                        error=f"worker died with exit code "
-                              f"{slot.process.exitcode}"))
-                    continue
-                still.append(slot)
-            running = still
-    finally:
-        for slot in running:  # interrupted/abandoned: leave no orphans
-            slot.process.terminate()
-            slot.process.join()
+    scheduler = Scheduler(list(jobs), workers=workers, cache=cache,
+                          timeout_s=timeout_s,
+                          memory_limit_mb=memory_limit_mb, runner=runner)
+    for event in scheduler.run():
+        if event[0] == "done":
+            _, index, _, result = event
+            yield index, result
 
 
 def run_campaign(jobs: Sequence[CampaignJob],
@@ -262,7 +542,7 @@ def run_campaign(jobs: Sequence[CampaignJob],
     Returns one :class:`JobResult` per job, **in job order**, regardless of
     worker count or completion order.  ``progress`` (if given) is called
     with each result as it lands, in completion order.  Streaming consumers
-    use :func:`iter_campaign` directly.
+    use :func:`iter_campaign` (or :class:`Scheduler`) directly.
     """
     jobs = list(jobs)
     results: List[Optional[JobResult]] = [None] * len(jobs)

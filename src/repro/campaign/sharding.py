@@ -6,36 +6,62 @@ jobs in the corpus): a 4-worker pool idles while one worker grinds through
 a big property set.  This module re-expresses a design-granularity job
 list at per-property granularity on top of :mod:`repro.api`:
 
-* :func:`shard_jobs` — generate each job's formal testbench, compile the
-  design **once** (parent-side, through the shared compile cache) and
-  unfold its property inventory into :class:`~repro.api.task.PropertyTask`
-  groups;
+* :func:`stream_tasks` — the **streaming frontend**: a generator that,
+  per design, runs FT generation + one compile (through the shared
+  compile cache) and yields that design's
+  :class:`~repro.api.task.PropertyTask` groups, bracketed by
+  ``compile_started``/``compile_done``
+  :class:`~repro.campaign.scheduler.SourceNotice` markers.  Fed straight
+  into the scheduler, design B's frontend runs while design A's tasks
+  are still being checked — no all-designs-compile-first phase;
+* :func:`shard_jobs` — the batch wrapper that drains the stream into a
+  :class:`ShardPlan` up front (the pre-pipeline shape, kept for plan
+  inspection and tests);
 * :func:`merge_shard_results` — fold the per-task results back into one
   :class:`~repro.campaign.scheduler.JobResult` per original job, with a
   payload identical in shape *and verdicts* to what
   :func:`~repro.campaign.jobs.execute_job` produces — reports, caches and
-  expectation checks downstream cannot tell the difference;
+  expectation checks downstream cannot tell the difference.  The merge
+  keys on the design label and the property-name union, so it tolerates
+  *any* grouping: inventory chunks, LPT cost bins, work-stolen halves;
 * :func:`run_property_campaign` — the drop-in driver the CLI's
-  ``--granularity property`` mode uses.
+  ``--granularity property`` mode uses, wiring stream → session → merge.
+
+Scheduling (``schedule=``):
+
+* ``"inventory"`` — groups are contiguous ``group_size`` chunks of the
+  property inventory, issued in declaration order (the pre-cost-model
+  behavior, kept as the equivalence baseline);
+* ``"cost"`` (the default) — properties are priced by the
+  :class:`~repro.campaign.costmodel.CostModel` (kind × COI size × engine
+  bounds) and packed into balanced bins with LPT, issued costliest
+  first; the scheduler may additionally re-split pending groups when
+  workers idle (work stealing).  Verdicts are identical either way —
+  only wall time and task grouping change.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from math import ceil
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
 
 # NOTE: repro.api.session imports this package's scheduler; to keep both
 # import orders working (api first or campaign first), the session-layer
 # imports below happen inside the functions that need them.
-from ..api.task import PropertyTask, TaskEvent, build_tasks, expand_tasks
+from ..api.task import PropertyTask, TaskEvent, build_tasks
 from ..formal.engine import CheckReport
 from .cache import ArtifactCache
+from .costmodel import CostModel, pack_lpt
 from .jobs import CampaignJob, summarize_report
-from .scheduler import JobResult
+from .scheduler import JobResult, SourceNotice
 
-__all__ = ["ShardPlan", "shard_jobs", "merge_shard_results",
+__all__ = ["ShardPlan", "shard_jobs", "stream_tasks", "merge_shard_results",
            "run_property_campaign"]
+
+_SCHEDULES = ("inventory", "cost")
 
 
 @dataclass
@@ -51,14 +77,20 @@ class _JobShard:
     #: True when the shard was restored from a cached plan — FT generation
     #: and the parent-side compile were both skipped.
     from_plan_cache: bool = False
+    #: Parent-side frontend wall time (FT generation + compile + grouping).
+    compile_time_s: float = 0.0
+
+    @property
+    def all_properties(self) -> Set[str]:
+        return {name for task in self.tasks for name in task.properties}
 
 
 @dataclass
 class ShardPlan:
     """The task list for a property-granularity campaign run."""
 
-    shards: List[_JobShard]
-    tasks: List[PropertyTask]
+    shards: List[_JobShard] = field(default_factory=list)
+    tasks: List[PropertyTask] = field(default_factory=list)
 
     @property
     def jobs(self) -> List[CampaignJob]:
@@ -66,40 +98,95 @@ class ShardPlan:
 
 
 #: Bump to invalidate every cached shard plan (schema/semantics change).
-_PLAN_SCHEMA = 1
+#: (2: entries grew per-property scheduling metadata and schedule-aware
+#: keys.)
+_PLAN_SCHEMA = 2
 
 
-def _plan_key(job: CampaignJob, group_size: int) -> str:
+def _plan_key(job: CampaignJob, group_size: int,
+              schedule: str = "inventory",
+              model: Optional[CostModel] = None) -> str:
     """Content hash of everything that determines a job's shard plan.
 
     Deliberately its own key space (the ``shard-plan`` tag) next to job-
-    and task-result entries in the same artifact cache directory.
+    and task-result entries in the same artifact cache directory.  The
+    schedule — and, for cost scheduling, the model weights — are part of
+    the key because they determine the *grouping*; a recalibrated model
+    must re-plan, not replay a stale grouping.
     """
     from ..api.compile import config_fingerprint, hash_chunks
 
     pairs = [("shard-plan", str(_PLAN_SCHEMA)),
-             ("group-size", str(group_size))]
+             ("group-size", str(group_size)),
+             ("schedule", schedule)]
+    if schedule == "cost":
+        pairs.append(("cost-model", (model or CostModel()).fingerprint()))
     pairs.extend(job.cache_chunks())
     pairs.append(("config", config_fingerprint(job.engine_config)))
     return hash_chunks(pairs)
 
 
+def _property_meta(compiled) -> Dict[str, Tuple[str, int, int]]:
+    """name → (kind, COI latch count, inventory position) for a design.
+
+    COI sizes come from the exact closure the engine itself prunes with,
+    so the cost model prices the solver work a property will actually
+    cause, not the design's total state.
+    """
+    from ..formal.coi import coi_latches
+
+    base = compiled.base
+    by_name = {prop.name: prop
+               for group in (base.asserts, base.covers, base.liveness)
+               for prop in group}
+    meta: Dict[str, Tuple[str, int, int]] = {}
+    for position, (name, kind) in enumerate(compiled.inventory):
+        prop = by_name.get(name)
+        size = 0
+        if prop is not None:
+            try:
+                size = len(coi_latches(base, [prop.lit],
+                                       include_fairness=(kind == "live")))
+            except Exception:
+                size = 0
+        meta[name] = (kind, size, position)
+    return meta
+
+
+def _grouped(names: Sequence[str], meta: Dict[str, Tuple[str, int, int]],
+             group_size: int, schedule: str, model: CostModel,
+             config) -> List[Tuple[str, ...]]:
+    """Split a design's inventory into task-sized property groups."""
+    if schedule == "inventory":
+        from ..api.task import group_properties
+        return group_properties(names, group_size)
+    bins = max(1, ceil(len(names) / group_size))
+    costs = [model.property_cost(meta[name][0], meta[name][1],
+                                 config.max_bound, config.max_frames)
+             for name in names]
+    return [tuple(names[index] for index in indices)
+            for indices in pack_lpt(costs, bins)]
+
+
 def _restore_shard(shard: _JobShard, entry: dict) -> List[PropertyTask]:
     """Rebuild a shard's task list from a cached plan entry.
 
-    Reconstructs exactly what :func:`~repro.api.task.expand_tasks` would
-    have produced — same task ids, same groups, same merged source — but
-    without running the RTL frontend or the compiler (both go through the
-    shared :func:`~repro.api.task.build_tasks`, so the schemes cannot
-    drift).
+    Reconstructs exactly what the fresh expansion would have produced —
+    same task ids, same groups, same merged source, same scheduling
+    metadata — but without running the RTL frontend or the compiler
+    (both paths go through the shared
+    :func:`~repro.api.task.build_tasks`, so the schemes cannot drift).
     """
     job = shard.job
     merged = entry["merged"]
+    meta = {name: (str(kind), int(coi), int(order))
+            for name, (kind, coi, order) in entry["meta"].items()}
     tasks = build_tasks(job.job_id, job.dut_module, (merged,),
                         job.engine_config,
                         [tuple(group) for group in entry["groups"]],
                         variant=job.variant,
-                        defines=tuple(entry.get("defines", ())))
+                        defines=tuple(entry.get("defines", ())),
+                        meta=meta)
     shard.annotation_loc = int(entry["annotation_loc"])
     shard.property_count = int(entry["property_count"])
     shard.task_ids = [task.task_id for task in tasks]
@@ -108,115 +195,217 @@ def _restore_shard(shard: _JobShard, entry: dict) -> List[PropertyTask]:
     return tasks
 
 
-def shard_jobs(jobs: Sequence[CampaignJob],
-               group_size: int = 1,
-               cache: Optional[ArtifactCache] = None) -> ShardPlan:
-    """Unfold design jobs into per-property tasks (one compile per job).
+def _expand_shard(job: CampaignJob, group_size: int,
+                  cache: Optional[ArtifactCache], schedule: str,
+                  model: CostModel) -> _JobShard:
+    """Produce one design's shard: plan-cache restore or fresh frontend.
 
-    A job whose sources fail to load, annotate or compile is recorded on
-    the plan with ``expand_error`` and produces no tasks — the merge step
-    turns it into a per-job ``error`` result, preserving the campaign's
+    A job whose sources fail to load, annotate or compile is recorded
+    with ``expand_error`` and produces no tasks — the merge step turns it
+    into a per-job ``error`` result, preserving the campaign's
     failure-isolation contract.
 
-    With a ``cache``, each job's *shard plan* (testbench-merged source +
-    property grouping) is itself content-cached: a warm rerun rebuilds its
-    task list from disk and skips FT generation and the parent-side
-    compile entirely, which is what makes a fully-warm
-    ``--granularity property --cache-dir`` rerun as instant as a
-    design-granularity one.
+    A restored shard skipped its parent-side compile; if any of its task
+    results is missing from the artifact cache, a worker would otherwise
+    recompile per task — so those (and only those) designs are compiled
+    here, from the cached merged source, preserving the one-compile
+    guarantee.
     """
+    from ..api.compile import compile_design
     from ..core import generate_ft
 
-    shards: List[_JobShard] = []
-    tasks: List[PropertyTask] = []
-    for job in jobs:
-        shard = _JobShard(job=job)
-        shards.append(shard)
-        plan_key = _plan_key(job, group_size) if cache is not None else None
-        if plan_key is not None:
-            entry = cache.get(plan_key)
-            if entry is not None:
+    begin = time.perf_counter()
+    shard = _JobShard(job=job)
+    plan_key = _plan_key(job, group_size, schedule, model) \
+        if cache is not None else None
+    if plan_key is not None:
+        entry = cache.get(plan_key)
+        if entry is not None:
+            try:
+                _restore_shard(shard, entry)
+            except (KeyError, TypeError, ValueError):
+                # Malformed/stale entry: fall through to a fresh plan.
+                shard.from_plan_cache = False
+                shard.tasks = []
+                shard.task_ids = []
+        if shard.from_plan_cache:
+            if shard.tasks and not all(
+                    cache.contains(cache.key(task))
+                    for task in shard.tasks):
                 try:
-                    tasks.extend(_restore_shard(shard, entry))
-                    continue
-                except (KeyError, TypeError, ValueError):
-                    # Malformed/stale entry: fall through to a fresh plan.
-                    shard.from_plan_cache = False
-        try:
-            sources = job.sources()
-            ft = generate_ft(sources[0], module_name=job.dut_module)
-            merged = "\n".join(sources + ft.testbench_sources())
-            job_tasks = expand_tasks(
-                [merged], job.dut_module, job.engine_config,
-                design=job.job_id, variant=job.variant,
-                group_size=group_size)
-        except Exception as exc:
-            shard.expand_error = f"{type(exc).__name__}: {exc}"
-            continue
-        shard.annotation_loc = ft.annotation_loc
-        shard.property_count = ft.property_count
-        shard.task_ids = [task.task_id for task in job_tasks]
-        shard.tasks = list(job_tasks)
-        tasks.extend(job_tasks)
-        if plan_key is not None:
-            cache.put(plan_key, {
-                "merged": merged,
-                "groups": [list(task.properties) for task in job_tasks],
-                "defines": (list(job_tasks[0].defines)
-                            if job_tasks else []),
-                "annotation_loc": ft.annotation_loc,
-                "property_count": ft.property_count,
-            })
-    return ShardPlan(shards=shards, tasks=tasks)
+                    compile_design(list(shard.tasks[0].sources),
+                                   job.dut_module,
+                                   shard.tasks[0].defines)
+                except Exception:
+                    # Workers will fail the same way, per task, preserving
+                    # the failure-isolation contract.
+                    pass
+            shard.compile_time_s = time.perf_counter() - begin
+            return shard
+    try:
+        sources = job.sources()
+        ft = generate_ft(sources[0], module_name=job.dut_module)
+        merged = "\n".join(sources + ft.testbench_sources())
+        compiled = compile_design((merged,), job.dut_module)
+        meta = _property_meta(compiled)
+        names = compiled.property_names()
+        groups = _grouped(names, meta, group_size, schedule, model,
+                          job.engine_config)
+        tasks = build_tasks(job.job_id, job.dut_module, (merged,),
+                            job.engine_config, groups,
+                            variant=job.variant, meta=meta)
+    except Exception as exc:
+        shard.expand_error = f"{type(exc).__name__}: {exc}"
+        shard.compile_time_s = time.perf_counter() - begin
+        return shard
+    shard.annotation_loc = ft.annotation_loc
+    shard.property_count = ft.property_count
+    shard.task_ids = [task.task_id for task in tasks]
+    shard.tasks = tasks
+    shard.compile_time_s = time.perf_counter() - begin
+    if plan_key is not None:
+        cache.put(plan_key, {
+            "merged": merged,
+            "groups": [list(task.properties) for task in tasks],
+            "defines": (list(tasks[0].defines) if tasks else []),
+            "meta": {name: list(value) for name, value in meta.items()},
+            "annotation_loc": ft.annotation_loc,
+            "property_count": ft.property_count,
+        })
+    return shard
+
+
+def stream_tasks(jobs: Sequence[CampaignJob],
+                 group_size: int = 1,
+                 cache: Optional[ArtifactCache] = None,
+                 schedule: str = "cost",
+                 model: Optional[CostModel] = None,
+                 plan: Optional[ShardPlan] = None
+                 ) -> Iterator[object]:
+    """The streaming frontend: yield each design's tasks as they land.
+
+    Yields, per design: a ``compile_started`` notice, then (after FT
+    generation + the one parent-side compile) a ``compile_done`` notice
+    and the design's tasks.  Because the scheduler pulls this generator
+    only when worker slots free up, design *B*'s frontend work happens
+    while design *A*'s tasks are still being checked — the
+    plan-everything-then-run phase is gone.
+
+    ``plan`` (optional) is filled in as shards land, so the caller holds
+    the complete :class:`ShardPlan` once the stream (and the session
+    consuming it) is drained.
+    """
+    if schedule not in _SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; "
+                         f"expected one of {_SCHEDULES}")
+    model = model or CostModel()
+    for job in jobs:
+        yield SourceNotice(kind="compile_started", design=job.job_id)
+        shard = _expand_shard(job, group_size, cache, schedule, model)
+        if plan is not None:
+            plan.shards.append(shard)
+            plan.tasks.extend(shard.tasks)
+        yield SourceNotice(kind="compile_done", design=job.job_id,
+                           wall_time_s=shard.compile_time_s,
+                           from_cache=shard.from_plan_cache)
+        for task in shard.tasks:
+            yield task
+
+
+def shard_jobs(jobs: Sequence[CampaignJob],
+               group_size: int = 1,
+               cache: Optional[ArtifactCache] = None,
+               schedule: str = "inventory",
+               model: Optional[CostModel] = None) -> ShardPlan:
+    """Unfold design jobs into per-property tasks (one compile per job).
+
+    The batch wrapper over :func:`stream_tasks`: every design's frontend
+    runs up front and the whole plan is returned.  Campaign execution
+    goes through the stream instead (see :func:`run_property_campaign`);
+    this shape remains for plan inspection, callers that need the task
+    list before scheduling, and the pre-pipeline tests.
+
+    With a ``cache``, each job's *shard plan* (testbench-merged source +
+    property grouping + scheduling metadata) is itself content-cached: a
+    warm rerun rebuilds its task list from disk and skips FT generation
+    and the parent-side compile entirely, which is what makes a
+    fully-warm ``--granularity property --cache-dir`` rerun as instant
+    as a design-granularity one.
+    """
+    plan = ShardPlan()
+    for _ in stream_tasks(jobs, group_size=group_size, cache=cache,
+                          schedule=schedule, model=model, plan=plan):
+        pass
+    return plan
 
 
 def _merge_one(shard: _JobShard,
-               events: Dict[str, TaskEvent],
-               report: Optional[CheckReport]) -> JobResult:
+               events: Sequence[TaskEvent],
+               report: Optional[CheckReport],
+               steals: int = 0) -> JobResult:
     job = shard.job
     if shard.expand_error is not None:
         return JobResult(job_id=job.job_id, status="error",
                          error=f"testbench generation/compile failed: "
                                f"{shard.expand_error}")
-    own = [events[task_id] for task_id in shard.task_ids
-           if task_id in events]
+    own = [event for event in events if event.is_result]
     bad = [event for event in own if not event.ok]
     wall = sum(event.wall_time_s for event in own)
-    if bad or len(own) != len(shard.task_ids):
+    covered = {item["name"] for event in own if event.ok
+               for item in event.results}
+    if bad or covered != shard.all_properties:
         status = bad[0].status if bad else "error"
         details = "; ".join(
             f"{event.task_id} [{event.status}] "
             f"{(event.error or '').strip().splitlines()[-1] if event.error else ''}"
             for event in bad) or "missing task results"
+        expected = len(shard.all_properties)
         return JobResult(job_id=job.job_id, status=status,
-                         error=f"{len(bad)}/{len(shard.task_ids)} property "
-                               f"task(s) failed: {details}",
-                         wall_time_s=wall)
+                         error=f"{len(bad)}/{len(own)} property task(s) "
+                               f"failed ({len(covered)}/{expected} "
+                               f"properties decided): {details}",
+                         wall_time_s=wall, steals=steals)
     if report is None:  # degenerate: a design with zero properties
         report = CheckReport(design=job.dut_module)
     payload = summarize_report(report)
     payload["annotation_loc"] = shard.annotation_loc
     payload["property_count"] = shard.property_count
     payload["engine_time_s"] = sum(event.engine_time_s for event in own)
+    from_cache = bool(own) and all(event.from_cache for event in own)
+    original = None
+    if from_cache:
+        stored = [event.original_wall_time_s for event in own
+                  if event.original_wall_time_s is not None]
+        original = sum(stored) if stored else None
     return JobResult(job_id=job.job_id, status="ok", payload=payload,
-                     wall_time_s=wall,
-                     from_cache=bool(own) and all(event.from_cache
-                                                  for event in own))
+                     wall_time_s=wall, from_cache=from_cache,
+                     original_wall_time_s=original, steals=steals)
 
 
 def merge_shard_results(plan: ShardPlan,
-                        events: Sequence[TaskEvent]) -> List[JobResult]:
+                        events: Sequence[TaskEvent],
+                        steal_counts: Optional[Dict[str, int]] = None
+                        ) -> List[JobResult]:
     """One :class:`JobResult` per original job, in job order.
 
     Payloads match :func:`~repro.campaign.jobs.execute_job` field for
-    field; a job with any failed shard degrades to a per-job error result
-    (never a silently partial report).
+    field; a job with any failed shard — or any property left undecided —
+    degrades to a per-job error result (never a silently partial
+    report).  Events are matched to jobs by *design label* and verdicts
+    reassembled in canonical property order, so the merge is indifferent
+    to how the scheduler grouped, reordered or work-stole the tasks.
     """
     from ..api.session import aggregate_reports
 
-    by_id = {event.task_id: event for event in events}
+    steal_counts = steal_counts or {}
+    by_design: Dict[str, List[TaskEvent]] = {}
+    for event in events:
+        if event.is_result:
+            by_design.setdefault(event.design, []).append(event)
     reports = aggregate_reports(plan.tasks, events)
-    return [_merge_one(shard, by_id, reports.get(shard.job.job_id))
+    return [_merge_one(shard, by_design.get(shard.job.job_id, []),
+                       reports.get(shard.job.job_id),
+                       steals=steal_counts.get(shard.job.job_id, 0))
             for shard in plan.shards]
 
 
@@ -227,49 +416,43 @@ def run_property_campaign(jobs: Sequence[CampaignJob],
                           timeout_s: Optional[float] = None,
                           memory_limit_mb: Optional[int] = None,
                           progress: Optional[Callable[[TaskEvent], None]]
-                          = None) -> List[JobResult]:
+                          = None,
+                          schedule: str = "cost",
+                          steal: Optional[bool] = None,
+                          model: Optional[CostModel] = None
+                          ) -> List[JobResult]:
     """Run a campaign at property granularity; results stay job-shaped.
 
+    The streaming pipeline: :func:`stream_tasks` feeds the session's
+    scheduler directly, so each design's FT generation + compile overlaps
+    the checking of earlier designs' tasks.  ``schedule`` picks the
+    grouping/issue policy (see the module docstring); ``steal`` toggles
+    work stealing (default: on for ``cost``, off for ``inventory`` —
+    the latter stays bit-compatible with the pre-pipeline behavior).
+
     The compile counter contract: every design × variant is compiled
-    *at most* once, in this (parent) process, during sharding — check
-    ``repro.api.COMPILE_CACHE.stats()`` before/after to assert it.
+    *at most* once, in this (parent) process, as its shard plan lands —
+    check ``repro.api.COMPILE_CACHE.stats()`` before/after to assert it.
     Workers forked by the session inherit those compiles and report
     ``compiled_in_worker=False``.  With a warm cache the count drops
     further: a job restored from a cached shard plan whose task results
     are all cached compiles *zero* times (and skips FT generation too).
     """
-    from ..api.compile import compile_design
     from ..api.session import VerificationSession
 
-    plan = shard_jobs(jobs, group_size=group_size, cache=cache)
-    if cache is not None:
-        # Plan-cache-restored jobs skipped their parent-side compile.  If
-        # any of their task results is missing from the artifact cache, a
-        # worker would otherwise recompile per task — compile those (and
-        # only those) designs here, preserving the one-compile guarantee.
-        # (contains() parses each entry it peeks at, so a fully-warm rerun
-        # reads result JSONs twice — once here, once at replay.  Entries
-        # are small and the peek short-circuits on the first miss; fold
-        # the peeked payloads into the session if this ever shows up.)
-        for shard in plan.shards:
-            if not shard.from_plan_cache or not shard.tasks:
-                continue
-            if all(cache.contains(cache.key(task))
-                   for task in shard.tasks):
-                continue
-            try:
-                compile_design(list(shard.tasks[0].sources),
-                               shard.job.dut_module,
-                               shard.tasks[0].defines)
-            except Exception:
-                # Workers will fail the same way, per task, preserving
-                # the failure-isolation contract.
-                pass
+    if steal is None:
+        steal = schedule == "cost"
+    model = model or CostModel()
+    plan = ShardPlan()
+    source = stream_tasks(jobs, group_size=group_size, cache=cache,
+                          schedule=schedule, model=model, plan=plan)
     session = VerificationSession(
-        plan.tasks, workers=workers, cache=cache, timeout_s=timeout_s,
+        source, workers=workers, cache=cache, timeout_s=timeout_s,
         memory_limit_mb=memory_limit_mb,
-        precompile=False)  # shard_jobs / the loop above compiled everything
+        precompile=False,  # the stream compiles each design as it lands
+        steal=steal, cost_model=model)
     for event in session.run():
         if progress:
             progress(event)
-    return merge_shard_results(plan, session.events)
+    return merge_shard_results(plan, session.events,
+                               steal_counts=session.steal_counts)

@@ -19,8 +19,12 @@ Table III) through :mod:`repro.campaign`::
     autosva campaign --granularity property --workers 4
                                            # shard property sets, one
                                            # compile per design (repro.api)
+    autosva campaign --granularity property --schedule cost
+                                           # LPT cost-balanced groups +
+                                           # work stealing (the default)
     autosva campaign --sweep proof_engine=pdr,kind --json sweep.json
     autosva campaign --history runs.jsonl  # regression check vs last run
+                                           # + cost-model calibration
 """
 
 from __future__ import annotations
@@ -98,6 +102,17 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     parser.add_argument("--group-size", type=int, default=1, metavar="N",
                         help="properties per task at property granularity "
                              "(default 1)")
+    parser.add_argument("--schedule", choices=("inventory", "cost"),
+                        default="cost",
+                        help="property-granularity scheduling policy: "
+                             "'cost' (default) prices properties by kind/"
+                             "COI/bounds, packs them into LPT-balanced "
+                             "groups issued costliest-first and lets the "
+                             "scheduler steal (re-split) pending groups "
+                             "when workers idle; 'inventory' keeps "
+                             "declaration-order chunks (the equivalence "
+                             "baseline).  Verdicts are identical either "
+                             "way")
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="FIELD=V1,V2",
                         help="sweep an EngineConfig field over several "
@@ -186,6 +201,15 @@ def _expand_sweep(specs: List[str], base: EngineConfig) -> List[EngineConfig]:
     return configs
 
 
+def _kind_counts(results: List[dict]) -> dict:
+    """Property-kind histogram of one task's verdicts (timing samples)."""
+    counts: dict = {}
+    for item in results:
+        kind = item.get("kind", "assert")
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
 def campaign_main(argv: List[str]) -> int:
     import time
 
@@ -241,21 +265,57 @@ def campaign_main(argv: List[str]) -> int:
         return 1
 
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    history = CampaignHistory(args.history) if args.history else None
     unit = ("property tasks" if args.granularity == "property"
             else "design jobs")
     print(f"Running {len(jobs)} jobs ({unit}) on {args.workers} "
           f"worker(s)...", flush=True)
     begin = time.monotonic()
     if args.granularity == "property":
+        from ..campaign import CostModel
+
+        model = CostModel()
+        if history is not None and args.schedule == "cost":
+            # Fold measured per-task wall times from previous runs back
+            # into the kind weights (no-op on an empty history).
+            model = model.calibrated(history.timing_samples())
+        events = []
+
+        def on_event(event):
+            events.append(event)
+            if event.kind == "compile_started":
+                print(f"  [compile] {event.design} ...", flush=True)
+            elif event.kind == "compile_done":
+                note = (" (plan cached)" if event.from_cache
+                        else f" {event.wall_time_s:.1f}s")
+                print(f"  [compile] {event.design} done{note}", flush=True)
+            elif event.kind == "steal":
+                print(f"  [  steal] {event.task_id} re-split for idle "
+                      f"workers", flush=True)
+            else:
+                note = (f" (cached, originally "
+                        f"{event.original_wall_time_s:.1f}s)"
+                        if event.from_cache
+                        and event.original_wall_time_s is not None
+                        else " (cached)" if event.from_cache
+                        else f" {event.wall_time_s:.1f}s")
+                print(f"  [{event.status:>7}] {event.task_id}{note}",
+                      flush=True)
+
         results = run_property_campaign(
             jobs, workers=args.workers, group_size=args.group_size,
             cache=cache, timeout_s=args.timeout,
             memory_limit_mb=args.memory_limit,
-            progress=lambda e: print(
-                f"  [{e.status:>7}] {e.task_id}"
-                + (" (cached)" if e.from_cache
-                   else f" {e.wall_time_s:.1f}s"),
-                flush=True))
+            schedule=args.schedule, model=model, progress=on_event)
+        schedule = args.schedule
+        steals = sum(r.steals for r in results)
+        timing_samples = [
+            {"kinds": _kind_counts(event.results),
+             "wall_time_s": event.wall_time_s}
+            for event in events
+            if event.kind == "result" and event.ok
+            and not event.from_cache and event.results
+        ]
     else:
         results = run_campaign(
             jobs, workers=args.workers, cache=cache, timeout_s=args.timeout,
@@ -265,16 +325,21 @@ def campaign_main(argv: List[str]) -> int:
                 + (" (cached)" if r.from_cache
                    else f" {r.wall_time_s:.1f}s"),
                 flush=True))
+        schedule = None
+        steals = 0
+        timing_samples = []
     report = CampaignReport(jobs, results, workers=args.workers,
                             wall_time_s=time.monotonic() - begin,
-                            cache_stats=cache.stats() if cache else None)
+                            cache_stats=cache.stats() if cache else None,
+                            schedule=schedule, steals=steals)
 
     print()
     print(report.summary())
-    if args.history:
-        history = CampaignHistory(args.history)
+    if history is not None:
         regressions = history.regressions(report)
         history.append(report)
+        if timing_samples:
+            history.append_timings(timing_samples)
         print()
         if regressions:
             print(f"Regressions vs previous run ({len(regressions)}):")

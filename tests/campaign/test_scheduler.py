@@ -57,6 +57,12 @@ def _echo_runner(job):
     return {"job_id": job.job_id}
 
 
+def _stamping_runner(job):
+    started = time.monotonic()
+    time.sleep(0.05)
+    return {"job_id": job.job_id, "started": started}
+
+
 class TestDeterminism:
     def test_results_identical_across_worker_counts(self):
         jobs = _fast_jobs()
@@ -148,3 +154,78 @@ class TestCache:
         run_campaign(jobs, workers=2, runner=_echo_runner,
                      progress=lambda r: seen.append(r.job_id))
         assert sorted(seen) == ["a", "b"]
+
+
+class TestStreamingSource:
+    def test_queued_jobs_run_during_a_blocking_source_pull(self):
+        """Regression: already-pulled jobs must be launched *before* the
+        scheduler goes back to the source (a pull can block on the next
+        design's frontend compile).  The workers' own start timestamps
+        prove the jobs ran during the source's block, not after it."""
+        from repro.campaign.scheduler import Scheduler
+
+        def source():
+            yield _dummy_job("a0")
+            yield _dummy_job("a1")
+            time.sleep(0.6)          # the next design's "compile"
+            yield _dummy_job("b0")
+
+        begin = time.monotonic()
+        results = {}
+        scheduler = Scheduler(source(), workers=4,
+                              runner=_stamping_runner)
+        for event in scheduler.run():
+            if event[0] == "done":
+                results[event[3].job_id] = event[3].payload
+        assert set(results) == {"a0", "a1", "b0"}
+        for job_id in ("a0", "a1"):
+            launched_after = results[job_id]["started"] - begin
+            assert launched_after < 0.3, (job_id, launched_after)
+        assert results["b0"]["started"] - begin >= 0.6
+
+
+class TestDeadlineLatency:
+    """Per-job deadlines must fire promptly, not a poll period late.
+
+    The scheduler blocks in ``connection.wait`` with a timeout bounded by
+    the earliest running deadline, so timeout enforcement latency is
+    bounded by wakeup cost, not by a fixed polling interval.
+    """
+
+    def test_wait_timeout_is_bounded_by_nearest_deadline(self):
+        import time as time_mod
+
+        from repro.campaign.scheduler import (_IDLE_WAIT_S, Scheduler,
+                                              _Running)
+
+        scheduler = Scheduler([], workers=2, timeout_s=30.0)
+        now = time_mod.monotonic()
+
+        def slot(deadline):
+            return _Running(index=0, job=None, process=None, conn=None,
+                            started=now, deadline=deadline)
+
+        # No deadlines: bounded bookkeeping wait, not an unbounded block.
+        scheduler._running = [slot(None)]
+        assert scheduler._wait_timeout() == _IDLE_WAIT_S
+        # The wait never sleeps past the earliest deadline...
+        scheduler._running = [slot(now + 10.0), slot(now + 0.2), slot(None)]
+        assert scheduler._wait_timeout() <= 0.2
+        assert scheduler._wait_timeout() >= 0.0
+        # ...and an already-expired deadline means an immediate pass.
+        scheduler._running = [slot(now - 1.0)]
+        assert scheduler._wait_timeout() == 0.0
+
+    def test_timeout_fires_promptly(self):
+        """Regression: a 0.4s deadline on a 30s job must be enforced
+        within a small margin of expiry (generous for loaded CI hosts;
+        the old fixed-interval poll behaved like a lower bound too —
+        this pins the contract down)."""
+        jobs = [_dummy_job("slow")]
+        results = run_campaign(jobs, workers=1, timeout_s=0.4,
+                               runner=_sleepy_runner)
+        assert results[0].status == "timeout"
+        # wall_time_s is measured from worker start to termination, so it
+        # directly exposes enforcement latency past the 0.4s deadline.
+        assert results[0].wall_time_s >= 0.4
+        assert results[0].wall_time_s < 0.4 + 0.3, results[0].wall_time_s

@@ -1,0 +1,45 @@
+"""Corpus-wide verdict equivalence of the cost-aware streaming pipeline.
+
+The acceptance contract of the pipeline refactor (CI-gated): on the full
+Table III corpus, ``--schedule cost`` — LPT cost-balanced property
+groups, costliest-first issue, work stealing, streaming compile overlap —
+produces **bit-identical statuses and depths** to the inventory-order
+path, at property granularity and against the design-granularity
+baseline, for any worker count.
+
+Runs at the standard corpus config (bound 8 / 30 frames), like the
+sweep-equivalence suite: smaller bounds are a trap, not a speedup (a CEX
+pushed beyond the hunt bound costs a full proof-engine run instead).
+"""
+
+from repro.campaign import expand_jobs, run_campaign, run_property_campaign
+from repro.formal import EngineConfig
+
+CONFIG = EngineConfig(max_bound=8, max_frames=30)
+
+
+def _verdicts(results):
+    """Everything the equivalence contract covers: per-job status/error
+    plus the full deterministic payload (statuses, depths, order)."""
+    out = []
+    for result in results:
+        payload = dict(result.payload or {})
+        payload.pop("engine_time_s", None)  # timing is not contractual
+        out.append((result.job_id, result.status, result.error, payload))
+    return out
+
+
+def test_cost_schedule_is_verdict_identical_on_full_corpus():
+    jobs = expand_jobs(config=CONFIG)  # whole registry, fixed + buggy
+    assert len(jobs) >= 12
+
+    baseline = run_campaign(jobs, workers=2)
+    inventory = run_property_campaign(jobs, workers=2,
+                                      schedule="inventory")
+    cost = run_property_campaign(jobs, workers=2, schedule="cost")
+    cost_serial = run_property_campaign(jobs, workers=1, schedule="cost")
+
+    assert _verdicts(inventory) == _verdicts(baseline)
+    assert _verdicts(cost) == _verdicts(baseline)
+    assert _verdicts(cost_serial) == _verdicts(baseline)
+    assert [r.job_id for r in cost] == [j.job_id for j in jobs]
