@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	campaign bench-campaign bench-hotpath perf-smoke verify
+	dist-smoke campaign bench-campaign bench-hotpath perf-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,12 @@ smoke-property:
 pipeline-smoke:
 	$(PYTHON) benchmarks/pipeline_smoke.py --workers 2
 
+# Distributed-fabric equivalence gate: the corpus slice over loopback TCP
+# with 2 worker agents must be verdict-identical to the local transport
+# AND match the verdict digest recorded in benchmarks/BENCH_campaign.json.
+dist-smoke:
+	$(PYTHON) benchmarks/dist_smoke.py --workers 2
+
 campaign:
 	$(PYTHON) -m repro.core.cli campaign --workers 4 \
 	--cache-dir .repro-cache
@@ -45,4 +51,5 @@ bench-hotpath:
 perf-smoke:
 	$(PYTHON) benchmarks/bench_formal_hotpath.py --quick --check
 
-verify: test corpus-check smoke-campaign smoke-property pipeline-smoke
+verify: test corpus-check smoke-campaign smoke-property pipeline-smoke \
+	dist-smoke

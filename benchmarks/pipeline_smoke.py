@@ -25,17 +25,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.campaign import expand_jobs, run_property_campaign  # noqa: E402
+from repro.campaign import (expand_jobs, run_property_campaign,  # noqa: E402
+                            verdict_contract)
 from repro.formal import EngineConfig  # noqa: E402
-
-
-def _verdicts(results):
-    out = []
-    for result in results:
-        payload = dict(result.payload or {})
-        payload.pop("engine_time_s", None)
-        out.append((result.job_id, result.status, result.error, payload))
-    return out
 
 
 def main(argv=None) -> int:
@@ -65,7 +57,7 @@ def main(argv=None) -> int:
         print(f"  {schedule:>9}: {wall:6.1f}s  "
               f"({failed} failed, {steals} steal(s))")
 
-    if _verdicts(runs["inventory"]) != _verdicts(runs["cost"]):
+    if verdict_contract(runs["inventory"]) != verdict_contract(runs["cost"]):
         for inv, cost in zip(runs["inventory"], runs["cost"]):
             if (inv.status, inv.error, inv.payload) != \
                     (cost.status, cost.error, cost.payload):

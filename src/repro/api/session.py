@@ -52,6 +52,7 @@ def _event_from(task: PropertyTask, result) -> TaskEvent:
         error=result.error, wall_time_s=result.wall_time_s,
         from_cache=result.from_cache,
         original_wall_time_s=result.original_wall_time_s,
+        worker=result.worker,
         # A cache replay compiled nothing *this* run, whatever the stored
         # payload recorded about the run that produced it.
         compiled_in_worker=(not result.from_cache
@@ -143,6 +144,15 @@ class VerificationSession:
     ``steal=True`` the scheduler re-splits pending property groups when
     workers would otherwise idle at the tail (``cost_model`` ranks which
     group to split first); verdicts are unaffected.
+
+    ``transport`` selects the execution backend: None (the default)
+    forks ``workers`` local processes; a
+    :class:`~repro.dist.coordinator.TcpTransport` dispatches the same
+    tasks to remote worker agents — verdicts are identical either way,
+    and the per-task events then carry the executing ``worker`` id.
+    With a remote transport ``precompile`` is forced off: the compile
+    cache that matters lives in each worker agent, which compiles every
+    design on first sight.
     """
 
     def __init__(self, tasks,
@@ -152,7 +162,8 @@ class VerificationSession:
                  memory_limit_mb: Optional[int] = None,
                  precompile: bool = True,
                  steal: bool = False,
-                 cost_model=None) -> None:
+                 cost_model=None,
+                 transport=None) -> None:
         self._source = tasks
         self._static = isinstance(tasks, (list, tuple))
         #: Every task that produced (or will produce) a result event.  For
@@ -162,11 +173,18 @@ class VerificationSession:
         self.cache = cache
         self.timeout_s = timeout_s
         self.memory_limit_mb = memory_limit_mb
-        self.precompile = precompile
+        self.transport = transport
+        # Parent-side precompiles only reach workers that fork from this
+        # process; on a remote transport the agents compile for
+        # themselves.  Unknown transports are assumed remote (a wasted
+        # local compile costs more than a worker-side cache hit saves).
+        self.precompile = precompile and \
+            not getattr(transport, "remote", transport is not None)
         self.steal = steal
         self.cost_model = cost_model
         self.events: List[TaskEvent] = []
         self.steal_counts: Dict[str, int] = {}
+        self.requeue_counts: Dict[str, int] = {}
         self.wall_time_s = 0.0
 
     # -- execution ---------------------------------------------------------
@@ -205,6 +223,7 @@ class VerificationSession:
         """
         self.events = []
         self.steal_counts = {}
+        self.requeue_counts = {}
         begin = time.monotonic()
         if self.precompile and self._static:
             self._precompile()
@@ -214,7 +233,8 @@ class VerificationSession:
             memory_limit_mb=self.memory_limit_mb, runner=execute_task,
             split=(lambda task: task.split()) if self.steal else None,
             combine=_combine_payloads if self.steal else None,
-            cost_of=self._cost_of)
+            cost_of=self._cost_of,
+            transport=self.transport)
         try:
             for item in scheduler.run():
                 tag = item[0]
@@ -230,6 +250,14 @@ class VerificationSession:
                         status="ok", kind=notice.kind,
                         wall_time_s=notice.wall_time_s,
                         from_cache=notice.from_cache)
+                elif tag == "requeue":
+                    _, task, worker_id = item
+                    self.requeue_counts[task.task_id] = \
+                        self.requeue_counts.get(task.task_id, 0) + 1
+                    event = TaskEvent(
+                        task_id=task.task_id, design=task.design,
+                        variant=task.variant, status="ok", kind="requeue",
+                        worker=worker_id)
                 else:  # "steal"
                     _, parent, _halves = item
                     self.steal_counts[parent.design] = \

@@ -111,7 +111,15 @@ class TaskEvent:
       names it; ``wall_time_s`` on *done* is the frontend time);
     * ``"steal"`` — the scheduler re-split the task named by ``task_id``
       to feed idle workers (its verdicts arrive via the halves' result
-      events).
+      events);
+    * ``"requeue"`` — a remote worker died with this task in flight; the
+      task went back to the queue, excluded from the dead worker
+      (``worker`` names it), and its verdicts will arrive from a
+      surviving agent.
+
+    ``worker`` on a result event is the ``host:pid`` that executed the
+    task (forked child locally, remote agent on a TCP fabric) — timing/
+    calibration consumers use it to filter samples per host.
 
     ``results`` carries the per-property verdicts as plain data
     (``name``/``kind``/``status``/``depth``), deliberately excluding wall
@@ -135,6 +143,7 @@ class TaskEvent:
     engine_time_s: float = 0.0
     kind: str = "result"
     original_wall_time_s: Optional[float] = None
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -62,6 +62,18 @@ API tour
   to a JSONL file and reports regressions (proof-rate drops, lost CEXs,
   CEX-depth drift, new failures) against the previous run.
 
+* **Transports** decide *where* jobs execute: the default
+  :class:`~repro.campaign.scheduler.LocalTransport` forks worker
+  processes on this host; :class:`repro.dist.TcpTransport` dispatches
+  the same jobs to remote ``autosva worker`` agents over TCP
+  (``autosva campaign --transport tcp``), verdict-identical by CI-gated
+  contract — see :mod:`repro.dist` and ``docs/distributed.md``::
+
+      from repro.dist import TcpTransport
+      transport = TcpTransport(min_workers=4)   # agents attach to
+      print(transport.address)                  # this host:port
+      results = run_property_campaign(jobs, transport=transport)
+
 Corpus layout
 -------------
 
@@ -93,9 +105,9 @@ from .costmodel import CostModel, pack_lpt
 from .history import CampaignHistory
 from .jobs import (CampaignJob, default_engine_config, execute_job,
                    expand_jobs, summarize_report)
-from .report import CampaignReport, DesignRow
-from .scheduler import (JobResult, Scheduler, SourceNotice, iter_campaign,
-                        run_campaign)
+from .report import CampaignReport, DesignRow, verdict_contract
+from .scheduler import (JobResult, LocalTransport, Scheduler, SourceNotice,
+                        iter_campaign, resolve_worker_count, run_campaign)
 from .sharding import (ShardPlan, merge_shard_results, run_property_campaign,
                        shard_jobs, stream_tasks)
 
@@ -104,10 +116,10 @@ __all__ = [
     "CampaignHistory",
     "CampaignJob", "default_engine_config", "execute_job", "expand_jobs",
     "summarize_report",
-    "CampaignReport", "DesignRow",
+    "CampaignReport", "DesignRow", "verdict_contract",
     "CostModel", "pack_lpt",
-    "JobResult", "Scheduler", "SourceNotice", "iter_campaign",
-    "run_campaign",
+    "JobResult", "LocalTransport", "Scheduler", "SourceNotice",
+    "iter_campaign", "resolve_worker_count", "run_campaign",
     "ShardPlan", "merge_shard_results", "run_property_campaign",
     "shard_jobs", "stream_tasks",
 ]

@@ -26,7 +26,9 @@ __all__ = ["ArtifactCache", "CacheEntry"]
 #: Bump when the result payload schema or engine semantics change: old
 #: entries then miss instead of replaying stale results.  (2: entries
 #: became ``{"payload": ..., "wall_time_s": ...}`` envelopes so cached
-#: replays can report the original check time.)
+#: replays can report the original check time; envelopes now also carry
+#: an explicit ``schema`` field so the load path can tell a legacy entry
+#: from a future one instead of guessing from shape.)
 _SCHEMA_VERSION = 2
 
 
@@ -72,13 +74,42 @@ class ArtifactCache:
 
     # -- lookup / store ----------------------------------------------------
     def _read(self, key: str) -> Optional[CacheEntry]:
-        """The one read-and-validate path behind get() and contains()."""
+        """The one read-and-validate path behind get() and contains().
+
+        Schema handling is explicit, not shape-sniffed:
+
+        * entries written by a **newer** build (``schema`` above ours)
+          raise :class:`~repro.core.language.AutoSVAError` naming the
+          versions — replaying a payload this build cannot interpret, or
+          failing with a bare ``KeyError``, are both worse than stopping;
+        * **schema-1** entries (the pre-envelope format: the raw payload
+          dict itself, no ``schema``/``payload`` fields) migrate on read
+          — the payload is served with no original-wall-time metadata,
+          exactly what that format recorded;
+        * torn/corrupt files stay a miss (the entry rewrites itself).
+        """
         try:
             raw = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
             return None
-        if not isinstance(raw, dict) or "payload" not in raw:
-            return None  # pre-envelope entry (unreachable via keyed salt)
+        if not isinstance(raw, dict):
+            return None
+        schema = raw.get("schema")
+        if schema is None:
+            # Entries before the explicit field: envelopes are schema 2,
+            # anything else is the schema-1 raw-payload format.
+            schema = 2 if "payload" in raw else 1
+        if not isinstance(schema, int) or schema > _SCHEMA_VERSION:
+            from ..core.language import AutoSVAError
+
+            raise AutoSVAError(
+                f"cache entry {self._path(key)} was written with schema "
+                f"{schema!r}; this build reads schema <= {_SCHEMA_VERSION}."
+                f" Delete the entry (or the cache directory) or upgrade.")
+        if schema < 2:
+            return CacheEntry(payload=raw, wall_time_s=None)
+        if "payload" not in raw:
+            return None  # truncated envelope: treat as a miss
         wall = raw.get("wall_time_s")
         return CacheEntry(payload=raw["payload"],
                           wall_time_s=float(wall) if wall is not None
@@ -115,7 +146,8 @@ class ArtifactCache:
         # replace itself safe — writers of the same key agree on content.
         tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(
-            {"payload": payload, "wall_time_s": wall_time_s},
+            {"schema": _SCHEMA_VERSION, "payload": payload,
+             "wall_time_s": wall_time_s},
             sort_keys=True))
         tmp.replace(path)
 

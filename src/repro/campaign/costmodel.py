@@ -138,8 +138,11 @@ class CostModel:
 
         ``samples`` are the timing records the campaign history appends:
         mappings with ``kinds`` (kind → property count) and ``wall_time_s``.
-        Only single-kind samples identify a kind's cost unambiguously, so
-        calibration uses those.
+        Unknown fields (``worker`` identity, future additions) are
+        ignored, so records written by newer builds — or filtered per
+        host via :meth:`CampaignHistory.timing_samples` — feed in
+        unchanged.  Only single-kind samples identify a kind's cost
+        unambiguously, so calibration uses those.
 
         Only cross-kind *ratios* matter for bin balancing, so measured
         seconds are converted into model units through an **anchor** kind

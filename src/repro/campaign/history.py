@@ -109,9 +109,16 @@ class CampaignHistory:
                        ) -> Optional[Dict[str, object]]:
         """Append measured per-task wall times for cost-model calibration.
 
-        Each sample is ``{"kinds": {kind: count}, "wall_time_s": s}`` —
-        one per executed (non-cached) property task.  No record is written
-        when there are no samples (an all-cached rerun teaches nothing).
+        Each sample is ``{"kinds": {kind: count}, "wall_time_s": s,
+        "worker": "host:pid"}`` — one per executed (non-cached) property
+        task.  ``worker`` records *where* the task ran, so calibration
+        over a heterogeneous fabric (a laptop coordinator plus big iron
+        agents) can be filtered per host instead of mixing machines with
+        different cost ratios; samples recorded before the field existed
+        simply lack it, and :meth:`~repro.campaign.costmodel.CostModel.calibrated`
+        ignores fields it does not know — both directions stay
+        compatible.  No record is written when there are no samples (an
+        all-cached rerun teaches nothing).
         """
         if not samples:
             return None
@@ -123,10 +130,18 @@ class CampaignHistory:
             "samples": samples,
         })
 
-    def timing_samples(self, limit_runs: int = 5
+    def timing_samples(self, limit_runs: int = 5,
+                       hosts: Optional[List[str]] = None
                        ) -> List[Dict[str, object]]:
         """Samples from the most recent ``limit_runs`` timing records,
-        newest last — the input :meth:`CostModel.calibrated` expects."""
+        newest last — the input :meth:`CostModel.calibrated` expects.
+
+        ``hosts`` restricts the result to samples whose ``worker`` field
+        (``host:pid``) names one of the given hosts — the heterogeneous-
+        fabric filter.  Samples without worker identity (pre-field
+        records, cache replays) are excluded by any host filter, since
+        their machine is unknown.
+        """
         records = [entry for entry in self.entries()
                    if entry.get("type") == "timings"]
         out: List[Dict[str, object]] = []
@@ -134,6 +149,11 @@ class CampaignHistory:
             samples = record.get("samples")
             if isinstance(samples, list):
                 out.extend(s for s in samples if isinstance(s, dict))
+        if hosts is not None:
+            wanted = set(hosts)
+            out = [sample for sample in out
+                   if isinstance(sample.get("worker"), str)
+                   and sample["worker"].rsplit(":", 1)[0] in wanted]
         return out
 
     # -- regression detection ----------------------------------------------

@@ -16,7 +16,26 @@ from typing import Dict, List, Optional, Sequence
 from .jobs import CampaignJob
 from .scheduler import JobResult
 
-__all__ = ["CampaignReport", "DesignRow"]
+__all__ = ["CampaignReport", "DesignRow", "verdict_contract"]
+
+
+def verdict_contract(results: Sequence[JobResult]) -> List[tuple]:
+    """The ONE normalization behind every verdict-equivalence gate.
+
+    Everything the campaign's equivalence contract covers — per-job id,
+    status, error and the full deterministic payload — with measurements
+    (``engine_time_s``) stripped, because wall time is the only thing a
+    schedule, worker count or transport is *allowed* to change.  The
+    pipeline/dist smoke gates and the tier-1 corpus-equivalence tests
+    all compare this view; keeping one implementation means they cannot
+    silently disagree about what "bit-identical verdicts" includes.
+    """
+    view: List[tuple] = []
+    for result in results:
+        payload = dict(result.payload or {})
+        payload.pop("engine_time_s", None)
+        view.append((result.job_id, result.status, result.error, payload))
+    return view
 
 
 @dataclass
@@ -75,6 +94,13 @@ class CampaignReport:
     schedule: Optional[str] = None
     #: Total work-stealing re-splits across the run.
     steals: int = 0
+    #: Execution transport of the run ("local" forked pool, "tcp" remote
+    #: fabric); None when the caller didn't say.
+    transport: Optional[str] = None
+    #: Per-worker-agent fabric stats (remote transports): worker id,
+    #: slots, tasks run, busy seconds, utilization, steal grants,
+    #: first-sight compiles, departure reason.  Empty/None locally.
+    worker_stats: Optional[List[Dict[str, object]]] = None
 
     def __post_init__(self) -> None:
         if len(self.jobs) != len(self.results):
@@ -271,6 +297,7 @@ class CampaignReport:
             "engine_time_s": engine_time,
             "schedule": self.schedule,
             "steals": self.steals,
+            "transport": self.transport,
         }
 
     # -- exports -----------------------------------------------------------
@@ -288,6 +315,7 @@ class CampaignReport:
                 for r in self.results
             ],
             "cache": self.cache_stats,
+            "workers": self.worker_stats,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -311,6 +339,19 @@ class CampaignReport:
             f"{totals['failed']} failed) on {totals['workers']} worker(s) "
             f"in {totals['wall_time_s']:.1f}s; {totals['properties']} "
             f"properties from {totals['annotation_loc']} annotation LoC.")
+        if self.worker_stats:
+            lines.append("")
+            lines.append("### Workers")
+            lines.append("| Worker | slots | tasks | busy | util | "
+                         "steals granted |")
+            lines.append("|---|---|---|---|---|---|")
+            for entry in self.worker_stats:
+                lines.append(
+                    f"| {entry.get('worker')} | {entry.get('slots')} | "
+                    f"{entry.get('tasks')} | "
+                    f"{entry.get('busy_s', 0.0):.1f}s | "
+                    f"{entry.get('utilization', 0.0):.0%} | "
+                    f"{entry.get('steals_granted', 0)} |")
         if len(self.swept_configs) > 1:
             lines.append("")
             lines.append("### Config sweep")
@@ -345,7 +386,23 @@ class CampaignReport:
             lines.append(
                 f"Scheduling: {self.schedule}"
                 + (f", {self.steals} work-stealing re-split(s)"
-                   if self.steals else ", no steals"))
+                   if self.steals else ", no steals")
+                + (f", transport {self.transport}"
+                   if self.transport else ""))
+        if self.worker_stats:
+            lines.append("\nWorker fabric:")
+            lines.append(f"  {'worker':<28} {'slots':>5} {'tasks':>5} "
+                         f"{'busy':>8} {'util':>5} {'steals':>6}")
+            for entry in self.worker_stats:
+                label = str(entry.get("worker"))
+                if entry.get("departed") not in (None, "shutdown"):
+                    label += " (died)"
+                lines.append(
+                    f"  {label:<28} {entry.get('slots', 0):>5} "
+                    f"{entry.get('tasks', 0):>5} "
+                    f"{entry.get('busy_s', 0.0):>7.1f}s "
+                    f"{entry.get('utilization', 0.0):>5.0%} "
+                    f"{entry.get('steals_granted', 0):>6}")
         if len(self.swept_configs) > 1:
             lines.append("\nConfig sweep comparison:")
             for text in self._comparison_lines():

@@ -11,9 +11,15 @@ Design points:
   that does expensive parent-side work per job (the property-sharding
   frontend: FT generation + compile) therefore overlaps that work with
   the checking of already-issued jobs.  A plain list works too
-  (:func:`iter_campaign` is the list-shaped shim); a socket feeding a
-  remote queue is the same shape, which is what the distributed-transport
-  roadmap item needs.
+  (:func:`iter_campaign` is the list-shaped shim).
+* **Pluggable transports** — *where* a job executes is a transport
+  decision: the default :class:`LocalTransport` forks processes on this
+  host (the behavior the pre-fabric scheduler hard-coded);
+  :class:`~repro.dist.coordinator.TcpTransport` dispatches the same jobs
+  to remote worker agents over the wire.  The scheduler owns everything
+  verdict-relevant — source pulling, cache replay, steal bookkeeping,
+  event ordering — so transports can only change *where* cycles burn,
+  never what the campaign concludes.
 * **Event-driven waiting** — the pool blocks in
   :func:`multiprocessing.connection.wait` on the worker pipes instead of
   polling each one on a fixed interval.  The wait timeout is bounded by
@@ -25,22 +31,30 @@ Design points:
   campaign parallel.  ``combine`` folds the halves' payloads back into
   the parent's shape so the artifact cache still receives one entry per
   *original* job (a warm rerun replays it no matter how the cold run was
-  split).
+  split).  Remote transports extend the same idea across hosts: at the
+  tail the coordinator reclaims not-yet-started tasks from busy workers
+  (steal grants), which re-enter this queue and split like any other.
 * **Per-job bounds** — a wall-clock deadline per job (the parent
   terminates overdue workers) and an address-space cap applied with
   ``resource.setrlimit`` inside the worker, mirroring the execution-scope
-  resource bounding of the reference orchestrators.
+  resource bounding of the reference orchestrators.  Remote workers
+  enforce the same bounds locally, agent-side.
 * **Deterministic results** — ``run_campaign`` returns results in job
-  order; worker count, schedule and stealing can only change wall time
-  and task *grouping*, never the per-property verdicts downstream
-  consumers aggregate.
+  order; worker count, schedule, stealing and transport can only change
+  wall time and task *grouping*, never the per-property verdicts
+  downstream consumers aggregate.
 * **Failure isolation** — a job that raises, exhausts memory, dies, or
-  times out yields a per-job ``error``/``timeout`` result; the campaign
-  always runs to completion.
+  times out yields a per-job ``error``/``timeout`` result; a *worker*
+  (remote agent) that dies gets its in-flight jobs requeued — excluded
+  from the dead worker — exactly once per death; the campaign always
+  runs to completion.
 * **Incremental reruns** — with an :class:`~repro.campaign.cache.ArtifactCache`
   attached, jobs whose content hash is cached replay instantly and never
-  reach a worker.  Cache entries remember the original check wall time,
-  which replayed results surface as ``original_wall_time_s``.
+  reach a worker.  The cache check happens at admission —
+  coordinator-side — so on a remote transport a warm rerun never ships a
+  job's sources over the wire at all.  Cache entries remember the
+  original check wall time, which replayed results surface as
+  ``original_wall_time_s``.
 
 The scheduler is unit-agnostic: a "job" is anything picklable with a
 ``job_id`` attribute that ``runner`` can execute — a whole-design
@@ -53,25 +67,61 @@ frontend); they pass through the event stream untouched.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import socket
+import sys
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
-                    Sequence, Tuple)
+                    Sequence, Set, Tuple)
 
 from .cache import ArtifactCache
 from .jobs import CampaignJob, execute_job
 
-__all__ = ["JobResult", "Scheduler", "SourceNotice", "iter_campaign",
-           "run_campaign"]
+__all__ = ["JobResult", "LocalTransport", "Scheduler", "SourceNotice",
+           "iter_campaign", "resolve_worker_count", "run_campaign"]
 
 #: Upper bound on how long a worker's deadline may overshoot: the pool
 #: never sleeps past the earliest deadline, and never longer than this
 #: between bookkeeping rounds even without deadlines.
 _DEADLINE_SLACK_S = 0.05
 _IDLE_WAIT_S = 1.0
+
+_WARNED_SINGLE_CORE = False
+
+
+def resolve_worker_count(value, flag: str = "--workers") -> int:
+    """Resolve a worker/slot count argument; ``"auto"`` = CPU count.
+
+    Accepts an int, a decimal string or the literal ``"auto"`` (case
+    insensitive), which resolves to ``os.cpu_count()``.  On a single-core
+    host a once-per-process note is printed to stderr — parallel workers
+    can only time-slice one core there, which surprises both users and
+    wall-clock assertions in benchmarks.
+    """
+    global _WARNED_SINGLE_CORE
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            value = os.cpu_count() or 1
+            if value == 1 and not _WARNED_SINGLE_CORE:
+                _WARNED_SINGLE_CORE = True
+                print(f"autosva: note: {flag} auto resolved to 1 — this "
+                      f"host has a single CPU core; parallel workers "
+                      f"would only time-slice it", file=sys.stderr)
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"{flag} expects a positive integer or 'auto', "
+                    f"got {value!r}") from None
+    if not isinstance(value, int) or value < 1:
+        raise ValueError(f"{flag} must be >= 1 (or 'auto'), got {value!r}")
+    return value
 
 
 @dataclass
@@ -85,6 +135,9 @@ class JobResult:
     boundaries unchanged.  A cache replay sets ``from_cache`` and carries
     the *original* check wall time in ``original_wall_time_s``
     (``wall_time_s`` is then the replay time, effectively zero).
+    ``worker`` identifies where the job executed (``host:pid`` — the
+    forked child locally, the remote agent on a TCP fabric), so timing
+    samples from heterogeneous hosts can be told apart downstream.
     """
 
     job_id: str
@@ -97,6 +150,9 @@ class JobResult:
     #: Number of times this job's work was re-split by work stealing
     #: (only set on merged per-design results, see the campaign layer).
     steals: int = 0
+    #: ``host:pid`` of the process that executed the job (None for cache
+    #: replays, which execute nothing).
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -119,7 +175,12 @@ class SourceNotice:
 
 
 def _child_main(conn, runner, job, memory_limit_mb) -> None:
-    """Worker entry point: run one job, ship one (status, payload, error)."""
+    """Worker entry point: run one job, ship one (status, payload, error).
+
+    Shared by the local transport's forked children and the remote
+    worker agent's — the execution scope (rlimit, error envelope) must
+    not drift between transports or verdict equivalence drifts with it.
+    """
     try:
         if memory_limit_mb:
             limit = int(memory_limit_mb) * 1024 * 1024
@@ -152,6 +213,194 @@ class _Running:
     deadline: Optional[float]
 
 
+def fork_context():
+    """The multiprocessing context every execution scope forks with.
+
+    Fork is load-bearing, not just the Linux default: children must
+    inherit the parent's populated COMPILE_CACHE for the one-compile-
+    per-design guarantee (local pool and remote worker agents alike).
+    On platforms without fork (Windows) fall back to the default
+    context — correctness holds (children recompile), only the sharing
+    is lost.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def reap_child(conn, process, deadline: Optional[float], now: float,
+               timeout_s: Optional[float]
+               ) -> Optional[Tuple[str, object, Optional[str]]]:
+    """The ONE reap decision for a forked task child, any transport.
+
+    Returns ``None`` while the child should keep running, else a
+    ``(status, payload, error)`` triple with the pipe closed and the
+    process joined.  Shared by :class:`LocalTransport` and the remote
+    worker agent so the semantics cannot drift between transports: a
+    result that is already in the pipe wins over an expired deadline
+    (completed work is never discarded), a closed pipe without a result
+    means the child died (crash, hard OOM kill), and an overdue child is
+    terminated with the standard timeout message.
+    """
+    if conn.poll(0):
+        try:
+            status, payload, error = conn.recv()
+            process.join()
+        except EOFError:
+            process.join()
+            status, payload, error = (
+                "error", None,
+                f"worker died with exit code {process.exitcode}")
+        conn.close()
+        return status, payload, error
+    if deadline is not None and now > deadline:
+        process.terminate()
+        process.join()
+        conn.close()
+        return ("timeout", None,
+                f"wall-clock limit ({timeout_s:.1f}s) exceeded")
+    return None
+
+
+class LocalTransport:
+    """The default execution backend: forked processes on this host.
+
+    This is the transport contract every backend implements (duck-typed;
+    :class:`~repro.dist.coordinator.TcpTransport` is the remote peer):
+
+    * :meth:`bind` — receive the scheduler's runner and per-job bounds;
+    * :meth:`free_slots` / :meth:`in_flight` — capacity accounting;
+    * :meth:`dispatch` — start one job, honoring a worker-exclusion set
+      (returns False when no acceptable slot exists right now);
+    * :meth:`step` — block (bounded) until something happens; return
+      ``(finished, requeued)`` where ``finished`` is
+      ``[(index, job, JobResult), ...]`` and ``requeued`` is
+      ``[(index, job, dead_worker_id_or_None), ...]`` — jobs the
+      transport gives back (worker death, steal grants);
+    * :meth:`reclaim` — tail hook: pull back not-yet-started work from
+      busy workers, if the transport holds any (no-op here: local
+      dispatch is start);
+    * ``wait_when_idle`` — True when :meth:`step` is meaningful with
+      nothing in flight (a remote pool waits for workers to join; a
+      local fork pool never needs to).
+
+    Locally a "worker" is one forked child per job, so exclusion sets
+    and requeues never trigger: a child death is a per-job ``error``
+    (failure isolation), not a lost worker.
+    """
+
+    wait_when_idle = False
+    #: Workers share this process's memory via fork, so parent-side
+    #: precompiles reach them.  Remote transports set True — their
+    #: agents hold their own compile caches and a parent-side compile
+    #: would be wasted work.
+    remote = False
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.runner: Callable = execute_job
+        self.timeout_s: Optional[float] = None
+        self.memory_limit_mb: Optional[int] = None
+        self._host = socket.gethostname()
+        self._running: List[_Running] = []
+        self._context = fork_context()
+
+    def bind(self, runner: Callable, timeout_s: Optional[float],
+             memory_limit_mb: Optional[int],
+             cost_of: Optional[Callable] = None) -> None:
+        self.runner = runner
+        self.timeout_s = timeout_s
+        self.memory_limit_mb = memory_limit_mb
+
+    # -- capacity ---------------------------------------------------------
+    def capacity(self) -> int:
+        """Total slots that exist, busy or not (0 = nothing can ever be
+        dispatched right now — the signal that lets the scheduler replay
+        cache hits without waiting for a pool that may never come)."""
+        return self.workers
+
+    def free_slots(self) -> int:
+        return self.workers - len(self._running)
+
+    def in_flight(self) -> int:
+        return len(self._running)
+
+    # -- dispatch ---------------------------------------------------------
+    def dispatch(self, index: int, job,
+                 excluded: frozenset = frozenset()) -> bool:
+        if self.free_slots() <= 0:
+            return False
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_child_main,
+            args=(child_conn, self.runner, job, self.memory_limit_mb))
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        self._running.append(_Running(
+            index=index, job=job, process=process, conn=parent_conn,
+            started=now,
+            deadline=(now + self.timeout_s) if self.timeout_s is not None
+            else None))
+        return True
+
+    # -- progress ---------------------------------------------------------
+    def _wait_timeout(self) -> Optional[float]:
+        """How long the pool may block without missing a deadline.
+
+        Never longer than the time to the earliest running deadline (so
+        wall-clock limits fire within ``_DEADLINE_SLACK_S`` of expiry —
+        the wait wakes *at* the deadline and termination follows
+        immediately), and never longer than ``_IDLE_WAIT_S``.
+        """
+        deadlines = [slot.deadline for slot in self._running
+                     if slot.deadline is not None]
+        if not deadlines:
+            return _IDLE_WAIT_S
+        return min(max(0.0, min(deadlines) - time.monotonic()),
+                   _IDLE_WAIT_S)
+
+    def step(self) -> Tuple[List[Tuple[int, object, JobResult]],
+                            List[Tuple[int, object, Optional[str]]]]:
+        """Collect every finished/expired worker (may be empty)."""
+        mp_connection.wait([slot.conn for slot in self._running],
+                           timeout=self._wait_timeout())
+        finished: List[Tuple[int, object, JobResult]] = []
+        still: List[_Running] = []
+        now = time.monotonic()
+        for slot in self._running:
+            outcome = reap_child(slot.conn, slot.process, slot.deadline,
+                                 now, self.timeout_s)
+            if outcome is None:
+                still.append(slot)
+                continue
+            status, payload, error = outcome
+            finished.append((slot.index, slot.job, JobResult(
+                job_id=slot.job.job_id, status=status,
+                payload=payload, error=error,
+                wall_time_s=time.monotonic() - slot.started,
+                worker=f"{self._host}:{slot.process.pid}")))
+        self._running = still
+        return finished, []
+
+    def reclaim(self) -> None:
+        """No prefetch locally: every dispatched job is already running."""
+
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """Per-agent utilization is a remote-fabric concept; locally each
+        job is its own short-lived process, so there is nothing to rate."""
+        return []
+
+    def close(self) -> None:
+        for slot in self._running:   # interrupted/abandoned: no orphans
+            slot.process.terminate()
+            slot.process.join()
+        self._running = []
+
+
 @dataclass
 class _SplitNode:
     """Book-keeping for one work-stealing split: parent = half_0 + half_1."""
@@ -168,7 +417,7 @@ class _SplitNode:
 
 
 class Scheduler:
-    """Streams jobs from ``source`` onto a bounded forked worker pool.
+    """Streams jobs from ``source`` onto a bounded worker pool.
 
     :meth:`run` yields tagged events in a deterministic interleaving:
 
@@ -177,10 +426,16 @@ class Scheduler:
     * ``("notice", notice)`` — a :class:`SourceNotice` the source emitted.
     * ``("steal", parent_job, (half_a, half_b))`` — a queued job was
       re-split to feed idle workers.
+    * ``("requeue", job, worker_id)`` — the transport lost a worker with
+      this job in flight; the job is back in the queue, excluded from
+      the dead worker (remote transports only).
 
     Exactly one ``done`` event is emitted per admitted job, except jobs
     consumed by a steal — their verdicts arrive through the halves'
     ``done`` events instead.
+
+    ``transport`` selects the execution backend (default: a
+    :class:`LocalTransport` forking ``workers`` processes on this host).
     """
 
     def __init__(self, source: Iterable,
@@ -191,7 +446,8 @@ class Scheduler:
                  runner: Callable = execute_job,
                  split: Optional[Callable] = None,
                  combine: Optional[Callable] = None,
-                 cost_of: Optional[Callable] = None) -> None:
+                 cost_of: Optional[Callable] = None,
+                 transport=None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
@@ -210,25 +466,45 @@ class Scheduler:
         self.cost_of = cost_of
         #: Jobs re-split by work stealing during the run.
         self.steal_count = 0
+        #: job_id -> times it was requeued after losing its worker.
+        self.requeue_counts: Dict[str, int] = {}
 
-        # Fork is load-bearing, not just the Linux default: workers must
-        # inherit the parent's populated COMPILE_CACHE for the one-compile-
-        # per-design guarantee of property sharding.  On platforms without
-        # fork (Windows) fall back to the default context — correctness
-        # holds (workers recompile), only the sharing is lost.
-        try:
-            self._context = multiprocessing.get_context("fork")
-        except ValueError:
-            self._context = multiprocessing.get_context()
+        self._transport = transport if transport is not None \
+            else LocalTransport(workers)
+        self._transport.bind(runner, timeout_s, memory_limit_mb, cost_of)
 
         self._queue: deque = deque()      # (index, job)
-        self._running: List[_Running] = []
         self._emit: deque = deque()       # buffered out-of-band events
         self._keys: Dict[int, Optional[str]] = {}
+        #: admission index -> worker ids this job must not run on (the
+        #: workers that already died holding it).
+        self._excluded: Dict[int, Set[str]] = {}
         self._next_index = 0
         self._exhausted = False
         # job admission index -> (split node, part slot) for stolen halves.
         self._half_of: Dict[int, Tuple[_SplitNode, int]] = {}
+
+    @property
+    def transport(self):
+        return self._transport
+
+    def _capacity(self) -> int:
+        capacity = getattr(self._transport, "capacity", None)
+        # Transports without the hook are assumed to have slots (stay
+        # lazy) — only an explicit zero unlocks capacity-free replay.
+        return capacity() if capacity is not None else 1
+
+    # -- local-transport introspection (tests reach through these) --------
+    @property
+    def _running(self):
+        return self._transport._running
+
+    @_running.setter
+    def _running(self, value) -> None:
+        self._transport._running = value
+
+    def _wait_timeout(self) -> Optional[float]:
+        return self._transport._wait_timeout()
 
     # -- source -----------------------------------------------------------
     def _admit(self, job) -> int:
@@ -247,7 +523,9 @@ class Scheduler:
         """Advance the source until one runnable job is queued.
 
         Notices pass through to the emit buffer; cache-hit jobs replay as
-        immediate ``done`` events and never occupy a worker slot.
+        immediate ``done`` events and never occupy a worker slot — on a
+        remote transport they never cross the wire either, which is what
+        keeps warm reruns local no matter where cold runs executed.
         """
         while not self._exhausted:
             try:
@@ -282,7 +560,7 @@ class Scheduler:
         """
         if self.split is None:
             return
-        while len(self._queue) < self.workers - len(self._running):
+        while len(self._queue) < self._transport.free_slots():
             best = None
             for position, (index, job) in enumerate(self._queue):
                 halves = self.split(job)
@@ -301,9 +579,12 @@ class Scheduler:
                 # Splitting an already-split half: chain the nodes so the
                 # grandparent's payload still assembles bottom-up.
                 node.grandparent = parent_link
+            inherited = self._excluded.get(index, set())
             for part, half in enumerate((half_a, half_b)):
                 half_index = self._admit(half)
                 self._half_of[half_index] = (node, part)
+                if inherited:
+                    self._excluded[half_index] = set(inherited)
                 self._queue.append((half_index, half))
             self.steal_count += 1
             self._emit.append(("steal", job, (half_a, half_b)))
@@ -353,22 +634,8 @@ class Scheduler:
                 self._finish_node(gp_node)
 
     # -- pool -------------------------------------------------------------
-    def _launch(self, index: int, job) -> None:
-        parent_conn, child_conn = self._context.Pipe(duplex=False)
-        process = self._context.Process(
-            target=_child_main,
-            args=(child_conn, self.runner, job, self.memory_limit_mb))
-        process.start()
-        child_conn.close()
-        now = time.monotonic()
-        self._running.append(_Running(
-            index=index, job=job, process=process, conn=parent_conn,
-            started=now,
-            deadline=(now + self.timeout_s) if self.timeout_s is not None
-            else None))
-
     def _fill(self) -> None:
-        """Pull, steal-split and launch until the pool is saturated.
+        """Pull, steal-split and dispatch until the pool is saturated.
 
         Queued work launches eagerly — a pull can block on the next
         design's parent-side frontend, and already-expanded tasks must be
@@ -381,12 +648,29 @@ class Scheduler:
         tasks are never held back: unsplittable work can't be stolen, so
         probing would only delay it.)
         """
-        while len(self._running) < self.workers:
-            free = self.workers - len(self._running)
+        while True:
+            free = self._transport.free_slots()
+            if free <= 0:
+                # No free slot.  If the transport currently has no
+                # capacity AT ALL (a remote pool before its quorum, or
+                # after its whole fleet died) still advance the source:
+                # cache-hit jobs replay at admission without touching a
+                # worker, so a fully-warm rerun must complete with zero
+                # agents attached.  A busy-but-nonzero pool stays lazy —
+                # the deliberately-tested contract that the stream is
+                # pulled only when a slot frees.
+                if self._capacity() == 0 and not self._exhausted \
+                        and not self._queue:
+                    self._pull_one()
+                return
             if self._exhausted:
                 self._try_steal()
                 if not self._queue:
-                    break
+                    # Nothing left to issue but slots are idle: ask the
+                    # transport to reclaim prefetched work from busy
+                    # workers (steal grants; no-op locally).
+                    self._transport.reclaim()
+                    return
             elif not self._queue:
                 self._pull_one()
                 continue
@@ -395,76 +679,43 @@ class Scheduler:
                     and self.split(self._queue[0][1]) is not None:
                 self._pull_one()
                 continue
-            index, job = self._queue.popleft()
-            self._launch(index, job)
+            launched = False
+            for position in range(len(self._queue)):
+                index, job = self._queue[position]
+                excluded = frozenset(self._excluded.get(index, ()))
+                if self._transport.dispatch(index, job, excluded):
+                    del self._queue[position]
+                    launched = True
+                    break
+            if not launched:
+                # Every queued job is excluded from every free worker
+                # (or the transport is gating dispatch, e.g. waiting for
+                # its minimum worker count): let step() make progress.
+                return
 
-    def _wait_timeout(self) -> Optional[float]:
-        """How long the pool may block without missing a deadline.
-
-        Never longer than the time to the earliest running deadline (so
-        wall-clock limits fire within ``_DEADLINE_SLACK_S`` of expiry —
-        the wait wakes *at* the deadline and termination follows
-        immediately), and never longer than ``_IDLE_WAIT_S``.
-        """
-        deadlines = [slot.deadline for slot in self._running
-                     if slot.deadline is not None]
-        if not deadlines:
-            return _IDLE_WAIT_S
-        return min(max(0.0, min(deadlines) - time.monotonic()),
-                   _IDLE_WAIT_S)
-
-    def _finish(self, slot: _Running, result: JobResult) -> JobResult:
-        result.wall_time_s = time.monotonic() - slot.started
+    def _finish(self, index: int, result: JobResult) -> JobResult:
         if result.ok and self.cache is not None \
-                and self._keys.get(slot.index) is not None:
-            self.cache.put(self._keys[slot.index], result.payload,
+                and self._keys.get(index) is not None:
+            self.cache.put(self._keys[index], result.payload,
                            wall_time_s=result.wall_time_s)
-        self._record_half(slot.index, result)
+        self._record_half(index, result)
         return result
 
-    def _reap(self) -> List[Tuple[_Running, JobResult]]:
-        """Collect every finished/expired worker (may be empty)."""
-        ready = set(mp_connection.wait(
-            [slot.conn for slot in self._running],
-            timeout=self._wait_timeout()))
-        finished: List[Tuple[_Running, JobResult]] = []
-        still: List[_Running] = []
-        now = time.monotonic()
-        for slot in self._running:
-            if slot.conn in ready:
-                # Readiness means either a result message or EOF (the
-                # worker died — crash, hard OOM kill — closing the pipe).
-                try:
-                    status, payload, error = slot.conn.recv()
-                    slot.process.join()
-                except EOFError:
-                    slot.process.join()
-                    status, payload, error = (
-                        "error", None,
-                        f"worker died with exit code "
-                        f"{slot.process.exitcode}")
-                slot.conn.close()
-                finished.append((slot, JobResult(
-                    job_id=slot.job.job_id, status=status,
-                    payload=payload, error=error)))
-                continue
-            if slot.deadline is not None and now > slot.deadline:
-                # A result that landed since the wait returned wins over
-                # the deadline — don't discard completed work.
-                if slot.conn.poll(0):
-                    still.append(slot)
-                    continue
-                slot.process.terminate()
-                slot.process.join()
-                slot.conn.close()
-                finished.append((slot, JobResult(
-                    job_id=slot.job.job_id, status="timeout",
-                    error=f"wall-clock limit ({self.timeout_s:.1f}s) "
-                          f"exceeded")))
-                continue
-            still.append(slot)
-        self._running = still
-        return finished
+    def _requeue(self, index: int, job, worker_id: Optional[str]) -> None:
+        """Put a transport-returned job back at the head of the queue.
+
+        ``worker_id`` set means its worker died mid-flight: the job is
+        excluded from that worker and the requeue is counted/evented.
+        ``worker_id`` None is a steal grant — a live worker voluntarily
+        relinquished a not-yet-started task at the tail — which re-enters
+        the queue silently (the subsequent split emits its own event).
+        """
+        self._queue.appendleft((index, job))
+        if worker_id is not None:
+            self._excluded.setdefault(index, set()).add(worker_id)
+            self.requeue_counts[job.job_id] = \
+                self.requeue_counts.get(job.job_id, 0) + 1
+            self._emit.append(("requeue", job, worker_id))
 
     # -- the run loop ------------------------------------------------------
     def run(self) -> Iterator[tuple]:
@@ -483,24 +734,25 @@ class Scheduler:
                     event = self._emit.popleft()
                     yield event
                     self._fill()
-                if not self._running:
-                    if self._queue or not self._exhausted:
+                if not self._transport.in_flight():
+                    if not self._queue and self._exhausted:
+                        if self._emit:
+                            continue
+                        break
+                    if not self._transport.wait_when_idle:
                         continue
-                    if self._emit:
-                        continue
-                    break
-                for slot, result in self._reap():
-                    yield ("done", slot.index, slot.job,
-                           self._finish(slot, result))
+                finished, requeued = self._transport.step()
+                for index, job, worker_id in requeued:
+                    self._requeue(index, job, worker_id)
+                for index, job, result in finished:
+                    yield ("done", index, job, self._finish(index, result))
                     self._fill()
                     while self._emit:
                         event = self._emit.popleft()
                         yield event
                         self._fill()
         finally:
-            for slot in self._running:  # interrupted/abandoned: no orphans
-                slot.process.terminate()
-                slot.process.join()
+            self._transport.close()
 
 
 def iter_campaign(jobs: Sequence[CampaignJob],
@@ -509,7 +761,8 @@ def iter_campaign(jobs: Sequence[CampaignJob],
                   timeout_s: Optional[float] = None,
                   memory_limit_mb: Optional[int] = None,
                   runner: Callable[[CampaignJob], Dict[str, object]]
-                  = execute_job
+                  = execute_job,
+                  transport=None
                   ) -> Iterator[Tuple[int, JobResult]]:
     """Run ``jobs`` on a worker pool, yielding results as they finish.
 
@@ -521,7 +774,8 @@ def iter_campaign(jobs: Sequence[CampaignJob],
     """
     scheduler = Scheduler(list(jobs), workers=workers, cache=cache,
                           timeout_s=timeout_s,
-                          memory_limit_mb=memory_limit_mb, runner=runner)
+                          memory_limit_mb=memory_limit_mb, runner=runner,
+                          transport=transport)
     for event in scheduler.run():
         if event[0] == "done":
             _, index, _, result = event
@@ -535,7 +789,8 @@ def run_campaign(jobs: Sequence[CampaignJob],
                  memory_limit_mb: Optional[int] = None,
                  runner: Callable[[CampaignJob], Dict[str, object]]
                  = execute_job,
-                 progress: Optional[Callable[[JobResult], None]] = None
+                 progress: Optional[Callable[[JobResult], None]] = None,
+                 transport=None
                  ) -> List[JobResult]:
     """Run ``jobs`` on a pool of ``workers`` processes (batch wrapper).
 
@@ -543,12 +798,15 @@ def run_campaign(jobs: Sequence[CampaignJob],
     worker count or completion order.  ``progress`` (if given) is called
     with each result as it lands, in completion order.  Streaming consumers
     use :func:`iter_campaign` (or :class:`Scheduler`) directly.
+    ``transport`` dispatches the same jobs to a remote worker fabric
+    instead of local forks (see :mod:`repro.dist`).
     """
     jobs = list(jobs)
     results: List[Optional[JobResult]] = [None] * len(jobs)
     for index, result in iter_campaign(
             jobs, workers=workers, cache=cache, timeout_s=timeout_s,
-            memory_limit_mb=memory_limit_mb, runner=runner):
+            memory_limit_mb=memory_limit_mb, runner=runner,
+            transport=transport):
         results[index] = result
         if progress:
             progress(result)

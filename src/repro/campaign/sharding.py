@@ -419,7 +419,8 @@ def run_property_campaign(jobs: Sequence[CampaignJob],
                           = None,
                           schedule: str = "cost",
                           steal: Optional[bool] = None,
-                          model: Optional[CostModel] = None
+                          model: Optional[CostModel] = None,
+                          transport=None
                           ) -> List[JobResult]:
     """Run a campaign at property granularity; results stay job-shaped.
 
@@ -429,6 +430,9 @@ def run_property_campaign(jobs: Sequence[CampaignJob],
     grouping/issue policy (see the module docstring); ``steal`` toggles
     work stealing (default: on for ``cost``, off for ``inventory`` —
     the latter stays bit-compatible with the pre-pipeline behavior).
+    ``transport`` runs the tasks on a remote worker fabric
+    (:class:`~repro.dist.coordinator.TcpTransport`) instead of local
+    forks; verdicts are identical by contract (CI-gated).
 
     The compile counter contract: every design × variant is compiled
     *at most* once, in this (parent) process, as its shard plan lands —
@@ -450,7 +454,7 @@ def run_property_campaign(jobs: Sequence[CampaignJob],
         source, workers=workers, cache=cache, timeout_s=timeout_s,
         memory_limit_mb=memory_limit_mb,
         precompile=False,  # the stream compiles each design as it lands
-        steal=steal, cost_model=model)
+        steal=steal, cost_model=model, transport=transport)
     for event in session.run():
         if progress:
             progress(event)

@@ -25,6 +25,13 @@ Table III) through :mod:`repro.campaign`::
     autosva campaign --sweep proof_engine=pdr,kind --json sweep.json
     autosva campaign --history runs.jsonl  # regression check vs last run
                                            # + cost-model calibration
+
+Distributed campaigns (see ``docs/distributed.md``) run the same jobs on
+remote worker agents over TCP, verdict-identical to the local pool::
+
+    autosva campaign --transport tcp --listen 127.0.0.1:0 --min-workers 2
+    autosva worker --connect 127.0.0.1:PORT --slots auto   # on each host
+    autosva campaign --transport tcp --spawn-workers 2     # loopback demo
 """
 
 from __future__ import annotations
@@ -91,8 +98,9 @@ def build_campaign_parser() -> argparse.ArgumentParser:
                              "corpus), e.g. A1,A3,O1")
     parser.add_argument("--variants", default="fixed,buggy",
                         help="comma-separated subset of fixed,buggy")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes (default 1)")
+    parser.add_argument("--workers", default="auto", metavar="N|auto",
+                        help="worker processes; 'auto' (the default) "
+                             "resolves to the host's CPU count")
     parser.add_argument("--granularity", choices=("design", "property"),
                         default="design",
                         help="scheduling unit: one job per design (default) "
@@ -123,6 +131,32 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     parser.add_argument("--history", type=Path, default=None, metavar="FILE",
                         help="append this run to a JSONL history file and "
                              "report regressions against the previous run")
+    parser.add_argument("--transport", choices=("local", "tcp"),
+                        default="local",
+                        help="where jobs execute: 'local' (default) forks "
+                             "worker processes on this host; 'tcp' "
+                             "dispatches to remote worker agents "
+                             "(autosva worker) over the wire — verdicts "
+                             "are identical by contract")
+    parser.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="coordinator listen address for --transport "
+                             "tcp (port 0 = ephemeral, printed at start; "
+                             "default 127.0.0.1:0).  Trusted networks "
+                             "only — the v1 protocol has no auth")
+    parser.add_argument("--min-workers", type=int, default=None,
+                        metavar="N",
+                        help="hold dispatch until N worker agents joined "
+                             "(default: --spawn-workers count, else 1)")
+    parser.add_argument("--spawn-workers", type=int, default=0,
+                        metavar="N",
+                        help="convenience for loopback runs: spawn N "
+                             "local worker agents connected to --listen")
+    parser.add_argument("--worker-timeout", type=float, default=None,
+                        metavar="S",
+                        help="fail if no worker agent connects within S "
+                             "seconds (default: 120 with --spawn-workers, "
+                             "else wait forever)")
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-job wall-clock bound in seconds")
     parser.add_argument("--memory-limit", type=int, default=None,
@@ -214,8 +248,8 @@ def campaign_main(argv: List[str]) -> int:
     import time
 
     from ..campaign import (ArtifactCache, CampaignHistory, CampaignReport,
-                            expand_jobs, run_campaign,
-                            run_property_campaign)
+                            expand_jobs, resolve_worker_count,
+                            run_campaign, run_property_campaign)
     from ..designs import CorpusError, validate
 
     try:
@@ -224,8 +258,17 @@ def campaign_main(argv: List[str]) -> int:
         # Keep the documented contract: 1 = bad usage, 2 = failed jobs.
         # argparse would exit 2 on usage errors (and 0 on --help).
         return 0 if exc.code in (0, None) else 1
-    if args.workers < 1:
-        print("autosva campaign: error: --workers must be >= 1",
+    try:
+        args.workers = resolve_worker_count(args.workers)
+    except ValueError as exc:
+        print(f"autosva campaign: error: {exc}", file=sys.stderr)
+        return 1
+    if args.spawn_workers < 0:
+        print("autosva campaign: error: --spawn-workers must be >= 0",
+              file=sys.stderr)
+        return 1
+    if args.min_workers is not None and args.min_workers < 1:
+        print("autosva campaign: error: --min-workers must be >= 1",
               file=sys.stderr)
         return 1
     if args.timeout is not None and args.timeout <= 0:
@@ -268,9 +311,61 @@ def campaign_main(argv: List[str]) -> int:
     history = CampaignHistory(args.history) if args.history else None
     unit = ("property tasks" if args.granularity == "property"
             else "design jobs")
-    print(f"Running {len(jobs)} jobs ({unit}) on {args.workers} "
-          f"worker(s)...", flush=True)
+    transport = None
+    if args.transport == "tcp":
+        from ..dist import TcpTransport, parse_address
+
+        try:
+            listen = parse_address(args.listen)
+        except ValueError as exc:
+            print(f"autosva campaign: error: --listen: {exc}",
+                  file=sys.stderr)
+            return 1
+        min_workers = args.min_workers or max(1, args.spawn_workers)
+        worker_timeout = args.worker_timeout
+        if worker_timeout is None and args.spawn_workers:
+            worker_timeout = 120.0
+        try:
+            transport = TcpTransport(listen=listen,
+                                     min_workers=min_workers,
+                                     worker_timeout_s=worker_timeout)
+        except OSError as exc:
+            # Privileged/occupied port and friends: the documented
+            # clean-error contract, not a traceback.
+            print(f"autosva campaign: error: cannot listen on "
+                  f"{args.listen}: {exc}", file=sys.stderr)
+            return 1
+        host, port = transport.address
+        print(f"Coordinator listening on {host}:{port} — attach workers "
+              f"with: autosva worker --connect {host}:{port}", flush=True)
+        if args.spawn_workers:
+            transport.spawn_local(args.spawn_workers)
+            print(f"Spawned {args.spawn_workers} loopback worker "
+                  f"agent(s)", flush=True)
+        print(f"Running {len(jobs)} jobs ({unit}) on the TCP fabric "
+              f"(>= {min_workers} worker agent(s))...", flush=True)
+    else:
+        print(f"Running {len(jobs)} jobs ({unit}) on {args.workers} "
+              f"worker(s)...", flush=True)
     begin = time.monotonic()
+    try:
+        return _campaign_run(args, jobs, cache, history, transport, begin)
+    except AutoSVAError as exc:
+        # e.g. the fabric's worker-starvation timeout, or a future-schema
+        # cache entry: deliberately user-facing messages, exit code 1.
+        print(f"autosva campaign: error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if transport is not None:
+            transport.close()   # idempotent; reaps spawned worker agents
+
+
+def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
+    import time
+
+    from ..campaign import CampaignReport, run_campaign, \
+        run_property_campaign
+
     if args.granularity == "property":
         from ..campaign import CostModel
 
@@ -292,6 +387,9 @@ def campaign_main(argv: List[str]) -> int:
             elif event.kind == "steal":
                 print(f"  [  steal] {event.task_id} re-split for idle "
                       f"workers", flush=True)
+            elif event.kind == "requeue":
+                print(f"  [requeue] {event.task_id} — worker "
+                      f"{event.worker} died; reassigned", flush=True)
             else:
                 note = (f" (cached, originally "
                         f"{event.original_wall_time_s:.1f}s)"
@@ -306,12 +404,14 @@ def campaign_main(argv: List[str]) -> int:
             jobs, workers=args.workers, group_size=args.group_size,
             cache=cache, timeout_s=args.timeout,
             memory_limit_mb=args.memory_limit,
-            schedule=args.schedule, model=model, progress=on_event)
+            schedule=args.schedule, model=model, progress=on_event,
+            transport=transport)
         schedule = args.schedule
         steals = sum(r.steals for r in results)
         timing_samples = [
             {"kinds": _kind_counts(event.results),
-             "wall_time_s": event.wall_time_s}
+             "wall_time_s": event.wall_time_s,
+             "worker": event.worker}
             for event in events
             if event.kind == "result" and event.ok
             and not event.from_cache and event.results
@@ -324,14 +424,26 @@ def campaign_main(argv: List[str]) -> int:
                 f"  [{r.status:>7}] {r.job_id}"
                 + (" (cached)" if r.from_cache
                    else f" {r.wall_time_s:.1f}s"),
-                flush=True))
+                flush=True),
+            transport=transport)
         schedule = None
         steals = 0
         timing_samples = []
-    report = CampaignReport(jobs, results, workers=args.workers,
+    worker_stats = transport.worker_stats() if transport is not None \
+        else None
+    # On the TCP fabric "workers" means agents that survived to the end
+    # (still connected, or released by the final shutdown) — dead agents
+    # and their replacements must not inflate the count.
+    workers = (len([s for s in worker_stats
+                    if s.get("slots")
+                    and s.get("departed") in (None, "shutdown")])
+               if worker_stats is not None else args.workers)
+    report = CampaignReport(jobs, results, workers=workers,
                             wall_time_s=time.monotonic() - begin,
                             cache_stats=cache.stats() if cache else None,
-                            schedule=schedule, steals=steals)
+                            schedule=schedule, steals=steals,
+                            transport=args.transport,
+                            worker_stats=worker_stats)
 
     print()
     print(report.summary())
@@ -362,6 +474,9 @@ def main(argv: List[str] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from ..dist.worker import worker_main
+        return worker_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         source = args.rtl.read_text()

@@ -1,0 +1,444 @@
+"""The standalone worker agent: ``autosva worker --connect HOST:PORT``.
+
+One agent = one process on one host, serving ``--slots N`` concurrent
+tasks for a coordinator.  The agent's main loop never checks a property
+itself — it multiplexes the coordinator socket and its forked children's
+result pipes through one ``multiprocessing.connection.wait`` call:
+
+* a ``task`` frame decodes into a registered unit
+  (:class:`~repro.api.task.PropertyTask` /
+  :class:`~repro.campaign.jobs.CampaignJob`) and joins the pending queue;
+* starting a task first **compiles the design on first sight** through
+  this process's own :data:`~repro.api.compile.COMPILE_CACHE`
+  (bracketed by ``compile_started``/``compile_done`` events so the
+  coordinator sees liveness during a long frontend run), then forks a
+  child that inherits the warm cache — the same one-compile-per-design
+  economics the local fork pool gets for free;
+* each child runs under the campaign's **per-task bounds**, enforced
+  agent-side: the memory cap via ``resource.setrlimit`` inside the child
+  (shared :func:`~repro.campaign.scheduler._child_main` entry point) and
+  the wall-clock deadline by the agent's wait loop, which terminates
+  overdue children and reports ``timeout`` results — remote execution
+  must degrade per-task exactly like local execution does;
+* ``heartbeat`` frames are echoed; ``steal`` requests are answered with
+  a ``steal_grant`` naming the *not-yet-started* pending tasks the agent
+  gives back (never a running one — started work always completes or
+  times out here);
+* ``shutdown`` (or coordinator EOF) terminates remaining children and
+  exits.
+
+``--preload module`` imports a module before serving — the hook for
+registering third-party unit codecs/runners via
+:func:`~repro.dist.protocol.register_unit`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import socket
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..campaign.scheduler import (_IDLE_WAIT_S, _child_main, fork_context,
+                                  reap_child, resolve_worker_count)
+from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
+                       decode_unit, encode_frame, runner_for,
+                       validate_message)
+
+__all__ = ["WorkerAgent", "worker_main"]
+
+
+class _Disconnect(Exception):
+    """Coordinator went away (EOF, reset, shutdown frame)."""
+
+    def __init__(self, reason: str, code: int = 0) -> None:
+        super().__init__(reason)
+        self.code = code
+
+
+@dataclass
+class _Pending:
+    unit: object
+    timeout_s: Optional[float]
+    memory_limit_mb: Optional[int]
+
+
+@dataclass
+class _Child:
+    unit: object
+    process: object
+    conn: object
+    started: float
+    deadline: Optional[float]
+    timeout_s: Optional[float]
+
+
+@dataclass
+class WorkerAgent:
+    """One connection's worth of remote verification service."""
+
+    host: str
+    port: int
+    slots: int = 1
+    label: Optional[str] = None
+    #: Keep retrying the initial connect for this long — lets quickstart
+    #: users (and CI) start the worker before the coordinator is up.
+    connect_timeout_s: float = 10.0
+    quiet: bool = False
+
+    _sock: Optional[socket.socket] = field(default=None, repr=False)
+    _decoder: FrameDecoder = field(default_factory=FrameDecoder,
+                                   repr=False)
+    #: Decoded-but-unprocessed messages.  All receive paths go through
+    #: here so a message is never lost to recv coalescing — the hello
+    #: ack and the first task can land in one TCP segment, and the
+    #: handshake must not swallow what followed it.
+    _inbox: deque = field(default_factory=deque, repr=False)
+    _pending: deque = field(default_factory=deque, repr=False)
+    _children: List[_Child] = field(default_factory=list, repr=False)
+    _compiled: Set[str] = field(default_factory=set, repr=False)
+    _tasks_done: int = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"autosva worker[{os.getpid()}]: {text}", flush=True)
+
+    def _send(self, message: Dict[str, object]) -> None:
+        try:
+            self._sock.sendall(encode_frame(message))
+        except OSError as exc:
+            raise _Disconnect(f"send failed: {exc}", code=1) from None
+
+    def _connect(self) -> None:
+        deadline = time.monotonic() + self.connect_timeout_s
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=5.0)
+                self._sock.settimeout(None)
+                return
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise _Disconnect(
+                        f"could not connect to {self.host}:{self.port} "
+                        f"within {self.connect_timeout_s:.0f}s: {exc}",
+                        code=1) from None
+                time.sleep(0.2)
+
+    def _hello(self) -> None:
+        from .protocol import _UNIT_CODECS
+
+        self._send({
+            "type": "hello", "version": PROTOCOL_VERSION,
+            "slots": self.slots, "host": socket.gethostname(),
+            "pid": os.getpid(), "label": self.label,
+            "units": sorted(_UNIT_CODECS),
+        })
+        deadline = time.monotonic() + max(self.connect_timeout_s, 5.0)
+        while not self._inbox:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _Disconnect("coordinator never answered hello",
+                                  code=1)
+            if mp_connection.wait([self._sock], timeout=remaining):
+                self._pump()
+        # The ack is the first frame a coordinator ever sends; whatever
+        # arrived behind it (a task, a heartbeat) stays in the inbox for
+        # the main loop.
+        message = self._inbox.popleft()
+        validate_message(message)
+        if message["type"] == "shutdown":
+            raise _Disconnect(
+                f"coordinator refused us: "
+                f"{message.get('reason', 'no reason given')}", code=1)
+        if message["type"] != "hello":
+            raise _Disconnect(
+                f"coordinator opened with {message['type']!r}, expected "
+                f"the hello ack", code=1)
+        theirs = message.get("version")
+        if theirs != PROTOCOL_VERSION:
+            raise _Disconnect(
+                f"coordinator speaks protocol {theirs!r}, this agent "
+                f"speaks {PROTOCOL_VERSION}", code=1)
+
+    def _pump(self) -> None:
+        """Read from the socket into the inbox (never dropping frames)."""
+        try:
+            data = self._sock.recv(65536)
+        except OSError as exc:
+            raise _Disconnect(f"recv failed: {exc}", code=1) from None
+        if not data:
+            raise _Disconnect("coordinator closed the connection")
+        self._inbox.extend(self._decoder.feed(data))
+
+    # -- execution --------------------------------------------------------
+    def _ensure_compiled(self, unit) -> None:
+        """First-sight parent-side compile so children inherit it.
+
+        Only property tasks carry their merged sources by value; design
+        jobs compile inside :func:`~repro.campaign.jobs.execute_job` and
+        are left to the child.  Compile failures are swallowed here: the
+        child fails the same way and reports a proper per-task error.
+        """
+        sources = getattr(unit, "sources", None)
+        module = getattr(unit, "dut_module", None)
+        if not sources or not module or callable(sources):
+            return
+        from ..api.compile import compile_design, design_key
+
+        defines = tuple(getattr(unit, "defines", ()))
+        key = design_key(list(sources), module, defines)
+        if key in self._compiled:
+            return
+        self._compiled.add(key)
+        design = getattr(unit, "design", module)
+        self._send({"type": "event", "kind": "compile_started",
+                    "design": design})
+        begin = time.perf_counter()
+        try:
+            compile_design(list(sources), module, defines)
+        except Exception:
+            pass
+        self._send({"type": "event", "kind": "compile_done",
+                    "design": design,
+                    "wall_time_s": time.perf_counter() - begin})
+
+    def _start_pending(self) -> None:
+        context = fork_context()
+        while self._pending and len(self._children) < self.slots:
+            item: _Pending = self._pending.popleft()
+            self._ensure_compiled(item.unit)
+            try:
+                runner = runner_for(item.unit)
+            except ProtocolError as exc:
+                self._send({"type": "result",
+                            "task_id": item.unit.job_id,
+                            "status": "error", "payload": None,
+                            "error": str(exc), "wall_time_s": 0.0})
+                continue
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_child_main,
+                args=(child_conn, runner, item.unit,
+                      item.memory_limit_mb))
+            process.start()
+            child_conn.close()
+            now = time.monotonic()
+            self._children.append(_Child(
+                unit=item.unit, process=process, conn=parent_conn,
+                started=now,
+                deadline=(now + item.timeout_s)
+                if item.timeout_s is not None else None,
+                timeout_s=item.timeout_s))
+            self._send({"type": "event", "kind": "task_started",
+                        "task_id": item.unit.job_id})
+
+    def _finish_child(self, child: _Child, status: str,
+                      payload, error: Optional[str]) -> None:
+        self._tasks_done += 1
+        message = {
+            "type": "result", "task_id": child.unit.job_id,
+            "status": status, "payload": payload, "error": error,
+            "wall_time_s": time.monotonic() - child.started,
+        }
+        try:
+            self._send(message)
+        except (TypeError, ProtocolError) as exc:
+            # A payload the wire cannot carry (non-JSON types from a
+            # plugin runner, >frame-limit blob) must degrade to a
+            # per-task error — never kill the agent and cascade the
+            # poisonous task across the fleet.
+            self._send({
+                "type": "result", "task_id": child.unit.job_id,
+                "status": "error", "payload": None,
+                "error": f"result payload not wire-serializable: {exc}",
+                "wall_time_s": message["wall_time_s"],
+            })
+
+    def _reap_children(self) -> None:
+        # The reap decision (result-beats-deadline, EOF = died, overdue =
+        # terminate) is the shared scheduler helper, so local and remote
+        # execution scopes cannot drift apart.
+        now = time.monotonic()
+        still: List[_Child] = []
+        for child in self._children:
+            outcome = reap_child(child.conn, child.process,
+                                 child.deadline, now, child.timeout_s)
+            if outcome is None:
+                still.append(child)
+                continue
+            self._finish_child(child, *outcome)
+        self._children = still
+
+    # -- protocol handling ------------------------------------------------
+    def _handle(self, message: Dict[str, object]) -> None:
+        validate_message(message)
+        kind = message["type"]
+        if kind == "task":
+            body = message["task"]
+            try:
+                unit = decode_unit(body)
+            except ProtocolError as exc:
+                # A unit this agent cannot decode (missing --preload
+                # plugin, malformed payload) must degrade to a per-task
+                # error, not kill the agent — dying would make the
+                # coordinator requeue the same poisonous task onto the
+                # next agent until the whole fleet is gone.  Without a
+                # recoverable id the coordinator could never match an
+                # error result, so only then is dying the lesser evil.
+                task_id = None
+                if isinstance(body, dict):
+                    task_id = body.get("task_id") or body.get("job_id")
+                if not isinstance(task_id, str):
+                    raise
+                self._send({"type": "result", "task_id": task_id,
+                            "status": "error", "payload": None,
+                            "error": str(exc), "wall_time_s": 0.0})
+                return
+            self._pending.append(_Pending(
+                unit=unit, timeout_s=message.get("timeout_s"),
+                memory_limit_mb=message.get("memory_limit_mb")))
+        elif kind == "heartbeat":
+            self._send({"type": "heartbeat", "seq": message["seq"]})
+        elif kind == "steal":
+            # Start anything a free slot can take *before* granting:
+            # a task and the steal request for it can arrive in one recv
+            # batch (the coordinator probes the tail right after
+            # dispatching), and granting back work we could be running
+            # would ping-pong the task between queue and wire forever.
+            self._start_pending()
+            granted: List[str] = []
+            want = int(message["max"])
+            while self._pending and len(granted) < want:
+                item = self._pending.pop()     # give back the tail first
+                granted.append(item.unit.job_id)
+            self._send({"type": "steal_grant", "task_ids": granted})
+            if granted:
+                self._log(f"granted {len(granted)} task(s) back to the "
+                          f"coordinator")
+        elif kind == "shutdown":
+            raise _Disconnect(
+                f"shutdown: {message.get('reason', 'campaign complete')}")
+        elif kind == "hello":
+            pass                               # late/duplicate ack
+        else:                                  # result/event/steal_grant
+            raise ProtocolError(
+                f"coordinator sent a worker-only message: {kind}")
+
+    def _wait_timeout(self) -> float:
+        deadlines = [child.deadline for child in self._children
+                     if child.deadline is not None]
+        if not deadlines:
+            return _IDLE_WAIT_S
+        return min(max(0.0, min(deadlines) - time.monotonic()),
+                   _IDLE_WAIT_S)
+
+    # -- entry point ------------------------------------------------------
+    def run(self) -> int:
+        try:
+            self._connect()
+            self._hello()
+            self._log(f"connected to {self.host}:{self.port} "
+                      f"({self.slots} slot(s))")
+            while True:
+                self._start_pending()
+                while self._inbox:
+                    self._handle(self._inbox.popleft())
+                    self._start_pending()
+                waitables = [self._sock] + \
+                    [child.conn for child in self._children]
+                ready = mp_connection.wait(waitables,
+                                           timeout=self._wait_timeout())
+                if self._sock in ready:
+                    self._pump()
+                self._reap_children()
+        except _Disconnect as exc:
+            self._log(f"exiting: {exc} ({self._tasks_done} task(s) done)")
+            return exc.code
+        except ProtocolError as exc:
+            self._log(f"protocol error: {exc}")
+            return 1
+        finally:
+            for child in self._children:
+                child.process.terminate()
+                child.process.join()
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosva worker",
+        description="Serve verification tasks to a campaign coordinator "
+                    "over TCP (see docs/distributed.md; trusted networks "
+                    "only — the v1 protocol has no auth).")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address, e.g. 127.0.0.1:7450")
+    parser.add_argument("--slots", default="1", metavar="N|auto",
+                        help="concurrent task slots (auto = CPU count; "
+                             "default 1)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label shown in coordinator "
+                             "reports")
+    parser.add_argument("--preload", action="append", default=[],
+                        metavar="MODULE",
+                        help="import MODULE before serving (registers "
+                             "third-party unit codecs/runners); "
+                             "repeatable")
+    parser.add_argument("--connect-timeout", type=float, default=10.0,
+                        metavar="S",
+                        help="keep retrying the initial connect for S "
+                             "seconds (default 10)")
+    return parser
+
+
+def worker_main(argv: Sequence[str]) -> int:
+    try:
+        import faulthandler
+        import signal as signal_mod
+        # Ops hook: SIGUSR1 dumps every thread's stack (the agent's and,
+        # because children are forked, a stuck task child's too).
+        faulthandler.register(signal_mod.SIGUSR1)
+    except (ImportError, AttributeError, ValueError):
+        pass       # non-POSIX platform: no dump hook
+    try:
+        args = build_worker_parser().parse_args(list(argv))
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 1
+    try:
+        slots = resolve_worker_count(args.slots, flag="--slots")
+    except ValueError as exc:
+        print(f"autosva worker: error: {exc}", file=sys.stderr)
+        return 1
+    from .coordinator import parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"autosva worker: error: --connect: {exc}", file=sys.stderr)
+        return 1
+    for module in args.preload:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            print(f"autosva worker: error: --preload {module}: {exc}",
+                  file=sys.stderr)
+            return 1
+    agent = WorkerAgent(host=host, port=port, slots=slots,
+                        label=args.label,
+                        connect_timeout_s=args.connect_timeout)
+    return agent.run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(worker_main(sys.argv[1:]))

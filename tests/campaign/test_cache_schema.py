@@ -1,0 +1,57 @@
+"""Artifact-cache schema handling: explicit versions, clear failures."""
+
+import json
+
+import pytest
+
+from repro.campaign.cache import _SCHEMA_VERSION, ArtifactCache
+from repro.core.language import AutoSVAError
+
+
+class TestCacheSchema:
+    def test_entries_are_written_with_an_explicit_schema(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k1", {"answer": 42}, wall_time_s=1.5)
+        raw = json.loads((tmp_path / "k1.json").read_text())
+        assert raw["schema"] == _SCHEMA_VERSION
+        entry = cache.get_entry("k1")
+        assert entry.payload == {"answer": 42}
+        assert entry.wall_time_s == 1.5
+
+    def test_future_schema_raises_a_clear_error(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        (tmp_path / "k1.json").write_text(json.dumps(
+            {"schema": _SCHEMA_VERSION + 1, "payload": {"x": 1}}))
+        with pytest.raises(AutoSVAError, match="schema"):
+            cache.get_entry("k1")
+        with pytest.raises(AutoSVAError, match="schema"):
+            cache.contains("k1")
+        # Non-integer schema values are just as untrustworthy.
+        (tmp_path / "k2.json").write_text(json.dumps(
+            {"schema": "newest", "payload": {"x": 1}}))
+        with pytest.raises(AutoSVAError, match="schema"):
+            cache.get("k2")
+
+    def test_schema1_entries_migrate_on_read(self, tmp_path):
+        """Schema 1 stored the raw payload dict itself — no envelope, no
+        ``schema`` field.  The explicit load path serves it (with no
+        original-wall-time metadata, which that format never had)."""
+        cache = ArtifactCache(tmp_path)
+        legacy_payload = {"design": "tlb", "proof_rate": 1.0,
+                          "properties": []}
+        (tmp_path / "old.json").write_text(json.dumps(legacy_payload))
+        entry = cache.get_entry("old")
+        assert entry is not None
+        assert entry.payload == legacy_payload
+        assert entry.wall_time_s is None
+        assert cache.contains("old")
+
+    def test_corrupt_entries_stay_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        (tmp_path / "torn.json").write_text('{"schema": 2, "pay')
+        assert cache.get_entry("torn") is None
+        (tmp_path / "list.json").write_text("[1, 2, 3]")
+        assert cache.get_entry("list") is None
+        # An envelope missing its payload is truncated, not future.
+        (tmp_path / "empty.json").write_text(json.dumps({"schema": 2}))
+        assert cache.get_entry("empty") is None

@@ -26,6 +26,10 @@ class TestCampaignCli:
         assert cli_main(["campaign", "--workers", "0"]) == 1
         assert cli_main(["campaign", "--workers", "abc"]) == 1
         assert cli_main(["campaign", "--timeout", "-5"]) == 1
+        assert cli_main(["campaign", "--listen", "nocolon",
+                         "--transport", "tcp"]) == 1
+        assert cli_main(["campaign", "--spawn-workers", "-1"]) == 1
+        assert cli_main(["campaign", "--min-workers", "0"]) == 1
         capsys.readouterr()
 
     def test_help_exits_0(self, capsys):
@@ -37,3 +41,68 @@ class TestCampaignCli:
                        "--timeout", "0.01"])
         assert rc == 2
         assert "timeout" in capsys.readouterr().out
+
+
+class TestWorkersAuto:
+    """``--workers auto`` (and worker ``--slots auto``) = CPU count."""
+
+    def test_auto_resolves_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.campaign import resolve_worker_count
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_worker_count("auto") == 6
+        assert resolve_worker_count("AUTO") == 6
+        assert resolve_worker_count("3") == 3
+        assert resolve_worker_count(4) == 4
+
+    def test_invalid_values_rejected(self):
+        import pytest
+
+        from repro.campaign import resolve_worker_count
+
+        for bad in ("0", "-2", "many", 0, None, 1.5):
+            with pytest.raises(ValueError):
+                resolve_worker_count(bad)
+
+    def test_single_core_warns_exactly_once(self, monkeypatch, capsys):
+        import os
+
+        from repro.campaign import resolve_worker_count
+        from repro.campaign import scheduler as scheduler_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(scheduler_mod, "_WARNED_SINGLE_CORE", False)
+        assert resolve_worker_count("auto") == 1
+        first = capsys.readouterr().err
+        assert "single CPU core" in first
+        assert resolve_worker_count("auto") == 1
+        assert capsys.readouterr().err == ""   # warn-once
+
+    def test_cpu_count_unknown_falls_back_to_1(self, monkeypatch):
+        import os
+
+        from repro.campaign import resolve_worker_count
+        from repro.campaign import scheduler as scheduler_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        monkeypatch.setattr(scheduler_mod, "_WARNED_SINGLE_CORE", True)
+        assert resolve_worker_count("auto") == 1
+
+    def test_campaign_default_is_auto(self, monkeypatch, capsys):
+        """The CLI default is 'auto', resolved through the same helper —
+        the hardcoded 1-worker default is gone."""
+        from repro.core.cli import build_campaign_parser
+
+        args = build_campaign_parser().parse_args([])
+        assert args.workers == "auto"
+
+    def test_worker_cli_slots_auto(self, monkeypatch):
+        import os
+
+        from repro.dist.worker import build_worker_parser
+
+        args = build_worker_parser().parse_args(
+            ["--connect", "127.0.0.1:1", "--slots", "auto"])
+        assert args.slots == "auto"

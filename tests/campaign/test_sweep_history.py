@@ -185,3 +185,71 @@ class TestCampaignHistory:
         out = capsys.readouterr().out
         assert "No regressions vs previous run." in out
         assert len(hist.read_text().splitlines()) == 2
+
+
+class TestTimingWorkerIdentity:
+    """Timing records carry where each task ran (host:pid), so
+    calibration over heterogeneous fleets can filter per host."""
+
+    def _history_with(self, tmp_path, samples):
+        history = CampaignHistory(tmp_path / "runs.jsonl")
+        history.append_timings(samples)
+        return history
+
+    def test_samples_round_trip_with_worker_field(self, tmp_path):
+        history = self._history_with(tmp_path, [
+            {"kinds": {"assert": 1}, "wall_time_s": 2.0,
+             "worker": "bench1:4242"},
+        ])
+        samples = history.timing_samples()
+        assert samples == [{"kinds": {"assert": 1}, "wall_time_s": 2.0,
+                            "worker": "bench1:4242"}]
+
+    def test_host_filter(self, tmp_path):
+        history = self._history_with(tmp_path, [
+            {"kinds": {"assert": 1}, "wall_time_s": 2.0,
+             "worker": "bench1:1"},
+            {"kinds": {"assert": 1}, "wall_time_s": 9.0,
+             "worker": "slowbox:2"},
+            {"kinds": {"cover": 1}, "wall_time_s": 0.5},   # pre-field
+        ])
+        picked = history.timing_samples(hosts=["bench1"])
+        assert [s["wall_time_s"] for s in picked] == [2.0]
+        # No filter: everything, legacy records included.
+        assert len(history.timing_samples()) == 3
+
+    def test_calibration_ignores_unknown_fields(self, tmp_path):
+        """Records written by newer builds (worker identity, future
+        fields) must feed calibration unchanged — backward compatible in
+        both directions."""
+        from repro.campaign import CostModel
+
+        base = CostModel()
+        plain = [
+            {"kinds": {"cover": 1}, "wall_time_s": 1.0},
+            {"kinds": {"assert": 1}, "wall_time_s": 12.0},
+        ]
+        decorated = [
+            {"kinds": {"cover": 1}, "wall_time_s": 1.0,
+             "worker": "bench1:77", "future_field": {"x": [1, 2]}},
+            {"kinds": {"assert": 1}, "wall_time_s": 12.0,
+             "worker": "bench1:78", "schema": 99},
+        ]
+        assert base.calibrated(decorated).kind_weights == \
+            base.calibrated(plain).kind_weights
+        # And it genuinely recalibrated (assert/cover ratio moved).
+        assert base.calibrated(decorated).kind_weights != \
+            base.kind_weights
+
+    def test_cli_records_worker_identity(self, tmp_path, capsys):
+        hist = tmp_path / "runs.jsonl"
+        assert cli_main(["campaign", "--cases", "A1",
+                         "--granularity", "property", "--workers", "1",
+                         "--history", str(hist)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in hist.read_text().splitlines()]
+        timing = [r for r in records if r.get("type") == "timings"]
+        assert timing, "property campaign should append timing samples"
+        for sample in timing[0]["samples"]:
+            assert ":" in sample["worker"]

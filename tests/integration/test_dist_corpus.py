@@ -1,0 +1,45 @@
+"""Corpus-wide verdict equivalence of the distributed TCP fabric.
+
+The acceptance contract of the distributed subsystem (CI-gated, with
+``make dist-smoke`` as the fast per-push variant): a loopback-TCP
+campaign over remote worker agents produces **bit-identical verdicts**
+to the local multiprocessing transport on the full Table III corpus —
+per-job status, error and payload, at both schedules.  The fabric can
+only move where solver cycles burn, never what the campaign concludes.
+
+Runs at the standard corpus config (bound 8 / 30 frames), like the other
+corpus-equivalence suites.
+"""
+
+from repro.campaign import (expand_jobs, run_property_campaign,
+                            verdict_contract)
+from repro.dist import TcpTransport
+from repro.formal import EngineConfig
+
+CONFIG = EngineConfig(max_bound=8, max_frames=30)
+
+
+def _fabric(workers):
+    transport = TcpTransport(min_workers=workers, worker_timeout_s=120.0)
+    transport.spawn_local(workers)
+    return transport
+
+
+def test_tcp_fabric_is_verdict_identical_on_full_corpus():
+    jobs = expand_jobs(config=CONFIG)  # whole registry, fixed + buggy
+    assert len(jobs) >= 12
+
+    baseline = run_property_campaign(jobs, workers=2, schedule="cost")
+    cost_fabric = _fabric(2)
+    tcp_cost = run_property_campaign(jobs, schedule="cost",
+                                     transport=cost_fabric)
+    tcp_inventory = run_property_campaign(jobs, schedule="inventory",
+                                          transport=_fabric(2))
+
+    assert verdict_contract(tcp_cost) == verdict_contract(baseline)
+    assert verdict_contract(tcp_inventory) == verdict_contract(baseline)
+    assert [r.job_id for r in tcp_cost] == [j.job_id for j in jobs]
+    # Every property task executed on a remote agent, none locally.
+    stats = cost_fabric.worker_stats()
+    assert sum(entry["tasks"] for entry in stats) > 0
+    assert all(entry["departed"] == "shutdown" for entry in stats)

@@ -12,21 +12,11 @@ sweep-equivalence suite: smaller bounds are a trap, not a speedup (a CEX
 pushed beyond the hunt bound costs a full proof-engine run instead).
 """
 
-from repro.campaign import expand_jobs, run_campaign, run_property_campaign
+from repro.campaign import (expand_jobs, run_campaign,
+                            run_property_campaign, verdict_contract)
 from repro.formal import EngineConfig
 
 CONFIG = EngineConfig(max_bound=8, max_frames=30)
-
-
-def _verdicts(results):
-    """Everything the equivalence contract covers: per-job status/error
-    plus the full deterministic payload (statuses, depths, order)."""
-    out = []
-    for result in results:
-        payload = dict(result.payload or {})
-        payload.pop("engine_time_s", None)  # timing is not contractual
-        out.append((result.job_id, result.status, result.error, payload))
-    return out
 
 
 def test_cost_schedule_is_verdict_identical_on_full_corpus():
@@ -39,7 +29,7 @@ def test_cost_schedule_is_verdict_identical_on_full_corpus():
     cost = run_property_campaign(jobs, workers=2, schedule="cost")
     cost_serial = run_property_campaign(jobs, workers=1, schedule="cost")
 
-    assert _verdicts(inventory) == _verdicts(baseline)
-    assert _verdicts(cost) == _verdicts(baseline)
-    assert _verdicts(cost_serial) == _verdicts(baseline)
+    assert verdict_contract(inventory) == verdict_contract(baseline)
+    assert verdict_contract(cost) == verdict_contract(baseline)
+    assert verdict_contract(cost_serial) == verdict_contract(baseline)
     assert [r.job_id for r in cost] == [j.job_id for j in jobs]
