@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	dist-smoke campaign bench-campaign bench-hotpath perf-smoke verify
+	dist-smoke obs-smoke campaign bench-campaign bench-hotpath \
+	perf-smoke verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +37,11 @@ pipeline-smoke:
 dist-smoke:
 	$(PYTHON) benchmarks/dist_smoke.py --workers 2
 
+# Observability gate: a traced 2-design campaign must emit a valid
+# Chrome trace + ExecutionRecord, and tracing must cost <= 5%.
+obs-smoke:
+	$(PYTHON) benchmarks/obs_smoke.py
+
 campaign:
 	$(PYTHON) -m repro.core.cli campaign --workers 4 \
 	--cache-dir .repro-cache
@@ -52,4 +58,4 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_formal_hotpath.py --quick --check
 
 verify: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	dist-smoke
+	dist-smoke obs-smoke

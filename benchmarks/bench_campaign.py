@@ -74,6 +74,8 @@ def _strip_timing(results):
     for result in results:
         payload = dict(result.payload or {})
         payload.pop("engine_time_s", None)
+        payload.pop("solve_time_s", None)
+        payload.pop("solver", None)
         out.append((result.job_id, result.status, payload))
     return out
 

@@ -30,8 +30,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.campaign import (expand_jobs, run_property_campaign,  # noqa: E402
-                            verdict_contract)
+from repro.campaign import (CampaignReport, expand_jobs,  # noqa: E402
+                            run_property_campaign, verdict_contract)
 from repro.dist import TcpTransport  # noqa: E402
 from repro.formal import EngineConfig  # noqa: E402
 
@@ -76,14 +76,26 @@ def main(argv=None) -> int:
           f"{args.workers} loopback TCP agent(s), bound "
           f"{args.depth}/{args.frames}")
 
+    events = []
     begin = time.monotonic()
-    local = run_property_campaign(jobs, workers=args.workers)
+    local = run_property_campaign(jobs, workers=args.workers,
+                                  progress=events.append)
     local_wall = time.monotonic() - begin
     print(f"      local: {local_wall:6.1f}s  "
           f"({sum(1 for r in local if not r.ok)} failed)")
+    frontend = sum(event.wall_time_s for event in events
+                   if event.kind == "compile_done" and not event.from_cache)
+    phases = CampaignReport(jobs, local, workers=args.workers,
+                            wall_time_s=local_wall,
+                            frontend_time_s=frontend).phase_breakdown()
+    print(f"     phases: frontend {phases['frontend_s']}s | solve "
+          f"{phases['solve_s']}s | engine-other {phases['engine_other_s']}s "
+          f"| overhead {phases['overhead_s']}s")
 
+    # Ping faster than the default 2s: the smoke slice finishes in a few
+    # seconds and the recorded entry should carry real RTT samples.
     transport = TcpTransport(min_workers=args.workers,
-                             worker_timeout_s=120.0)
+                             worker_timeout_s=120.0, heartbeat_s=0.5)
     transport.spawn_local(args.workers)
     begin = time.monotonic()
     remote = run_property_campaign(jobs, transport=transport)
@@ -117,6 +129,12 @@ def main(argv=None) -> int:
             "verdict_digest": digest,
             "local_wall_s": round(local_wall, 2),
             "tcp_wall_s": round(remote_wall, 2),
+            # Measurements, not gates: where the local run's wall clock
+            # went, and what the loopback fabric's ping RTTs looked like.
+            "phases": phases,
+            "heartbeat_rtt_ms": [entry.get("heartbeat_rtt_ms")
+                                 for entry in stats
+                                 if entry.get("heartbeat_rtt_ms")],
         })
         BASELINE_PATH.write_text(json.dumps(entries, indent=2,
                                             sort_keys=True) + "\n")

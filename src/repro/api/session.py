@@ -58,7 +58,9 @@ def _event_from(task: PropertyTask, result) -> TaskEvent:
         compiled_in_worker=(not result.from_cache
                             and bool(payload.get("compiled_in_worker",
                                                  False))),
-        engine_time_s=float(payload.get("engine_time_s", 0.0)))
+        engine_time_s=float(payload.get("engine_time_s", 0.0)),
+        solve_time_s=float(payload.get("solve_time_s", 0.0)),
+        solver=dict(payload.get("solver") or {}))
 
 
 def _combine_payloads(task: PropertyTask, first: Dict, second: Dict
@@ -68,6 +70,10 @@ def _combine_payloads(task: PropertyTask, first: Dict, second: Dict
     The scheduler caches this under the *parent's* key after a steal, so
     warm reruns replay the original grouping untouched.
     """
+    solver: Dict[str, float] = {}
+    for half in (first, second):
+        for key, value in (half.get("solver") or {}).items():
+            solver[key] = solver.get(key, 0) + value
     return {
         "design": first.get("design") or second.get("design"),
         "task_id": task.task_id,
@@ -78,6 +84,9 @@ def _combine_payloads(task: PropertyTask, first: Dict, second: Dict
                                                   False))),
         "engine_time_s": (float(first.get("engine_time_s", 0.0))
                           + float(second.get("engine_time_s", 0.0))),
+        "solve_time_s": (float(first.get("solve_time_s", 0.0))
+                         + float(second.get("solve_time_s", 0.0))),
+        "solver": solver,
     }
 
 
@@ -126,6 +135,9 @@ def aggregate_reports(tasks: Sequence[PropertyTask],
                 items.append((sort_key, item))
                 fallback += 1
             report.total_time_s += event.engine_time_s
+            report.solve_time_s += event.solve_time_s
+            for name, value in event.solver.items():
+                report.solver[name] = report.solver.get(name, 0) + value
         items.sort(key=lambda pair: pair[0])
         for _, item in items:
             report.results.append(PropertyResult(

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..formal.engine import CheckReport, EngineConfig, FormalEngine, \
     PropertyResult
+from ..obs import METRICS, TRACER
 from .compile import COMPILE_CACHE, CompiledDesign, compile_design
 
 __all__ = ["PropertyTask", "TaskEvent", "build_tasks", "expand_tasks",
@@ -144,6 +145,12 @@ class TaskEvent:
     kind: str = "result"
     original_wall_time_s: Optional[float] = None
     worker: Optional[str] = None
+    #: Seconds the worker spent inside SAT ``solve()`` for this task —
+    #: the solver share of ``engine_time_s``.  Measurement-only, like the
+    #: wall times: excluded from the verdict-equivalence contract.
+    solve_time_s: float = 0.0
+    #: Solver-counter deltas for this task (conflicts, decisions, ...).
+    solver: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -248,19 +255,34 @@ def execute_task(task: PropertyTask) -> Dict[str, object]:
     scheduler can convert them into per-task error results.
     """
     begin = time.perf_counter()
-    compiles_before = COMPILE_CACHE.compiles
-    compiled = compile_design(task.sources, task.dut_module, task.defines)
-    compiled_here = COMPILE_CACHE.compiles > compiles_before
-    # Persistent per-config engine: consecutive tasks of one design in the
-    # same process (or repeated checks of one compiled design) reuse the
-    # warm sweep unroller and proof contexts instead of re-encoding.
-    engine = compiled.engine_for(task.engine_config)
-    names = list(task.properties) if task.properties else None
-    report = engine.check_properties(names)
+    with TRACER.span("task", cat="task",
+                     args={"task_id": task.task_id,
+                           "design": task.design,
+                           "properties": len(task.properties)}):
+        compiles_before = COMPILE_CACHE.compiles
+        with TRACER.span("compile", cat="compile",
+                         args={"design": task.design}):
+            compiled = compile_design(task.sources, task.dut_module,
+                                      task.defines)
+        compiled_here = COMPILE_CACHE.compiles > compiles_before
+        METRICS.counter("task.compiles" if compiled_here
+                        else "task.compile_cache_hits").inc()
+        # Persistent per-config engine: consecutive tasks of one design in
+        # the same process (or repeated checks of one compiled design)
+        # reuse the warm sweep unroller and proof contexts instead of
+        # re-encoding.
+        engine = compiled.engine_for(task.engine_config)
+        names = list(task.properties) if task.properties else None
+        with TRACER.span("check", cat="check",
+                         args={"task_id": task.task_id}):
+            report = engine.check_properties(names)
+    METRICS.counter("task.executed").inc()
     return {
         "design": report.design,
         "task_id": task.task_id,
         "properties": [result_payload(r) for r in report.results],
         "compiled_in_worker": compiled_here,
         "engine_time_s": time.perf_counter() - begin,
+        "solve_time_s": report.solve_time_s,
+        "solver": report.solver,
     }

@@ -135,6 +135,10 @@ def summarize_report(report: CheckReport) -> Dict[str, object]:
         "cex": [{"name": r.name, "depth": r.depth}
                 for r in report.cex_results],
         "properties": properties,
+        # Measurements, not verdicts: the equivalence contract
+        # (verdict_contract) strips these alongside engine_time_s.
+        "solve_time_s": report.solve_time_s,
+        "solver": dict(report.solver),
     }
 
 

@@ -24,8 +24,10 @@ def verdict_contract(results: Sequence[JobResult]) -> List[tuple]:
 
     Everything the campaign's equivalence contract covers — per-job id,
     status, error and the full deterministic payload — with measurements
-    (``engine_time_s``) stripped, because wall time is the only thing a
-    schedule, worker count or transport is *allowed* to change.  The
+    (``engine_time_s``, ``solve_time_s``, the ``solver`` counter deltas)
+    stripped: wall time is the only thing a schedule, worker count or
+    transport is *allowed* to change, and solver counters legitimately
+    vary with property grouping and steal schedules.  The
     pipeline/dist smoke gates and the tier-1 corpus-equivalence tests
     all compare this view; keeping one implementation means they cannot
     silently disagree about what "bit-identical verdicts" includes.
@@ -34,6 +36,8 @@ def verdict_contract(results: Sequence[JobResult]) -> List[tuple]:
     for result in results:
         payload = dict(result.payload or {})
         payload.pop("engine_time_s", None)
+        payload.pop("solve_time_s", None)
+        payload.pop("solver", None)
         view.append((result.job_id, result.status, result.error, payload))
     return view
 
@@ -50,6 +54,9 @@ class DesignRow:
     cex_properties: List[str] = field(default_factory=list)
     cex_depths: List[int] = field(default_factory=list)
     time_s: float = 0.0
+    #: Seconds the row's jobs spent inside SAT ``solve()`` calls — the
+    #: solver share of the engine time (measurement, not verdict).
+    solve_time_s: float = 0.0
     #: Wall time of the original (cache-writing) runs behind any cached
     #: replays in this row — the "what it would have cost" number.
     original_time_s: float = 0.0
@@ -68,6 +75,7 @@ class DesignRow:
             "cex_properties": self.cex_properties,
             "cex_depths": self.cex_depths,
             "time_s": self.time_s,
+            "solve_time_s": self.solve_time_s,
             "original_time_s": self.original_time_s,
             "steals": self.steals,
             "errors": self.errors,
@@ -78,6 +86,14 @@ class DesignRow:
 def _short(name: str) -> str:
     """Property label without the bind-path/directive noise."""
     return name.split("__")[-1]
+
+
+def _rtt_text(rtt: Optional[Dict[str, object]]) -> str:
+    """Render a worker's heartbeat RTT stats (min/mean/max ms)."""
+    if not rtt:
+        return "—"
+    return (f"{rtt.get('min', 0):.1f}/{rtt.get('mean', 0):.1f}/"
+            f"{rtt.get('max', 0):.1f}ms")
 
 
 @dataclass
@@ -99,8 +115,13 @@ class CampaignReport:
     transport: Optional[str] = None
     #: Per-worker-agent fabric stats (remote transports): worker id,
     #: slots, tasks run, busy seconds, utilization, steal grants,
-    #: first-sight compiles, departure reason.  Empty/None locally.
+    #: first-sight compiles, heartbeat RTT, departure reason.
+    #: Empty/None locally.
     worker_stats: Optional[List[Dict[str, object]]] = None
+    #: Parent-side frontend seconds (FT generation + compile), summed
+    #: from the stream's ``compile_done`` notices; feeds the phase
+    #: breakdown.
+    frontend_time_s: float = 0.0
 
     def __post_init__(self) -> None:
         if len(self.jobs) != len(self.results):
@@ -147,6 +168,9 @@ class CampaignReport:
             for index in indices:
                 job, result = self.jobs[index], self.results[index]
                 row.time_s += result.wall_time_s
+                if result.ok and result.payload:
+                    row.solve_time_s += result.payload.get(
+                        "solve_time_s", 0.0)
                 row.steals += result.steals
                 if result.from_cache and \
                         result.original_wall_time_s is not None:
@@ -277,6 +301,7 @@ class CampaignReport:
         total_props = 0
         total_loc = 0
         engine_time = 0.0
+        solve_time = 0.0
         counted_cases = set()
         for job, result in zip(self.jobs, self.results):
             if result.ok and job.variant == "fixed" and \
@@ -288,6 +313,7 @@ class CampaignReport:
                 total_loc += result.payload.get("annotation_loc", 0)
             if result.ok and result.payload:
                 engine_time += result.payload.get("engine_time_s", 0.0)
+                solve_time += result.payload.get("solve_time_s", 0.0)
         return {
             "jobs": len(self.jobs), "ok": self.num_ok,
             "failed": self.num_failed, "cached": self.num_cached,
@@ -295,15 +321,45 @@ class CampaignReport:
             "properties": total_props, "annotation_loc": total_loc,
             "wall_time_s": self.wall_time_s,
             "engine_time_s": engine_time,
+            "solve_time_s": solve_time,
             "schedule": self.schedule,
             "steals": self.steals,
             "transport": self.transport,
+        }
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Where the campaign's time went, by pipeline phase.
+
+        * ``frontend_s`` — parent-side FT generation + compile (summed
+          from ``compile_done`` notices);
+        * ``solve_s`` — seconds inside SAT ``solve()`` calls, across all
+          workers;
+        * ``engine_other_s`` — engine time that was *not* solving:
+          encoding, unrolling, orchestration;
+        * ``overhead_s`` — wall time not accounted to any phase:
+          scheduling, fork/wire latency, result plumbing.  Clamped at 0:
+        on multi-worker runs phase seconds accrue in parallel and can
+        legitimately exceed wall time, so the breakdown reads cleanly
+        only against 1-worker (or busy-seconds) baselines.
+        """
+        totals = self.totals()
+        engine = float(totals["engine_time_s"])
+        solve = float(totals["solve_time_s"])
+        frontend = self.frontend_time_s
+        return {
+            "frontend_s": round(frontend, 3),
+            "solve_s": round(solve, 3),
+            "engine_other_s": round(max(0.0, engine - solve), 3),
+            "overhead_s": round(
+                max(0.0, self.wall_time_s - frontend - engine), 3),
+            "wall_s": round(self.wall_time_s, 3),
         }
 
     # -- exports -----------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         return {
             "totals": self.totals(),
+            "phases": self.phase_breakdown(),
             "rows": [row.as_dict() for row in self.rows()],
             "config_comparison": self.config_comparison(),
             "results": [
@@ -339,19 +395,27 @@ class CampaignReport:
             f"{totals['failed']} failed) on {totals['workers']} worker(s) "
             f"in {totals['wall_time_s']:.1f}s; {totals['properties']} "
             f"properties from {totals['annotation_loc']} annotation LoC.")
+        phases = self.phase_breakdown()
+        lines.append("")
+        lines.append(
+            f"Phases: frontend {phases['frontend_s']:.1f}s, solve "
+            f"{phases['solve_s']:.1f}s, engine-other "
+            f"{phases['engine_other_s']:.1f}s, overhead "
+            f"{phases['overhead_s']:.1f}s (wall {phases['wall_s']:.1f}s).")
         if self.worker_stats:
             lines.append("")
             lines.append("### Workers")
             lines.append("| Worker | slots | tasks | busy | util | "
-                         "steals granted |")
-            lines.append("|---|---|---|---|---|---|")
+                         "steals granted | heartbeat RTT |")
+            lines.append("|---|---|---|---|---|---|---|")
             for entry in self.worker_stats:
                 lines.append(
                     f"| {entry.get('worker')} | {entry.get('slots')} | "
                     f"{entry.get('tasks')} | "
                     f"{entry.get('busy_s', 0.0):.1f}s | "
                     f"{entry.get('utilization', 0.0):.0%} | "
-                    f"{entry.get('steals_granted', 0)} |")
+                    f"{entry.get('steals_granted', 0)} | "
+                    f"{_rtt_text(entry.get('heartbeat_rtt_ms'))} |")
         if len(self.swept_configs) > 1:
             lines.append("")
             lines.append("### Config sweep")
@@ -382,6 +446,12 @@ class CampaignReport:
             f"jobs ({totals['cached']} cached) on {totals['workers']} "
             f"worker(s) in {totals['wall_time_s']:.1f}s "
             f"(engine time {totals['engine_time_s']:.1f}s)")
+        phases = self.phase_breakdown()
+        lines.append(
+            f"Phases: frontend {phases['frontend_s']:.1f}s | solve "
+            f"{phases['solve_s']:.1f}s | engine-other "
+            f"{phases['engine_other_s']:.1f}s | overhead "
+            f"{phases['overhead_s']:.1f}s")
         if self.schedule is not None:
             lines.append(
                 f"Scheduling: {self.schedule}"
@@ -392,7 +462,8 @@ class CampaignReport:
         if self.worker_stats:
             lines.append("\nWorker fabric:")
             lines.append(f"  {'worker':<28} {'slots':>5} {'tasks':>5} "
-                         f"{'busy':>8} {'util':>5} {'steals':>6}")
+                         f"{'busy':>8} {'util':>5} {'steals':>6} "
+                         f"{'rtt':>16}")
             for entry in self.worker_stats:
                 label = str(entry.get("worker"))
                 if entry.get("departed") not in (None, "shutdown"):
@@ -402,7 +473,8 @@ class CampaignReport:
                     f"{entry.get('tasks', 0):>5} "
                     f"{entry.get('busy_s', 0.0):>7.1f}s "
                     f"{entry.get('utilization', 0.0):>5.0%} "
-                    f"{entry.get('steals_granted', 0):>6}")
+                    f"{entry.get('steals_granted', 0):>6} "
+                    f"{_rtt_text(entry.get('heartbeat_rtt_ms')):>16}")
         if len(self.swept_configs) > 1:
             lines.append("\nConfig sweep comparison:")
             for text in self._comparison_lines():

@@ -78,6 +78,7 @@ from multiprocessing import connection as mp_connection
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple)
 
+from ..obs import METRICS, TRACER, absorb_obs, collect_obs
 from .cache import ArtifactCache
 from .jobs import CampaignJob, execute_job
 
@@ -174,12 +175,25 @@ class SourceNotice:
     from_cache: bool = False
 
 
+def _safe_collect_obs():
+    """Child-side telemetry drain that never masks the job's outcome."""
+    try:
+        return collect_obs()
+    except Exception:
+        return None
+
+
 def _child_main(conn, runner, job, memory_limit_mb) -> None:
-    """Worker entry point: run one job, ship one (status, payload, error).
+    """Worker entry point: run one job, ship one
+    (status, payload, error, obs) tuple.
 
     Shared by the local transport's forked children and the remote
     worker agent's — the execution scope (rlimit, error envelope) must
     not drift between transports or verdict equivalence drifts with it.
+    ``obs`` is the child's drained telemetry (spans + metric deltas, see
+    :func:`repro.obs.collect_obs`) or None; the fork-safety check inside
+    the tracer/registry guarantees it holds only what *this* child
+    recorded, never inherited parent state.
     """
     try:
         if memory_limit_mb:
@@ -190,13 +204,15 @@ def _child_main(conn, runner, job, memory_limit_mb) -> None:
             except (ImportError, ValueError, OSError):
                 pass  # unsupported platform: run unbounded
         payload = runner(job)
-        conn.send(("ok", payload, None))
+        conn.send(("ok", payload, None, _safe_collect_obs()))
     except MemoryError:
         conn.send(("error", None,
-                   f"memory limit ({memory_limit_mb} MB) exceeded"))
+                   f"memory limit ({memory_limit_mb} MB) exceeded",
+                   _safe_collect_obs()))
     except BaseException:
         try:
-            conn.send(("error", None, traceback.format_exc(limit=10)))
+            conn.send(("error", None, traceback.format_exc(limit=10),
+                       _safe_collect_obs()))
         except Exception:
             pass
     finally:
@@ -231,35 +247,41 @@ def fork_context():
 
 def reap_child(conn, process, deadline: Optional[float], now: float,
                timeout_s: Optional[float]
-               ) -> Optional[Tuple[str, object, Optional[str]]]:
+               ) -> Optional[Tuple[str, object, Optional[str], object]]:
     """The ONE reap decision for a forked task child, any transport.
 
     Returns ``None`` while the child should keep running, else a
-    ``(status, payload, error)`` triple with the pipe closed and the
-    process joined.  Shared by :class:`LocalTransport` and the remote
-    worker agent so the semantics cannot drift between transports: a
-    result that is already in the pipe wins over an expired deadline
-    (completed work is never discarded), a closed pipe without a result
-    means the child died (crash, hard OOM kill), and an overdue child is
-    terminated with the standard timeout message.
+    ``(status, payload, error, obs)`` tuple with the pipe closed and the
+    process joined — ``obs`` is the child's drained telemetry (or None
+    when the child died/timed out before shipping).  Shared by
+    :class:`LocalTransport` and the remote worker agent so the semantics
+    cannot drift between transports: a result that is already in the
+    pipe wins over an expired deadline (completed work is never
+    discarded), a closed pipe without a result means the child died
+    (crash, hard OOM kill), and an overdue child is terminated with the
+    standard timeout message.
     """
     if conn.poll(0):
+        obs = None
         try:
-            status, payload, error = conn.recv()
+            message = conn.recv()
             process.join()
+            status, payload, error = message[:3]
+            if len(message) > 3:
+                obs = message[3]
         except EOFError:
             process.join()
             status, payload, error = (
                 "error", None,
                 f"worker died with exit code {process.exitcode}")
         conn.close()
-        return status, payload, error
+        return status, payload, error, obs
     if deadline is not None and now > deadline:
         process.terminate()
         process.join()
         conn.close()
         return ("timeout", None,
-                f"wall-clock limit ({timeout_s:.1f}s) exceeded")
+                f"wall-clock limit ({timeout_s:.1f}s) exceeded", None)
     return None
 
 
@@ -377,11 +399,16 @@ class LocalTransport:
             if outcome is None:
                 still.append(slot)
                 continue
-            status, payload, error = outcome
+            status, payload, error, obs = outcome
+            # Same-host fork children share the monotonic clock base, so
+            # their spans need no timestamp translation.
+            absorb_obs(obs)
+            wall = time.monotonic() - slot.started
+            METRICS.histogram("scheduler.dispatch_latency_s").observe(wall)
             finished.append((slot.index, slot.job, JobResult(
                 job_id=slot.job.job_id, status=status,
                 payload=payload, error=error,
-                wall_time_s=time.monotonic() - slot.started,
+                wall_time_s=wall,
                 worker=f"{self._host}:{slot.process.pid}")))
         self._running = still
         return finished, []
@@ -587,6 +614,9 @@ class Scheduler:
                     self._excluded[half_index] = set(inherited)
                 self._queue.append((half_index, half))
             self.steal_count += 1
+            METRICS.counter("scheduler.steals").inc()
+            TRACER.instant("steal", cat="scheduler",
+                           args={"job_id": job.job_id})
             self._emit.append(("steal", job, (half_a, half_b)))
 
     def _record_half(self, index: int, result: JobResult) -> None:
@@ -715,6 +745,10 @@ class Scheduler:
             self._excluded.setdefault(index, set()).add(worker_id)
             self.requeue_counts[job.job_id] = \
                 self.requeue_counts.get(job.job_id, 0) + 1
+            METRICS.counter("scheduler.requeues").inc()
+            TRACER.instant("requeue", cat="scheduler",
+                           args={"job_id": job.job_id,
+                                 "worker": worker_id})
             self._emit.append(("requeue", job, worker_id))
 
     # -- the run loop ------------------------------------------------------
@@ -730,6 +764,10 @@ class Scheduler:
         try:
             while True:
                 self._fill()
+                METRICS.gauge("scheduler.queue_depth").set(
+                    len(self._queue))
+                METRICS.gauge("scheduler.in_flight").set(
+                    self._transport.in_flight())
                 while self._emit:
                     event = self._emit.popleft()
                     yield event

@@ -53,6 +53,7 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
 # imports below happen inside the functions that need them.
 from ..api.task import PropertyTask, TaskEvent, build_tasks
 from ..formal.engine import CheckReport
+from ..obs import TRACER
 from .cache import ArtifactCache
 from .costmodel import CostModel, pack_lpt
 from .jobs import CampaignJob, summarize_report
@@ -301,7 +302,9 @@ def stream_tasks(jobs: Sequence[CampaignJob],
     model = model or CostModel()
     for job in jobs:
         yield SourceNotice(kind="compile_started", design=job.job_id)
-        shard = _expand_shard(job, group_size, cache, schedule, model)
+        with TRACER.span("frontend", cat="frontend",
+                         args={"design": job.job_id}):
+            shard = _expand_shard(job, group_size, cache, schedule, model)
         if plan is not None:
             plan.shards.append(shard)
             plan.tasks.extend(shard.tasks)
@@ -371,6 +374,12 @@ def _merge_one(shard: _JobShard,
     payload["annotation_loc"] = shard.annotation_loc
     payload["property_count"] = shard.property_count
     payload["engine_time_s"] = sum(event.engine_time_s for event in own)
+    payload["solve_time_s"] = sum(event.solve_time_s for event in own)
+    solver: Dict[str, float] = {}
+    for event in own:
+        for key, value in event.solver.items():
+            solver[key] = solver.get(key, 0) + value
+    payload["solver"] = solver
     from_cache = bool(own) and all(event.from_cache for event in own)
     original = None
     if from_cache:

@@ -172,6 +172,24 @@ def build_campaign_parser() -> argparse.ArgumentParser:
                         help="write the full report as JSON")
     parser.add_argument("--markdown", type=Path, default=None,
                         metavar="FILE", help="write the report as markdown")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="record execution spans and write a Chrome "
+                             "trace-event JSON file (open in Perfetto / "
+                             "chrome://tracing; see docs/observability.md)")
+    parser.add_argument("--trace-jsonl", type=Path, default=None,
+                        metavar="FILE",
+                        help="also write the recorded spans as a flat "
+                             "JSONL event log (implies tracing)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the campaign's metric counters "
+                             "(solver, scheduler, fabric) after the "
+                             "summary")
+    parser.add_argument("--execution-record", type=Path, default=None,
+                        metavar="FILE",
+                        help="write the auditable per-campaign "
+                             "ExecutionRecord JSON (job inventory + "
+                             "digest, per-task outcomes, phase breakdown, "
+                             "solver counters, fabric stats)")
     return parser
 
 
@@ -307,6 +325,15 @@ def campaign_main(argv: List[str]) -> int:
         print("autosva campaign: error: no jobs selected", file=sys.stderr)
         return 1
 
+    from ..obs import METRICS, TRACER
+
+    # One registry/tracer view per campaign run: whatever a previous
+    # in-process run (tests drive campaign_main repeatedly) left behind
+    # must not leak into this run's --metrics/--trace output.
+    METRICS.reset()
+    TRACER.reset()
+    if args.trace or args.trace_jsonl:
+        TRACER.enable()
     cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
     history = CampaignHistory(args.history) if args.history else None
     unit = ("property tasks" if args.granularity == "property"
@@ -358,6 +385,9 @@ def campaign_main(argv: List[str]) -> int:
     finally:
         if transport is not None:
             transport.close()   # idempotent; reaps spawned worker agents
+        if args.trace or args.trace_jsonl:
+            from ..obs import TRACER
+            TRACER.disable()    # don't leak tracing into later runs
 
 
 def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
@@ -408,6 +438,11 @@ def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
             transport=transport)
         schedule = args.schedule
         steals = sum(r.steals for r in results)
+        # Frontend phase = the scheduler-side compiles (plan generation +
+        # parse/elaborate); cached plans cost ~0 and report ~0.
+        frontend = sum(event.wall_time_s for event in events
+                       if event.kind == "compile_done"
+                       and not event.from_cache)
         timing_samples = [
             {"kinds": _kind_counts(event.results),
              "wall_time_s": event.wall_time_s,
@@ -429,6 +464,10 @@ def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
         schedule = None
         steals = 0
         timing_samples = []
+        # Design granularity compiles inside the worker task; the compile
+        # span is still traced, but there is no scheduler-side frontend
+        # phase to attribute separately.
+        frontend = 0.0
     worker_stats = transport.worker_stats() if transport is not None \
         else None
     # On the TCP fabric "workers" means agents that survived to the end
@@ -443,7 +482,8 @@ def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
                             cache_stats=cache.stats() if cache else None,
                             schedule=schedule, steals=steals,
                             transport=args.transport,
-                            worker_stats=worker_stats)
+                            worker_stats=worker_stats,
+                            frontend_time_s=frontend)
 
     print()
     print(report.summary())
@@ -466,6 +506,35 @@ def _campaign_run(args, jobs, cache, history, transport, begin) -> int:
     if args.markdown:
         args.markdown.write_text(report.to_markdown())
         print(f"Markdown report -> {args.markdown}")
+
+    from ..obs import METRICS, TRACER
+    if args.metrics:
+        print()
+        print(METRICS.format_table())
+    spans = TRACER.drain() if (args.trace or args.trace_jsonl) else []
+    if args.trace:
+        import os
+
+        from ..obs.export import write_chrome_trace
+        write_chrome_trace(args.trace, spans,
+                           process_names={os.getpid(): "scheduler"})
+        print(f"Chrome trace ({len(spans)} spans) -> {args.trace}")
+    if args.trace_jsonl:
+        from ..obs.export import write_jsonl
+        write_jsonl(args.trace_jsonl, spans)
+        print(f"Span JSONL -> {args.trace_jsonl}")
+    if args.execution_record:
+        from ..obs.record import build_record
+        record = build_record(
+            report,
+            config={"transport": args.transport, "workers": report.workers,
+                    "granularity": args.granularity,
+                    "schedule": schedule, "group_size": args.group_size,
+                    "depth": args.depth, "frames": args.frames,
+                    "variants": args.variants, "cases": args.cases},
+            metrics=METRICS.snapshot(), span_count=len(spans))
+        record.write(args.execution_record)
+        print(f"Execution record -> {args.execution_record}")
     return 0 if report.num_failed == 0 else 2
 
 

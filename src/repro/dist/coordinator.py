@@ -56,6 +56,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..campaign.scheduler import _IDLE_WAIT_S, JobResult
+from ..obs import METRICS, TRACER, absorb_obs
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
                        encode_frame, encode_unit, negotiate_version,
                        validate_message)
@@ -106,6 +107,31 @@ def spawn_local_workers(address: Tuple[str, int], count: int,
             for _ in range(count)]
 
 
+def _obs_clock_offset(obs: Dict[str, object]) -> float:
+    """Timestamp shift for spans arriving from a remote agent.
+
+    Span timestamps are ``time.monotonic()`` seconds, whose base is
+    per-host (boot-relative on Linux).  Loopback agents share this
+    host's clock and need no shift; an agent on another host can be
+    arbitrarily far off.  Heuristic: if the newest incoming span ended
+    within 5 minutes of *our* now, treat the clocks as shared (offset
+    0); otherwise pin that newest end to now, which keeps the remote
+    spans in a plausible position on the campaign timeline (their
+    *relative* layout — the part that matters for overlap analysis — is
+    exact either way).
+    """
+    spans = obs.get("spans") or []
+    ends = [float(span.get("ts", 0.0)) + float(span.get("dur", 0.0))
+            for span in spans]
+    if not ends:
+        return 0.0
+    latest = max(ends)
+    now = time.monotonic()
+    if abs(now - latest) < 300.0:
+        return 0.0
+    return now - latest
+
+
 @dataclass
 class _RemoteWorker:
     """Coordinator-side state for one connected agent."""
@@ -121,6 +147,13 @@ class _RemoteWorker:
     last_seen: float = 0.0
     last_ping: float = 0.0
     ping_seq: int = 0
+    #: Outstanding pings: seq -> send time; echoes pop their entry and
+    #: feed the RTT accumulators below.
+    ping_sent: Dict[int, float] = field(default_factory=dict)
+    rtt_min: Optional[float] = None
+    rtt_max: Optional[float] = None
+    rtt_total: float = 0.0
+    rtt_samples: int = 0
     steal_pending: bool = False
     #: Liveness kills are suspended until this time: the agent announced
     #: a first-sight compile (``compile_started``), which runs
@@ -144,8 +177,25 @@ class _RemoteWorker:
             return 0
         return max(0, self.slots + prefetch - len(self.assigned))
 
+    def record_rtt(self, rtt_s: float) -> None:
+        self.rtt_samples += 1
+        self.rtt_total += rtt_s
+        if self.rtt_min is None or rtt_s < self.rtt_min:
+            self.rtt_min = rtt_s
+        if self.rtt_max is None or rtt_s > self.rtt_max:
+            self.rtt_max = rtt_s
+
     def stats(self, now: float) -> Dict[str, object]:
         lifetime = max(1e-9, (self.departed_at or now) - self.connected_at)
+        rtt = None
+        if self.rtt_samples:
+            rtt = {
+                "min": round(self.rtt_min * 1000.0, 3),
+                "mean": round(self.rtt_total / self.rtt_samples
+                              * 1000.0, 3),
+                "max": round(self.rtt_max * 1000.0, 3),
+                "samples": self.rtt_samples,
+            }
         return {
             "worker": self.worker_id or "(handshaking)",
             "label": self.label,
@@ -156,6 +206,7 @@ class _RemoteWorker:
                             if self.slots else 0.0),
             "steals_granted": self.steals_granted,
             "compiles": self.compiles,
+            "heartbeat_rtt_ms": rtt,
             "departed": self.departed,
         }
 
@@ -454,6 +505,13 @@ class TcpTransport:
                     self._send(worker, {"type": "heartbeat",
                                         "seq": worker.ping_seq})
                     worker.last_ping = now
+                    worker.ping_sent[worker.ping_seq] = now
+                    # Unanswered pings (a worker mid-compile) must not
+                    # accumulate forever; the liveness timeout bounds how
+                    # many can matter.
+                    if len(worker.ping_sent) > 128:
+                        oldest = min(worker.ping_sent)
+                        del worker.ping_sent[oldest]
                 except OSError:
                     self._kill(worker, "send failed")
 
@@ -477,9 +535,12 @@ class TcpTransport:
             worker.slots = max(1, int(message.get("slots", 1)))
             worker.label = message.get("label")
             worker.ready = True
+            # "trace" is a minor ack field: a tracing coordinator asks
+            # the agent to record spans too; old agents ignore it.
             self._send(worker, {"type": "hello",
                                 "version": PROTOCOL_VERSION,
-                                "role": "coordinator"})
+                                "role": "coordinator",
+                                "trace": TRACER.enabled})
         elif kind == "result":
             task_id = message["task_id"]
             index = next((i for i, job in worker.assigned.items()
@@ -492,6 +553,9 @@ class TcpTransport:
             wall = float(message.get("wall_time_s", 0.0))
             worker.tasks_done += 1
             worker.busy_s += wall
+            obs = message.get("obs")
+            if obs:
+                absorb_obs(obs, ts_offset=_obs_clock_offset(obs))
             self._finished.append((index, job, JobResult(
                 job_id=task_id, status=message["status"],
                 payload=message.get("payload"),
@@ -510,7 +574,15 @@ class TcpTransport:
                 worker.compiles += 1
                 worker.grace_until = 0.0
         elif kind == "heartbeat":
-            pass                       # last_seen already refreshed
+            # last_seen is already refreshed; the echo additionally
+            # closes the round trip for the ping it answers.
+            sent = worker.ping_sent.pop(message.get("seq"), None)
+            if sent is not None:
+                rtt = time.monotonic() - sent
+                worker.record_rtt(rtt)
+                METRICS.histogram(
+                    "fabric.heartbeat_rtt_s",
+                    bounds=(0.001, 0.005, 0.02, 0.1, 0.5)).observe(rtt)
         elif kind == "steal_grant":
             worker.steal_pending = False
             granted = message.get("task_ids") or []

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..campaign.scheduler import (_IDLE_WAIT_S, _child_main, fork_context,
                                   reap_child, resolve_worker_count)
+from ..obs import TRACER, absorb_obs, collect_obs
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
                        decode_unit, encode_frame, runner_for,
                        validate_message)
@@ -167,6 +168,10 @@ class WorkerAgent:
             raise _Disconnect(
                 f"coordinator speaks protocol {theirs!r}, this agent "
                 f"speaks {PROTOCOL_VERSION}", code=1)
+        # Minor (optional) ack field: a tracing coordinator asks the
+        # fleet to record spans too; old coordinators just omit it.
+        if message.get("trace"):
+            TRACER.enable()
 
     def _pump(self) -> None:
         """Read from the socket into the inbox (never dropping frames)."""
@@ -202,10 +207,12 @@ class WorkerAgent:
         self._send({"type": "event", "kind": "compile_started",
                     "design": design})
         begin = time.perf_counter()
-        try:
-            compile_design(list(sources), module, defines)
-        except Exception:
-            pass
+        with TRACER.span("compile", cat="compile",
+                         args={"design": design, "agent": True}):
+            try:
+                compile_design(list(sources), module, defines)
+            except Exception:
+                pass
         self._send({"type": "event", "kind": "compile_done",
                     "design": design,
                     "wall_time_s": time.perf_counter() - begin})
@@ -241,13 +248,21 @@ class WorkerAgent:
                         "task_id": item.unit.job_id})
 
     def _finish_child(self, child: _Child, status: str,
-                      payload, error: Optional[str]) -> None:
+                      payload, error: Optional[str], obs=None) -> None:
         self._tasks_done += 1
         message = {
             "type": "result", "task_id": child.unit.job_id,
             "status": status, "payload": payload, "error": error,
             "wall_time_s": time.monotonic() - child.started,
         }
+        # Fold the child's telemetry into the agent's buffers, then drain
+        # everything recorded since the last result (child spans, the
+        # agent's compile spans, metric deltas) onto this frame.  "obs" is
+        # a minor optional field — old coordinators ignore it.
+        absorb_obs(obs)
+        shipped = collect_obs()
+        if shipped is not None:
+            message["obs"] = shipped
         try:
             self._send(message)
         except (TypeError, ProtocolError) as exc:

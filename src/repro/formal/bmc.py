@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..obs import METRICS
 from .cnf import Unroller
 from .sat import Solver
 from .trace import Trace, extract_trace
@@ -138,6 +139,7 @@ def bmc_sweep(system: TransitionSystem, targets: Sequence[SweepTarget],
     for k in range(start_depth, max_depth + 1):
         if not pending:
             break
+        METRICS.counter("bmc.depth_extended").inc()
         queries = {
             (target.name, target.kind):
                 (unroller.sat_literal(target.lit, k) if

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import METRICS
 from .aig import FALSE, TRUE
 from .cnf import Unroller
 from .coi import coi_latches
@@ -351,6 +352,7 @@ class Pdr:
             if not self.solver.solve(assumptions=assumptions):
                 # Bad unreachable from F_N: add a frame and propagate.
                 self._num_frames += 1
+                METRICS.counter("pdr.frames_added").inc()
                 if self._propagate():
                     return PdrResult(
                         proven=True, frames=self._num_frames,
@@ -536,6 +538,7 @@ class Pdr:
             assumptions.extend(self._prime(cube))
             if not self.solver.solve(assumptions=assumptions):
                 clause.level += 1
+                METRICS.counter("pdr.frames_pushed").inc()
                 clause.tried_mods = -1
                 # Re-assert under the stronger level's act (the old copy
                 # stays active for weaker queries — frames are monotone).

@@ -1,0 +1,71 @@
+"""Zero-dependency observability: spans, metrics, exports, records.
+
+The campaign system's telemetry layer.  Everything here is standard
+library only and imports **nothing** from the rest of ``repro`` — the
+execution layers (api, formal, campaign, dist) import *us*, never the
+other way around, so instrumentation can reach the innermost loops
+without creating import cycles.
+
+* :mod:`~repro.obs.trace` — :data:`TRACER`, nested wall-clock spans
+  (fork- and thread-safe, strictly no-op when disabled);
+* :mod:`~repro.obs.metrics` — :data:`METRICS`, a registry of counters /
+  gauges / histograms whose snapshots fold across process and host
+  boundaries;
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (opens in Perfetto)
+  and a JSONL event log;
+* :mod:`~repro.obs.record` — the auditable per-campaign
+  :class:`~repro.obs.record.ExecutionRecord`.
+
+The one cross-process convention lives here: :func:`collect_obs` drains
+this process's telemetry into one plain JSON-able dict (shipped over a
+fork pipe or piggybacked on a fabric ``result`` frame) and
+:func:`absorb_obs` folds such a dict back into the local tracer and
+registry.  Both are cheap no-ops when there is nothing to ship.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import METRICS, MetricsRegistry
+from .trace import TRACER, Span, Tracer
+
+__all__ = ["TRACER", "METRICS", "Tracer", "MetricsRegistry", "Span",
+           "collect_obs", "absorb_obs"]
+
+
+def collect_obs() -> Optional[Dict[str, object]]:
+    """Drain this process's spans + metrics into one wire-able dict.
+
+    Returns ``None`` when there is nothing to ship (tracer disabled or
+    empty, registry untouched), so callers can skip the field entirely —
+    the protocol treats ``obs`` as an optional minor addition.
+    """
+    spans = TRACER.drain()
+    metrics = METRICS.drain()
+    if not spans and not metrics:
+        return None
+    payload: Dict[str, object] = {}
+    if spans:
+        payload["spans"] = spans
+    if metrics:
+        payload["metrics"] = metrics
+    return payload
+
+
+def absorb_obs(obs: Optional[Dict[str, object]],
+               ts_offset: float = 0.0) -> None:
+    """Fold a :func:`collect_obs` dict into this process's telemetry.
+
+    ``ts_offset`` shifts span timestamps (seconds) — used by the fabric
+    coordinator to normalize spans from a host with a different monotonic
+    clock base; fork children on the same host need no shift.
+    """
+    if not obs:
+        return
+    spans = obs.get("spans")
+    if spans:
+        TRACER.absorb(spans, ts_offset=ts_offset)
+    metrics = obs.get("metrics")
+    if metrics:
+        METRICS.merge(metrics)

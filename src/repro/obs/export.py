@@ -1,0 +1,92 @@
+"""Trace exports: Chrome trace-event JSON and a JSONL event log.
+
+:func:`chrome_trace` renders drained spans in the Chrome trace-event
+format (the ``traceEvents`` array of ``"X"`` complete events plus
+``"i"`` instants and ``"M"`` metadata rows), which ``chrome://tracing``
+and https://ui.perfetto.dev open directly — compile/check overlap and
+steal events become visible timelines instead of equivalence-test
+abstractions.  Timestamps are rebased so the earliest span starts at 0
+and converted to the format's microsecond unit.
+
+:func:`write_jsonl` is the flat machine-readable alternative: one JSON
+object per line, seconds-based, in buffer order — greppable, and the
+shape the ExecutionRecord's per-task span summaries are built from.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from .trace import Span
+
+__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl"]
+
+_SpanLike = Union[Span, Dict[str, object]]
+
+
+def _as_dicts(spans: Sequence[_SpanLike]) -> List[Dict[str, object]]:
+    return [span.as_dict() if isinstance(span, Span) else dict(span)
+            for span in spans]
+
+
+def chrome_trace(spans: Sequence[_SpanLike],
+                 process_names: Optional[Dict[int, str]] = None
+                 ) -> Dict[str, object]:
+    """Render spans as a Chrome trace-event JSON document (dict form).
+
+    ``process_names`` labels pid tracks (e.g. the scheduler pid vs its
+    worker pids); unlisted pids get a generic ``worker <pid>`` label.
+    """
+    data = _as_dicts(spans)
+    base = min((float(span.get("ts", 0.0)) for span in data),
+               default=0.0)
+    events: List[Dict[str, object]] = []
+    pids = []
+    for span in data:
+        pid = int(span.get("pid", 0))
+        if pid not in pids:
+            pids.append(pid)
+    names = dict(process_names or {})
+    for pid in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": names.get(pid, f"worker {pid}")},
+        })
+    for span in data:
+        phase = str(span.get("ph", "X"))
+        event: Dict[str, object] = {
+            "name": str(span.get("name", "?")),
+            "cat": str(span.get("cat", "task")),
+            "ph": phase,
+            "ts": round((float(span.get("ts", 0.0)) - base) * 1e6, 3),
+            "pid": int(span.get("pid", 0)),
+            "tid": int(span.get("tid", 0)),
+        }
+        if phase == "X":
+            event["dur"] = round(float(span.get("dur", 0.0)) * 1e6, 3)
+        else:
+            event["s"] = "p"           # instant scope: process-wide
+        args = span.get("args")
+        if args:
+            event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: Sequence[_SpanLike],
+                       process_names: Optional[Dict[int, str]] = None
+                       ) -> None:
+    """Write :func:`chrome_trace` output to ``path`` (str or Path)."""
+    document = chrome_trace(spans, process_names=process_names)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def write_jsonl(path, spans: Sequence[_SpanLike]) -> None:
+    """Write one JSON object per span (seconds-based, buffer order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in _as_dicts(spans):
+            handle.write(json.dumps(span, sort_keys=True))
+            handle.write("\n")

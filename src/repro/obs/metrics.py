@@ -1,0 +1,241 @@
+"""Counters, gauges and histograms: the :data:`METRICS` registry.
+
+The metric registry is always on (unlike the tracer): a handful of
+integer adds per solver run or scheduler round costs nothing measurable,
+and having the counters unconditionally means ``--metrics`` works
+without a separate enable step.  What keeps it honest across the
+campaign's process topology:
+
+* **Fork safety** — a forked task child inherits the parent's counter
+  values; the first registry access after a fork resets them, so a
+  child's :meth:`~MetricsRegistry.drain` snapshot holds only *its own*
+  increments and the parent can :meth:`~MetricsRegistry.merge` it
+  without double counting.
+* **Mergeable snapshots** — :meth:`~MetricsRegistry.snapshot` produces a
+  plain JSON-able dict; :meth:`~MetricsRegistry.merge` folds one in
+  (counters add, gauges take the incoming value, histograms combine
+  bucket-wise when the bounds agree).  Child processes and remote agents
+  therefore fold into one registry view at the coordinator.
+
+Fetch metrics at the use site (``METRICS.counter("x").inc()``) rather
+than caching the object: the get-or-create lookup is one dict hit and is
+where the fork check lives.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
+           "DEFAULT_BOUNDS"]
+
+#: Default histogram bucket upper bounds (seconds-flavored; a final
+#: overflow bucket catches everything above the last bound).
+DEFAULT_BOUNDS: Tuple[float, ...] = (0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing value (int or float increments)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Count/sum/min/max plus fixed buckets of observations."""
+
+    __slots__ = ("count", "total", "min", "max", "bounds", "buckets")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max,
+                "bounds": list(self.bounds), "buckets": list(self.buckets)}
+
+
+class MetricsRegistry:
+    """Named metrics with mergeable snapshots (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _fork_check_locked(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            # Inherited values belong to the parent; a child keeping them
+            # would re-ship them in its drain() and double-count.
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+            self._pid = pid
+
+    # -- get-or-create ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            self._fork_check_locked()
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            self._fork_check_locked()
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+        with self._lock:
+            self._fork_check_locked()
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(bounds)
+            return metric
+
+    # -- snapshots --------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every metric (JSON-able, mergeable)."""
+        with self._lock:
+            self._fork_check_locked()
+            return {
+                "counters": {name: metric.value
+                             for name, metric in self._counters.items()},
+                "gauges": {name: metric.value
+                           for name, metric in self._gauges.items()},
+                "histograms": {name: metric.as_dict()
+                               for name, metric
+                               in self._histograms.items()},
+            }
+
+    def drain(self) -> Optional[Dict[str, object]]:
+        """Snapshot and reset — the exactly-once shipping form.
+
+        Returns ``None`` when the registry holds nothing, so callers can
+        skip shipping an empty dict.
+        """
+        with self._lock:
+            self._fork_check_locked()
+            if not (self._counters or self._gauges or self._histograms):
+                return None
+        snapshot = self.snapshot()
+        self.reset()
+        return snapshot
+
+    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
+        """Fold a snapshot from another process/host into this registry."""
+        if not snapshot:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(float(b) for b in data.get("bounds", ()))
+            local = self.histogram(name,
+                                   bounds=bounds or DEFAULT_BOUNDS)
+            count = int(data.get("count", 0))
+            if not count:
+                continue
+            local.count += count
+            local.total += float(data.get("sum", 0.0))
+            for extreme, pick in (("min", min), ("max", max)):
+                incoming = data.get(extreme)
+                if incoming is None:
+                    continue
+                current = getattr(local, extreme)
+                setattr(local, extreme,
+                        float(incoming) if current is None
+                        else pick(current, float(incoming)))
+            incoming_buckets = data.get("buckets") or []
+            if local.bounds == bounds and \
+                    len(incoming_buckets) == len(local.buckets):
+                for index, bucket in enumerate(incoming_buckets):
+                    local.buckets[index] += int(bucket)
+            # Mismatched bounds: count/sum/min/max still merged above;
+            # bucket shapes from different builds are not force-fit.
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+            self._pid = os.getpid()
+
+    def format_table(self) -> str:
+        """Human-readable dump for ``--metrics`` output."""
+        snapshot = self.snapshot()
+        lines: List[str] = ["Metrics:"]
+        for name in sorted(snapshot["counters"]):
+            value = snapshot["counters"][name]
+            text = f"{value:.3f}" if isinstance(value, float) \
+                else str(value)
+            lines.append(f"  {name:<40} {text:>12}")
+        for name in sorted(snapshot["gauges"]):
+            lines.append(f"  {name:<40} {snapshot['gauges'][name]:>12} "
+                         f"(gauge)")
+        for name in sorted(snapshot["histograms"]):
+            data = snapshot["histograms"][name]
+            count = data["count"]
+            mean = (data["sum"] / count) if count else 0.0
+            low = (f"{data['min']:.4f}" if data["min"] is not None else "—")
+            high = (f"{data['max']:.4f}" if data["max"] is not None else "—")
+            lines.append(f"  {name:<40} n={count} mean={mean:.4f} "
+                         f"min={low} max={high}")
+        if len(lines) == 1:
+            lines.append("  (none recorded)")
+        return "\n".join(lines)
+
+
+#: The process-global registry every instrumentation site records into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,195 @@
+"""Auditable per-campaign execution records.
+
+An :class:`ExecutionRecord` is the "what exactly ran" artifact: enough
+to answer, months later, which jobs were in the campaign (with a digest
+that changes when the inventory does), what configuration drove it, how
+each task ended, where the wall-clock went (phase breakdown), what the
+solvers did, and what the fabric looked like.  It is plain JSON on disk
+and :func:`validate_record` re-checks the structural contract, so CI can
+gate on a record round-tripping through serialization.
+
+The record carries *summaries* of spans (counts and per-task timings),
+not the spans themselves — the full timeline lives in the Chrome trace
+export next to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ExecutionRecord", "RECORD_SCHEMA_VERSION", "build_record",
+           "validate_record"]
+
+#: Bump when the record's structural contract changes incompatibly.
+RECORD_SCHEMA_VERSION = 1
+
+
+def _inventory_digest(inventory: List[Dict[str, object]]) -> str:
+    """sha256 over the canonical JSON of the job inventory."""
+    canonical = json.dumps(inventory, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ExecutionRecord:
+    """One campaign run, summarized for audit."""
+
+    schema_version: int = RECORD_SCHEMA_VERSION
+    #: Run configuration (transport, workers, schedule, engine knobs...).
+    config: Dict[str, object] = field(default_factory=dict)
+    #: Per-job identity rows (job_id, case, variant, engine/config).
+    inventory: List[Dict[str, object]] = field(default_factory=list)
+    #: sha256 of the canonical inventory JSON.
+    inventory_digest: str = ""
+    #: Per-task outcomes with their timing fields.
+    tasks: List[Dict[str, object]] = field(default_factory=list)
+    #: Wall-time phase breakdown (frontend/compile/solve/overhead).
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Aggregated solver counters (conflicts, decisions, wall time...).
+    solver: Dict[str, float] = field(default_factory=dict)
+    #: Metrics registry snapshot at campaign end.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Per-agent fabric stats (empty for the local transport).
+    fabric: List[Dict[str, object]] = field(default_factory=list)
+    #: Cache hit/miss stats, when a cache backed the run.
+    cache: Optional[Dict[str, int]] = None
+    #: Number of spans the tracer captured (0 when tracing was off).
+    span_count: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "config": self.config,
+            "inventory": self.inventory,
+            "inventory_digest": self.inventory_digest,
+            "tasks": self.tasks,
+            "phases": self.phases,
+            "solver": self.solver,
+            "metrics": self.metrics,
+            "fabric": self.fabric,
+            "cache": self.cache,
+            "span_count": self.span_count,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def build_record(report, config: Optional[Dict[str, object]] = None,
+                 metrics: Optional[Dict[str, object]] = None,
+                 span_count: int = 0) -> ExecutionRecord:
+    """Assemble the record from a finished ``CampaignReport``.
+
+    ``report`` is duck-typed (a ``campaign.report.CampaignReport``) so
+    this module keeps its zero-import-from-repro rule; ``metrics`` is a
+    ``METRICS.snapshot()`` taken at campaign end.
+    """
+    inventory: List[Dict[str, object]] = []
+    for job in report.jobs:
+        entry: Dict[str, object] = {
+            "job_id": job.job_id,
+            "case_id": job.case_id,
+            "variant": job.variant,
+        }
+        config_index = getattr(job, "config_index", None)
+        if config_index is not None:
+            entry["config_index"] = config_index
+        engine_config = getattr(job, "engine_config", None)
+        if engine_config is not None:
+            entry["engine"] = getattr(engine_config, "proof_engine", None)
+            entry["max_bound"] = getattr(engine_config, "max_bound", None)
+        inventory.append(entry)
+
+    tasks: List[Dict[str, object]] = []
+    solver_totals: Dict[str, float] = {}
+    for result in report.results:
+        payload = result.payload or {}
+        task: Dict[str, object] = {
+            "job_id": result.job_id,
+            "status": result.status,
+            "from_cache": result.from_cache,
+            "wall_time_s": result.wall_time_s,
+            "steals": result.steals,
+        }
+        if result.worker is not None:
+            task["worker"] = result.worker
+        if result.error:
+            task["error"] = result.error
+        engine_time = payload.get("engine_time_s")
+        if engine_time is not None:
+            task["engine_time_s"] = engine_time
+        solve_time = payload.get("solve_time_s")
+        if solve_time is not None:
+            task["solve_time_s"] = solve_time
+        for name, value in (payload.get("solver") or {}).items():
+            solver_totals[name] = solver_totals.get(name, 0.0) + value
+        tasks.append(task)
+
+    phases = report.phase_breakdown() if hasattr(
+        report, "phase_breakdown") else {}
+
+    return ExecutionRecord(
+        config=dict(config or {}),
+        inventory=inventory,
+        inventory_digest=_inventory_digest(inventory),
+        tasks=tasks,
+        phases=phases,
+        solver=solver_totals,
+        metrics=dict(metrics or {}),
+        fabric=list(report.worker_stats or []),
+        cache=report.cache_stats,
+        span_count=span_count,
+        wall_time_s=report.wall_time_s,
+    )
+
+
+def validate_record(data: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed record.
+
+    This is the structural contract the obs-smoke CI gate enforces on a
+    record that has round-tripped through JSON.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("record must be a JSON object")
+    version = data.get("schema_version")
+    if version != RECORD_SCHEMA_VERSION:
+        raise ValueError(f"unsupported record schema_version: {version!r}")
+    for name, kind in (("config", dict), ("inventory", list),
+                       ("tasks", list), ("phases", dict),
+                       ("solver", dict), ("metrics", dict),
+                       ("fabric", list)):
+        if not isinstance(data.get(name), kind):
+            raise ValueError(f"record field {name!r} must be "
+                             f"{kind.__name__}")
+    digest = data.get("inventory_digest")
+    if not isinstance(digest, str) or len(digest) != 64:
+        raise ValueError("inventory_digest must be a sha256 hex string")
+    if digest != _inventory_digest(data["inventory"]):
+        raise ValueError("inventory_digest does not match inventory")
+    for index, entry in enumerate(data["inventory"]):
+        if not isinstance(entry, dict) or "job_id" not in entry:
+            raise ValueError(f"inventory[{index}] missing job_id")
+    for index, task in enumerate(data["tasks"]):
+        if not isinstance(task, dict):
+            raise ValueError(f"tasks[{index}] must be an object")
+        for name in ("job_id", "status", "wall_time_s"):
+            if name not in task:
+                raise ValueError(f"tasks[{index}] missing {name!r}")
+    for name, value in data["phases"].items():
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"phase {name!r} must be numeric")
+    if not isinstance(data.get("span_count"), int):
+        raise ValueError("span_count must be an int")
+    if not isinstance(data.get("wall_time_s"), (int, float)):
+        raise ValueError("wall_time_s must be numeric")

@@ -1,0 +1,239 @@
+"""Nested wall-clock spans: the :data:`TRACER` singleton.
+
+Design constraints, in priority order:
+
+1. **Strictly no-op when disabled.**  Campaigns run with tracing off by
+   default and the tier-1 equivalence gates must not pay for it: a
+   disabled ``TRACER.span(name)`` returns one preallocated null context
+   manager — no object, no dict, no closure is allocated on that path
+   (pinned by a tracemalloc test).
+2. **Fork safety.**  The campaign forks task children that inherit the
+   parent's buffer; a child must ship only the spans *it* recorded, or
+   parent spans would merge twice.  Every buffer access re-checks
+   ``os.getpid()`` and discards inherited state on first touch after a
+   fork.  (``time.monotonic`` is CLOCK_MONOTONIC — one clock base per
+   host — so child span timestamps align with the parent's without any
+   translation.)
+3. **Thread safety.**  Finished spans append to the buffer under a lock;
+   the *current span* used for nesting is a ``contextvars.ContextVar``,
+   so concurrent threads (and asyncio tasks) nest independently.
+
+A :class:`Span` records name, category, start (monotonic seconds),
+duration, pid/tid and its parent span's name; :meth:`Tracer.instant`
+records zero-duration point events (steals, requeues).  Spans serialize
+to plain dicts (:meth:`Tracer.drain`) so they cross fork pipes and the
+fabric wire as JSON; :meth:`Tracer.absorb` folds such dicts back in.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Span", "Tracer", "TRACER"]
+
+
+class Span:
+    """One completed (or in-flight) traced operation."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "pid", "tid", "parent",
+                 "args", "phase")
+
+    def __init__(self, name: str, cat: str = "task",
+                 args: Optional[Dict[str, object]] = None,
+                 phase: str = "X") -> None:
+        self.name = name
+        self.cat = cat
+        self.ts = 0.0              # monotonic seconds at __enter__
+        self.dur = 0.0             # seconds; 0 for instants
+        self.pid = 0
+        self.tid = 0
+        self.parent: Optional[str] = None
+        self.args = args
+        self.phase = phase         # "X" complete | "i" instant
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name, "cat": self.cat, "ph": self.phase,
+            "ts": self.ts, "dur": self.dur,
+            "pid": self.pid, "tid": self.tid,
+        }
+        if self.parent is not None:
+            data["parent"] = self.parent
+        if self.args:
+            data["args"] = self.args
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object],
+                  ts_offset: float = 0.0) -> "Span":
+        span = cls(str(data.get("name", "?")),
+                   cat=str(data.get("cat", "task")),
+                   args=data.get("args"),
+                   phase=str(data.get("ph", "X")))
+        span.ts = float(data.get("ts", 0.0)) + ts_offset
+        span.dur = float(data.get("dur", 0.0))
+        span.pid = int(data.get("pid", 0))
+        span.tid = int(data.get("tid", 0))
+        parent = data.get("parent")
+        span.parent = str(parent) if parent is not None else None
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, cat={self.cat}, ts={self.ts:.6f}, "
+                f"dur={self.dur:.6f}, pid={self.pid})")
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer's buffer."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        span = self._span
+        current = self._tracer._current.get()
+        span.parent = current.name if current is not None else None
+        span.pid = os.getpid()
+        span.tid = threading.get_ident()
+        self._token = self._tracer._current.set(span)
+        span.ts = time.monotonic()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.dur = time.monotonic() - span.ts
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._record(span)
+        return False
+
+
+class _NullSpan:
+    """The disabled-path context manager: one shared, immutable no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A buffer of completed spans plus the enable switch.
+
+    One global instance (:data:`TRACER`) serves the whole process; tests
+    may construct private tracers.  All buffer access is fork-checked:
+    the first touch in a forked child discards inherited spans so a
+    child ships exactly the spans it recorded itself.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._buffer: List[Span] = []
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._current: contextvars.ContextVar[Optional[Span]] = \
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+
+    # -- lifecycle --------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every buffered span (enable state is untouched)."""
+        with self._lock:
+            self._buffer = []
+            self._pid = os.getpid()
+
+    def _fork_check_locked(self) -> None:
+        # Called with the lock held.  A pid mismatch means this process
+        # forked after spans were buffered: those spans belong to (and
+        # were already kept by) the parent — shipping them again from
+        # here would double-merge them.
+        pid = os.getpid()
+        if pid != self._pid:
+            self._buffer = []
+            self._pid = pid
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._fork_check_locked()
+            self._buffer.append(span)
+
+    # -- recording --------------------------------------------------------
+    def span(self, name: str, cat: str = "task",
+             args: Optional[Dict[str, object]] = None):
+        """Open a nested span; use as ``with TRACER.span("check"): ...``.
+
+        Disabled tracers return a preallocated null context manager —
+        the zero-allocation contract the hot paths rely on.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, Span(name, cat=cat, args=args))
+
+    def instant(self, name: str, cat: str = "event",
+                args: Optional[Dict[str, object]] = None) -> None:
+        """Record a zero-duration point event (steal, requeue, ...)."""
+        if not self.enabled:
+            return
+        span = Span(name, cat=cat, args=args, phase="i")
+        span.ts = time.monotonic()
+        span.pid = os.getpid()
+        span.tid = threading.get_ident()
+        current = self._current.get()
+        span.parent = current.name if current is not None else None
+        self._record(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span in this thread/context (or None)."""
+        return self._current.get()
+
+    # -- extraction -------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Snapshot of the buffered spans (buffer keeps them)."""
+        with self._lock:
+            self._fork_check_locked()
+            return list(self._buffer)
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Remove and return all buffered spans as plain dicts.
+
+        The cross-process shipping form: a fork child drains right
+        before exiting, a worker agent drains into each ``result``
+        frame, so every span is shipped exactly once.
+        """
+        with self._lock:
+            self._fork_check_locked()
+            buffered, self._buffer = self._buffer, []
+        return [span.as_dict() for span in buffered]
+
+    def absorb(self, span_dicts: Sequence[Dict[str, object]],
+               ts_offset: float = 0.0) -> None:
+        """Fold drained span dicts (from a child/agent) into this buffer."""
+        spans = [Span.from_dict(data, ts_offset=ts_offset)
+                 for data in span_dicts]
+        with self._lock:
+            self._fork_check_locked()
+            self._buffer.extend(spans)
+
+
+#: The process-global tracer every instrumentation site records into.
+TRACER = Tracer()

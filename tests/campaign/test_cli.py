@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.core.cli import main as cli_main
 
 
@@ -18,6 +20,50 @@ class TestCampaignCli:
         data = json.loads(json_out.read_text())
         assert data["totals"]["ok"] == 1
         assert "| A2." in md_out.read_text()
+
+    def test_obs_flags_write_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        record = tmp_path / "record.json"
+        rc = cli_main(["campaign", "--cases", "A2", "--workers", "2",
+                       "--granularity", "property",
+                       "--trace", str(trace),
+                       "--trace-jsonl", str(jsonl),
+                       "--metrics",
+                       "--execution-record", str(record)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Phases: frontend" in out
+        assert "Metrics:" in out
+        assert "task.executed" in out
+        doc = json.loads(trace.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"M", "X"}
+        assert jsonl.read_text().count("\n") > 0
+        from repro.obs.record import validate_record
+        data = json.loads(record.read_text())
+        validate_record(data)
+        assert data["config"]["granularity"] == "property"
+        assert data["span_count"] > 0
+        # Tracing is per-run: a later untraced campaign stays clean.
+        from repro.obs import TRACER
+        assert not TRACER.enabled
+
+    def test_report_json_carries_phases(self, tmp_path, capsys):
+        json_out = tmp_path / "report.json"
+        rc = cli_main(["campaign", "--cases", "A2", "--workers", "1",
+                       "--granularity", "property",
+                       "--json", str(json_out)])
+        assert rc == 0
+        capsys.readouterr()
+        data = json.loads(json_out.read_text())
+        phases = data["phases"]
+        assert set(phases) == {"frontend_s", "solve_s", "engine_other_s",
+                               "overhead_s", "wall_s"}
+        assert phases["solve_s"] > 0
+        # 1-worker runs are additive: phases account for the wall time.
+        total = (phases["frontend_s"] + phases["solve_s"]
+                 + phases["engine_other_s"] + phases["overhead_s"])
+        assert total == pytest.approx(phases["wall_s"], abs=0.05)
 
     def test_usage_errors_exit_1(self, capsys):
         # Both semantic and argparse-level usage errors keep the

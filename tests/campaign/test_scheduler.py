@@ -34,6 +34,8 @@ def _comparable(results):
     for result in results:
         payload = dict(result.payload or {})
         payload.pop("engine_time_s", None)  # timing is not part of the contract
+        payload.pop("solve_time_s", None)
+        payload.pop("solver", None)   # counters vary with grouping/steals
         out.append((result.job_id, result.status, result.error, payload))
     return out
 

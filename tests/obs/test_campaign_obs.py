@@ -1,0 +1,111 @@
+"""Observability through the real campaign pipeline (LocalTransport).
+
+The contracts under test:
+
+* span structure is deterministic across worker counts — the same task
+  decomposition yields the same (name, cat) multiset whether 1, 2 or 4
+  forked workers executed it;
+* fork-child spans and metric snapshots merge into the scheduler's view
+  exactly once (no double counting through the inherited buffer);
+* with tracing disabled (the default) campaigns record no spans at all.
+"""
+
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.campaign import expand_jobs, run_property_campaign
+from repro.formal.engine import EngineConfig
+from repro.obs import METRICS, TRACER
+
+FAST_CONFIG = EngineConfig(max_bound=6, max_frames=25)
+
+
+@pytest.fixture()
+def clean_obs():
+    TRACER.reset()
+    METRICS.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.reset()
+
+
+@pytest.fixture(scope="module")
+def a2_jobs():
+    return expand_jobs(case_ids=["A2"], config=FAST_CONFIG)
+
+
+def _run_traced(jobs, workers):
+    TRACER.reset()
+    METRICS.reset()
+    TRACER.enable()
+    results = run_property_campaign(jobs, workers=workers,
+                                    schedule="inventory")
+    spans = TRACER.drain()
+    snapshot = METRICS.snapshot()
+    return results, spans, snapshot
+
+
+class TestSpanDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_structure_stable_across_worker_counts(self, clean_obs,
+                                                   a2_jobs, workers):
+        results, spans, snapshot = _run_traced(a2_jobs, workers)
+        assert all(r.status == "ok" for r in results)
+        shape = TallyCounter((s["name"], s["cat"]) for s in spans)
+        # The inventory schedule fixes the task decomposition, so the
+        # span multiset is worker-count independent.
+        baseline = getattr(type(self), "_baseline", None)
+        if baseline is None:
+            type(self)._baseline = shape
+        else:
+            assert shape == baseline
+        # Every span category the pipeline emits is present.
+        cats = {s["cat"] for s in spans}
+        assert {"frontend", "task", "compile", "check"} <= cats
+
+    def test_task_spans_parent_compile_and_check(self, clean_obs, a2_jobs):
+        _, spans, _ = _run_traced(a2_jobs, 2)
+        for span in spans:
+            if span["name"] in ("compile", "check") \
+                    and span["cat"] != "frontend":
+                assert span.get("parent") == "task"
+
+
+class TestExactlyOnceMerge:
+    def test_child_spans_and_metrics_merge_once(self, clean_obs, a2_jobs):
+        _, spans, snapshot = _run_traced(a2_jobs, 2)
+        task_spans = [s for s in spans if s["name"] == "task"]
+        executed = snapshot["counters"]["task.executed"]
+        # One "task" span per executed child task — inherited parent
+        # spans (frontend compiles) never re-ship from the children.
+        assert len(task_spans) == executed
+        task_ids = [s["args"]["task_id"] for s in task_spans]
+        assert len(task_ids) == len(set(task_ids))
+        frontend = [s for s in spans if s["cat"] == "frontend"]
+        scheduler_pid = frontend[0]["pid"]
+        assert all(s["pid"] == scheduler_pid for s in frontend)
+        # Child task spans come from forked pids, not the scheduler.
+        assert all(s["pid"] != scheduler_pid for s in task_spans)
+
+    def test_solver_counters_survive_the_pipe(self, clean_obs, a2_jobs):
+        results, _, snapshot = _run_traced(a2_jobs, 2)
+        counters = snapshot["counters"]
+        assert counters.get("solver.solve_calls", 0) > 0
+        # The merged registry total equals the per-result payload sums.
+        payload_total = sum(
+            (r.payload or {}).get("solver", {}).get("solve_calls", 0)
+            for r in results)
+        assert counters["solver.solve_calls"] == payload_total
+        hist = snapshot["histograms"]["scheduler.dispatch_latency_s"]
+        assert hist["count"] == counters["task.executed"]
+
+
+class TestDisabledDefault:
+    def test_untraced_campaign_records_no_spans(self, clean_obs, a2_jobs):
+        assert not TRACER.enabled
+        run_property_campaign(a2_jobs, workers=2)
+        assert TRACER.drain() == []
+        # Metrics are always on, even untraced.
+        assert METRICS.snapshot()["counters"]["task.executed"] > 0

@@ -1,0 +1,141 @@
+"""Chrome-trace export and ExecutionRecord structural contracts."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, Tracer
+from repro.obs.export import chrome_trace, write_chrome_trace, write_jsonl
+from repro.obs.record import (RECORD_SCHEMA_VERSION, build_record,
+                              validate_record)
+
+
+def _sample_spans():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("task", cat="task", args={"task_id": "t0"}):
+        with tracer.span("compile", cat="compile"):
+            pass
+        tracer.instant("steal", cat="scheduler")
+    return tracer.drain()
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(_sample_spans())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = sorted({e["ph"] for e in events})
+        assert phases == ["M", "X", "i"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["name"] == "process_name"
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "p" for e in instants)
+        assert all("dur" not in e for e in instants)
+
+    def test_timestamps_rebased_to_microseconds(self):
+        spans = _sample_spans()
+        doc = chrome_trace(spans)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        # dur is µs: the compile span's seconds dur scaled by 1e6.
+        compile_span = next(s for s in spans if s["name"] == "compile")
+        compile_event = next(e for e in xs if e["name"] == "compile")
+        assert compile_event["dur"] == \
+            pytest.approx(compile_span["dur"] * 1e6, abs=0.01)
+
+    def test_process_names_label_pids(self):
+        spans = _sample_spans()
+        pid = spans[0]["pid"]
+        doc = chrome_trace(spans, process_names={pid: "scheduler"})
+        meta = next(e for e in doc["traceEvents"] if e["ph"] == "M")
+        assert meta["args"]["name"] == "scheduler"
+
+    def test_accepts_span_objects_and_dicts(self):
+        span = Span("x")
+        span.ts, span.dur, span.pid = 1.0, 0.5, 42
+        for form in (span, span.as_dict()):
+            doc = chrome_trace([form])
+            assert doc["traceEvents"][-1]["name"] == "x"
+
+    def test_file_writers(self, tmp_path):
+        spans = _sample_spans()
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        write_chrome_trace(trace_path, spans)
+        write_jsonl(jsonl_path, spans)
+        doc = json.loads(trace_path.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} == {"M", "X", "i"}
+        lines = [json.loads(line) for line
+                 in jsonl_path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == \
+            [span["name"] for span in spans]
+
+
+class _FakeJob:
+    def __init__(self, job_id):
+        self.job_id = job_id
+        self.case_id = job_id.split(".")[0]
+        self.variant = "fixed"
+        self.engine_config = None
+
+
+class _FakeResult:
+    def __init__(self, job_id, status="ok"):
+        self.job_id = job_id
+        self.status = status
+        self.from_cache = False
+        self.wall_time_s = 1.25
+        self.steals = 0
+        self.worker = None
+        self.error = None
+        self.payload = {"engine_time_s": 1.0, "solve_time_s": 0.4,
+                        "solver": {"conflicts": 10, "wall_time_s": 0.4}}
+
+
+class _FakeReport:
+    def __init__(self):
+        self.jobs = [_FakeJob("A1.fixed"), _FakeJob("A2.fixed")]
+        self.results = [_FakeResult("A1.fixed"), _FakeResult("A2.fixed")]
+        self.worker_stats = None
+        self.cache_stats = None
+        self.wall_time_s = 2.0
+
+    def phase_breakdown(self):
+        return {"frontend_s": 0.1, "solve_s": 0.8, "engine_other_s": 1.2,
+                "overhead_s": 0.0, "wall_s": 2.0}
+
+
+class TestExecutionRecord:
+    def test_build_and_validate_round_trip(self, tmp_path):
+        record = build_record(_FakeReport(), config={"workers": 2},
+                              metrics={"counters": {"task.executed": 2}},
+                              span_count=7)
+        path = tmp_path / "record.json"
+        record.write(path)
+        data = json.loads(path.read_text())
+        validate_record(data)               # must not raise
+        assert data["schema_version"] == RECORD_SCHEMA_VERSION
+        assert data["solver"]["conflicts"] == 20
+        assert data["span_count"] == 7
+        assert [t["job_id"] for t in data["tasks"]] == \
+            ["A1.fixed", "A2.fixed"]
+
+    def test_digest_detects_inventory_tampering(self):
+        data = json.loads(build_record(_FakeReport()).to_json())
+        data["inventory"][0]["variant"] = "buggy"
+        with pytest.raises(ValueError, match="digest"):
+            validate_record(data)
+
+    @pytest.mark.parametrize("mutation,match", [
+        (lambda d: d.update(schema_version=99), "schema_version"),
+        (lambda d: d.update(tasks={}), "tasks"),
+        (lambda d: d["tasks"][0].pop("status"), "status"),
+        (lambda d: d.update(span_count="many"), "span_count"),
+        (lambda d: d["phases"].update(solve_s="fast"), "numeric"),
+    ])
+    def test_validation_rejects_malformed(self, mutation, match):
+        data = json.loads(build_record(_FakeReport()).to_json())
+        mutation(data)
+        with pytest.raises(ValueError, match=match):
+            validate_record(data)

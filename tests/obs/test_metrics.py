@@ -1,0 +1,113 @@
+"""MetricsRegistry unit contract: types, snapshots, merge semantics."""
+
+import json
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        reg.counter("c").inc(0.5)
+        assert reg.snapshot()["counters"]["c"] == 3.5
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(7)
+        reg.gauge("g").set(3)
+        assert reg.snapshot()["gauges"]["g"] == 3
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.min == 0.5 and hist.max == 50.0
+        assert hist.buckets == [2, 1, 1]       # <=1, <=10, overflow
+        assert abs(hist.mean - 14.05) < 1e-9
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.05)
+        wire = json.loads(json.dumps(reg.snapshot()))
+        assert wire["histograms"]["h"]["count"] == 1
+
+    def test_merge_adds_counters_and_overwrites_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        a.gauge("g").set(1)
+        b.counter("c").inc(4)
+        b.gauge("g").set(9)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 7
+        assert snap["gauges"]["g"] == 9
+
+    def test_merge_histograms_bucketwise_when_bounds_match(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 10.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 10.0)).observe(5.0)
+        b.histogram("h", bounds=(1.0, 10.0)).observe(50.0)
+        a.merge(b.snapshot())
+        merged = a.snapshot()["histograms"]["h"]
+        assert merged["count"] == 3
+        assert merged["buckets"] == [1, 1, 1]
+        assert merged["min"] == 0.5 and merged["max"] == 50.0
+
+    def test_merge_mismatched_bounds_keeps_scalar_stats(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(2.0, 4.0)).observe(3.0)
+        a.merge(b.snapshot())
+        merged = a.snapshot()["histograms"]["h"]
+        assert merged["count"] == 2            # scalars always merge
+        assert merged["sum"] == 3.5
+        assert merged["max"] == 3.0
+        assert merged["buckets"] == [1, 0]     # local shape untouched
+
+    def test_merge_into_empty_registry_adopts_bounds(self):
+        src = MetricsRegistry()
+        src.histogram("h", bounds=(2.0,)).observe(1.0)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot()["histograms"]["h"]["bounds"] == [2.0]
+
+    def test_merge_none_is_a_noop(self):
+        reg = MetricsRegistry()
+        reg.merge(None)
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+
+class TestDrainReset:
+    def test_drain_empties_and_returns_none_when_empty(self):
+        reg = MetricsRegistry()
+        assert reg.drain() is None
+        reg.counter("c").inc()
+        shipped = reg.drain()
+        assert shipped["counters"]["c"] == 1
+        assert reg.drain() is None             # exactly-once
+
+    def test_default_bounds_are_seconds_flavored(self):
+        assert DEFAULT_BOUNDS[0] < 1.0 < DEFAULT_BOUNDS[-1]
+
+    def test_format_table_renders_each_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("solver.conflicts").inc(10)
+        reg.gauge("scheduler.queue_depth").set(4)
+        reg.histogram("latency").observe(0.25)
+        text = reg.format_table()
+        assert "solver.conflicts" in text
+        assert "(gauge)" in text
+        assert "n=1" in text

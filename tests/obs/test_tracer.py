@@ -1,0 +1,176 @@
+"""Tracer unit contract: nesting, instants, fork hygiene, zero-cost off.
+
+These tests use private :class:`Tracer` instances, not the global
+``TRACER``, so they cannot interfere with campaign tests that run in the
+same process.
+"""
+
+import json
+import os
+import threading
+import tracemalloc
+
+from repro.obs import Span, Tracer
+
+
+def _traced(tracer):
+    with tracer.span("task", cat="task", args={"task_id": "t0"}):
+        with tracer.span("compile", cat="compile"):
+            pass
+        with tracer.span("check", cat="check"):
+            tracer.instant("steal", cat="scheduler")
+    return tracer.spans()
+
+
+class TestNesting:
+    def test_parent_links_and_completion_order(self):
+        tracer = Tracer()
+        tracer.enable()
+        spans = _traced(tracer)
+        # Spans buffer in completion order: innermost first.
+        names = [s.name for s in spans]
+        assert names == ["compile", "steal", "check", "task"]
+        by_name = {s.name: s for s in spans}
+        assert by_name["task"].parent is None
+        assert by_name["compile"].parent == "task"
+        assert by_name["check"].parent == "task"
+        assert by_name["steal"].parent == "check"
+
+    def test_timestamps_nest(self):
+        tracer = Tracer()
+        tracer.enable()
+        spans = {s.name: s for s in _traced(tracer)}
+        task, check = spans["task"], spans["check"]
+        assert task.ts <= check.ts
+        assert check.ts + check.dur <= task.ts + task.dur + 1e-6
+        assert spans["steal"].dur == 0.0
+        assert spans["steal"].phase == "i"
+
+    def test_current_span_tracks_innermost(self):
+        tracer = Tracer()
+        tracer.enable()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        tracer.enable()
+        seen = []
+
+        def worker(tag):
+            with tracer.span(f"outer-{tag}"):
+                with tracer.span(f"inner-{tag}"):
+                    seen.append(tracer.current.name)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(seen) == [f"inner-{i}" for i in range(4)]
+        parents = {s.name: s.parent for s in tracer.spans()}
+        for i in range(4):
+            assert parents[f"inner-{i}"] == f"outer-{i}"
+
+
+class TestDrainAbsorb:
+    def test_round_trip_is_json_safe(self):
+        tracer = Tracer()
+        tracer.enable()
+        _traced(tracer)
+        drained = tracer.drain()
+        assert tracer.spans() == []          # drain empties the buffer
+        wire = json.loads(json.dumps(drained))  # survives the fork pipe
+        other = Tracer()
+        other.absorb(wire, ts_offset=0.0)
+        names = sorted(s.name for s in other.spans())
+        assert names == ["check", "compile", "steal", "task"]
+
+    def test_absorb_applies_ts_offset(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("x"):
+            pass
+        drained = tracer.drain()
+        other = Tracer()
+        other.absorb(drained, ts_offset=100.0)
+        assert other.spans()[0].ts == drained[0]["ts"] + 100.0
+
+
+class TestForkSafety:
+    def test_child_ships_only_its_own_spans(self):
+        """Parent spans inherited through fork() must not re-ship."""
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("parent-span"):
+            pass
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:                                  # child
+            os.close(read_fd)
+            try:
+                with tracer.span("child-span"):
+                    pass
+                payload = json.dumps(tracer.drain()).encode()
+                os.write(write_fd, payload)
+            finally:
+                os.close(write_fd)
+                os._exit(0)
+        os.close(write_fd)
+        chunks = []
+        while True:
+            chunk = os.read(read_fd, 65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        os.close(read_fd)
+        os.waitpid(pid, 0)
+        shipped = json.loads(b"".join(chunks).decode())
+        assert [s["name"] for s in shipped] == ["child-span"]
+        # Parent keeps its span exactly once.
+        tracer.absorb(shipped)
+        assert sorted(s.name for s in tracer.spans()) == \
+            ["child-span", "parent-span"]
+
+
+class TestDisabledIsFree:
+    def test_disabled_span_is_the_shared_null(self):
+        tracer = Tracer()
+        a = tracer.span("x")
+        b = tracer.span("y", cat="check", args={"k": 1})
+        assert a is b                          # one preallocated object
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            tracer.instant("i")
+        assert tracer.spans() == []
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        """The tier-1 contract: tracing off costs zero allocations."""
+        tracer = Tracer()
+        trace_py = Span.__init__.__code__.co_filename
+
+        def hot():
+            for _ in range(200):
+                with tracer.span("task", cat="task"):
+                    tracer.instant("evt")
+
+        hot()                                  # warm any lazy caches
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        hot()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        flt = tracemalloc.Filter(True, trace_py)
+        grown = [stat for stat
+                 in after.filter_traces([flt]).compare_to(
+                     before.filter_traces([flt]), "lineno")
+                 if stat.size_diff > 0]
+        assert not grown, f"allocations on disabled path: {grown}"
