@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	dist-smoke obs-smoke campaign bench-campaign bench-hotpath \
-	perf-smoke verify
+	dist-smoke obs-smoke service-smoke campaign bench-campaign \
+	bench-hotpath perf-smoke serve verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,17 @@ dist-smoke:
 obs-smoke:
 	$(PYTHON) benchmarks/obs_smoke.py
 
+# Campaign-service gate: 3 overlapping HTTP campaigns from 2 tenants on
+# one shared 2-worker fleet must be verdict-identical (digests) to
+# one-shot runs; an over-quota submission must be a structured 429 that
+# consumes zero fabric slots; every ExecutionRecord must re-validate.
+service-smoke:
+	$(PYTHON) benchmarks/service_smoke.py --workers 2
+
+# The long-lived front door itself (docs/service.md).
+serve:
+	$(PYTHON) -m repro.core.cli serve --listen 127.0.0.1:8420 --workers 2
+
 campaign:
 	$(PYTHON) -m repro.core.cli campaign --workers 4 \
 	--cache-dir .repro-cache
@@ -58,4 +69,4 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_formal_hotpath.py --quick --check
 
 verify: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	dist-smoke obs-smoke
+	dist-smoke obs-smoke service-smoke

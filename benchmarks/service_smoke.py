@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Campaign-service smoke gate: concurrent HTTP campaigns == one-shot CLI.
+
+The CI-facing acceptance check of the campaign-as-a-service front door:
+boot ``autosva serve`` machinery (broker + asyncio HTTP server) over ONE
+shared 2-worker local fleet, submit three overlapping campaigns from two
+tenants over HTTP, and fail (exit 1) unless
+
+* every campaign's verdicts are **bit-identical** (verdict-contract
+  digest) to a one-shot ``run_property_campaign`` of the same jobs —
+  multiplexing many tenants onto one fabric must be invisible in the
+  verdicts;
+* an over-quota submission is rejected with a structured 429 body and
+  consumes **zero** fabric slots (no campaign object, no tasks);
+* every completed campaign's ExecutionRecord re-validates from its JSON
+  wire form (digest check included);
+* each campaign's SSE stream is isolated and terminates with its own
+  ``campaign_done`` frame.
+
+Usage::
+
+    python benchmarks/service_smoke.py
+    python benchmarks/service_smoke.py --cases A1,A2 --workers 2
+"""
+
+import argparse
+import asyncio
+import hashlib
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.campaign import (expand_jobs,  # noqa: E402
+                            run_property_campaign, verdict_contract)
+from repro.formal import EngineConfig  # noqa: E402
+from repro.obs.record import validate_record  # noqa: E402
+from repro.service import (CampaignBroker, CampaignServer,  # noqa: E402
+                           TenantQuota, TenantRegistry)
+
+
+def verdict_digest(results) -> str:
+    """Content hash of everything the verdict contract covers."""
+    return hashlib.sha256(json.dumps(
+        verdict_contract(results), sort_keys=True).encode()).hexdigest()
+
+
+class _Service:
+    """The server on its own event-loop thread (what ``serve`` runs)."""
+
+    def __init__(self, broker):
+        self.broker = broker
+        self.server = CampaignServer(broker)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(10.0):
+            raise RuntimeError("service never came up")
+
+    def _run(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.server.start("127.0.0.1", 0)
+            self.port = self.server.address[1]
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.close()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+        self.broker.close()
+
+    def request(self, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=120.0)
+        try:
+            connection.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"null")
+        finally:
+            connection.close()
+
+    def stream_events(self, campaign_id):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=600.0)
+        try:
+            connection.request(
+                "GET", f"/campaigns/{campaign_id}/events?format=ndjson")
+            response = connection.getresponse()
+            assert response.status == 200
+            return [json.loads(line)
+                    for line in response.read().decode().splitlines()]
+        finally:
+            connection.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cases", default="A1,A2",
+                        help="two case ids: tenants overlap on the first")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--depth", type=int, default=8)
+    parser.add_argument("--frames", type=int, default=30)
+    args = parser.parse_args(argv)
+
+    case_ids = [c.strip() for c in args.cases.split(",") if c.strip()]
+    if len(case_ids) < 2:
+        print("service-smoke: need at least two cases", file=sys.stderr)
+        return 1
+    config = EngineConfig(max_bound=args.depth, max_frames=args.frames)
+
+    # The one-shot truth, per case set, on its own fork pool.
+    oneshot_digest = {}
+    begin = time.monotonic()
+    for case_id in case_ids[:2]:
+        jobs = expand_jobs(case_ids=[case_id], config=config)
+        oneshot_digest[case_id] = verdict_digest(
+            run_property_campaign(jobs, workers=args.workers))
+    oneshot_wall = time.monotonic() - begin
+    print(f"service-smoke: one-shot truth computed in {oneshot_wall:5.1f}s "
+          f"({', '.join(case_ids[:2])})")
+
+    registry = TenantRegistry(
+        overrides={"capped": TenantQuota(max_open_campaigns=0)})
+    service = _Service(CampaignBroker(workers=args.workers,
+                                      tenants=registry).start())
+    try:
+        # Three overlapping campaigns from two tenants on ONE fleet;
+        # alice and bob both want the first design (compile sharing).
+        submissions = [("alice", case_ids[0]), ("bob", case_ids[0]),
+                       ("alice", case_ids[1])]
+        begin = time.monotonic()
+        admitted = []
+        for tenant, case_id in submissions:
+            status, body = service.request(
+                "POST", "/campaigns", {"tenant": tenant,
+                                       "cases": [case_id],
+                                       "depth": args.depth,
+                                       "frames": args.frames})
+            if status != 201:
+                print(f"service-smoke: FAIL — submit({tenant},{case_id}) "
+                      f"returned {status}: {body}", file=sys.stderr)
+                return 1
+            admitted.append((tenant, case_id, body["id"]))
+        print(f"service-smoke: {len(admitted)} campaign(s) admitted on one "
+              f"{args.workers}-worker fleet")
+
+        # The over-quota tenant is refused with a structured body —
+        # before anything was allocated.
+        status, body = service.request(
+            "POST", "/campaigns", {"tenant": "capped",
+                                   "cases": [case_ids[0]]})
+        if status != 429 or body.get("error") != "too_many_campaigns" \
+                or not body.get("detail"):
+            print(f"service-smoke: FAIL — over-quota submission got "
+                  f"{status}: {body}", file=sys.stderr)
+            return 1
+        status, listing = service.request("GET", "/campaigns")
+        if len(listing["campaigns"]) != len(admitted):
+            print(f"service-smoke: FAIL — rejected submission left "
+                  f"{len(listing['campaigns'])} campaigns (expected "
+                  f"{len(admitted)})", file=sys.stderr)
+            return 1
+        print("service-smoke: over-quota submission rejected 429 "
+              "(too_many_campaigns), zero slots consumed")
+
+        # Drain every SSE stream to its own terminal frame.
+        failures = 0
+        for tenant, case_id, campaign_id in admitted:
+            events = service.stream_events(campaign_id)
+            terminal = events[-1]
+            if terminal.get("kind") != "campaign_done" \
+                    or terminal.get("status") != "completed" \
+                    or terminal.get("campaign") != campaign_id:
+                print(f"service-smoke: FAIL — {campaign_id} terminal "
+                      f"frame: {terminal}", file=sys.stderr)
+                failures += 1
+        service_wall = time.monotonic() - begin
+        print(f"service-smoke: all streams terminal in {service_wall:5.1f}s")
+
+        # Verdict digests must match the one-shot runs bit for bit, and
+        # every record must re-validate from its wire JSON.
+        for tenant, case_id, campaign_id in admitted:
+            campaign = service.broker.get(campaign_id)
+            digest = verdict_digest(campaign.results)
+            if digest != oneshot_digest[case_id]:
+                print(f"service-smoke: FAIL — {campaign_id} "
+                      f"({tenant}/{case_id}) verdicts diverged from the "
+                      f"one-shot run\n  one-shot: "
+                      f"{oneshot_digest[case_id]}\n   service: {digest}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            status, record = service.request(
+                "GET", f"/campaigns/{campaign_id}/record")
+            try:
+                validate_record(record)
+            except Exception as exc:
+                print(f"service-smoke: FAIL — {campaign_id} record "
+                      f"invalid: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            print(f"  {campaign_id} ({tenant}/{case_id}): digest "
+                  f"{digest[:16]}… == one-shot, record valid")
+
+        status, status_body = service.request("GET", "/status")
+        phases = status_body.get("phases", {})
+        print(f"service-smoke: fleet phases: "
+              f"{json.dumps(phases, sort_keys=True)}")
+        if failures:
+            print(f"service-smoke: FAIL ({failures} check(s))",
+                  file=sys.stderr)
+            return 1
+        print("service-smoke: OK — concurrent HTTP campaigns are "
+              "verdict-identical to one-shot runs")
+        return 0
+    finally:
+        service.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

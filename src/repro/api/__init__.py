@@ -58,7 +58,8 @@ from ..formal.engines import (Engine, EngineVerdict, LivenessStrategy,
                               register_liveness_strategy)
 from .compile import (COMPILE_CACHE, CompileCache, CompiledDesign,
                       compile_design, design_key)
-from .session import VerificationSession, aggregate_reports, run_tasks
+from .session import (VerificationSession, aggregate_reports,
+                      event_from_result, run_tasks)
 from .task import (PropertyTask, TaskEvent, execute_task, expand_tasks,
                    group_properties)
 
@@ -70,7 +71,8 @@ __all__ = [
     "register_engine", "register_liveness_strategy",
     "COMPILE_CACHE", "CompileCache", "CompiledDesign",
     "compile_design", "design_key",
-    "VerificationSession", "aggregate_reports", "run_tasks",
+    "VerificationSession", "aggregate_reports", "event_from_result",
+    "run_tasks",
     "PropertyTask", "TaskEvent", "execute_task", "expand_tasks",
     "group_properties",
 ]

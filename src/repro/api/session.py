@@ -40,10 +40,18 @@ from ..formal.engine import CheckReport, PropertyResult
 from .compile import compile_design
 from .task import PropertyTask, TaskEvent, execute_task
 
-__all__ = ["VerificationSession", "run_tasks", "aggregate_reports"]
+__all__ = ["VerificationSession", "aggregate_reports", "event_from_result",
+           "run_tasks"]
 
 
-def _event_from(task: PropertyTask, result) -> TaskEvent:
+def event_from_result(task: PropertyTask, result) -> TaskEvent:
+    """Build the public :class:`TaskEvent` for a finished task.
+
+    The one place a scheduler ``JobResult`` becomes the event shape every
+    streaming consumer sees — the session below and the campaign service
+    broker, which drives the scheduler itself but must emit events
+    indistinguishable from a one-shot session's.
+    """
     payload = result.payload or {}
     return TaskEvent(
         task_id=task.task_id, design=task.design, variant=task.variant,
@@ -61,6 +69,10 @@ def _event_from(task: PropertyTask, result) -> TaskEvent:
         engine_time_s=float(payload.get("engine_time_s", 0.0)),
         solve_time_s=float(payload.get("solve_time_s", 0.0)),
         solver=dict(payload.get("solver") or {}))
+
+
+#: Backwards-compatible private alias (pre-service name).
+_event_from = event_from_result
 
 
 def _combine_payloads(task: PropertyTask, first: Dict, second: Dict

@@ -45,11 +45,16 @@ class CacheEntry:
 class ArtifactCache:
     """A directory of content-addressed job results."""
 
-    def __init__(self, cache_dir) -> None:
+    def __init__(self, cache_dir, fsync: bool = False) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Force each entry to stable storage before the rename makes it
+        #: visible — a crash can then never leave a *visible* torn entry
+        #: (torn files are already only a miss, so this is for caches
+        #: whose entries feed audit trails, not correctness).
+        self.fsync = fsync
 
     # -- keying ------------------------------------------------------------
     def key(self, job) -> str:
@@ -145,10 +150,15 @@ class ArtifactCache:
         # must not race on the rename source.  Content-addressing makes the
         # replace itself safe — writers of the same key agree on content.
         tmp = self.cache_dir / f".{key}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(
+        data = json.dumps(
             {"schema": _SCHEMA_VERSION, "payload": payload,
              "wall_time_s": wall_time_s},
-            sort_keys=True))
+            sort_keys=True)
+        with tmp.open("w") as handle:
+            handle.write(data)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         tmp.replace(path)
 
     def stats(self) -> Dict[str, int]:

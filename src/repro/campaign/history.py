@@ -27,6 +27,7 @@ real liveness/assert/cover cost ratios.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -63,10 +64,21 @@ def summarize_run(report: CampaignReport,
 
 
 class CampaignHistory:
-    """An append-only JSONL log of campaign runs."""
+    """An append-only JSONL log of campaign runs.
 
-    def __init__(self, path) -> None:
+    Appends are **atomic at the line level**: each record is written as
+    a single ``os.write`` on an ``O_APPEND`` descriptor, which POSIX
+    guarantees lands as one contiguous byte range — concurrent writers
+    (the campaign service settles many campaigns against one history
+    file) can interleave *lines* but never tear one.  ``fsync=True``
+    additionally forces each record to stable storage before ``append``
+    returns, for histories that feed billing or audit rather than just
+    regression comparison.
+    """
+
+    def __init__(self, path, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = fsync
 
     # -- persistence -------------------------------------------------------
     def entries(self) -> List[Dict[str, object]]:
@@ -94,8 +106,18 @@ class CampaignHistory:
 
     def _write(self, record: Dict[str, object]) -> Dict[str, object]:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # O_APPEND + one write() = one atomic line, even with several
+        # processes appending to the same history concurrently; a
+        # buffered open("a") could flush a record in pieces and tear it.
+        fd = os.open(str(self.path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+            if self.fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
         return record
 
     def append(self, report: CampaignReport,

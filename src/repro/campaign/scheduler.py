@@ -62,6 +62,17 @@ The scheduler is unit-agnostic: a "job" is anything picklable with a
 :class:`~repro.api.task.PropertyTask`.  A source may also yield
 :class:`SourceNotice` markers (compile progress from the sharding
 frontend); they pass through the event stream untouched.
+
+**Session multiplexing (the service seam).**  A long-lived source (the
+campaign service's broker) may yield ``None`` to say "temporarily dry —
+nothing admissible right now, but do not treat me as exhausted".  The
+scheduler then stops pulling for the current round and re-probes the
+source on the next one; only :class:`StopIteration` ends the run.  A
+blocking source should bound its own internal wait (~0.1s) so the idle
+loop stays responsive without busy-spinning.  :meth:`Scheduler.cancel_where`
+is the matching retraction hook: it cancels queued (and
+transport-returned) jobs without touching verdicts of work already
+running.
 """
 
 from __future__ import annotations
@@ -508,6 +519,12 @@ class Scheduler:
         self._excluded: Dict[int, Set[str]] = {}
         self._next_index = 0
         self._exhausted = False
+        #: Set when the source yielded ``None`` ("temporarily dry") this
+        #: round; cleared at the top of every run-loop iteration.
+        self._source_blocked = False
+        #: Cancellation predicates installed by :meth:`cancel_where`;
+        #: consulted whenever a job would (re-)enter the queue.
+        self._cancel_predicates: List[Callable] = []
         # job admission index -> (split node, part slot) for stolen halves.
         self._half_of: Dict[int, Tuple[_SplitNode, int]] = {}
 
@@ -553,12 +570,18 @@ class Scheduler:
         immediate ``done`` events and never occupy a worker slot — on a
         remote transport they never cross the wire either, which is what
         keeps warm reruns local no matter where cold runs executed.
+        A ``None`` item marks the source *temporarily dry* (the service
+        broker's multiplex seam): stop pulling this round without
+        treating the source as exhausted.
         """
         while not self._exhausted:
             try:
                 item = next(self._source)
             except StopIteration:
                 self._exhausted = True
+                return
+            if item is None:
+                self._source_blocked = True
                 return
             if isinstance(item, SourceNotice):
                 self._emit.append(("notice", item))
@@ -576,6 +599,50 @@ class Scheduler:
                     continue
             self._queue.append((index, item))
             return
+
+    # -- cancellation (the service seam) ----------------------------------
+    def _cancelled_result(self, job) -> JobResult:
+        return JobResult(job_id=job.job_id, status="cancelled",
+                         error="cancelled before execution")
+
+    def _is_cancelled(self, job) -> bool:
+        return any(predicate(job) for predicate in self._cancel_predicates)
+
+    def cancel_where(self, predicate: Callable[[object], bool]) -> int:
+        """Cancel queued jobs matching ``predicate``; filter later requeues.
+
+        Each matching job still in this scheduler's queue is dropped and
+        emitted as a ``("done", index, job, result)`` event with status
+        ``"cancelled"`` — exactly-one-event-per-admitted-job holds, so a
+        multiplexing consumer (the campaign service broker) can settle its
+        bookkeeping.  The predicate is retained: jobs the transport hands
+        back *later* (steal grants, worker deaths) are cancelled at
+        requeue time instead of being re-dispatched, which is how a
+        ``DELETE``d campaign's prefetched tasks are retracted from remote
+        agents through the existing reclaim/steal machinery.  Work already
+        *running* is never interrupted — its result arrives normally and
+        the caller discards it.  Returns the number of queued jobs
+        cancelled right now.
+
+        Must be called from the thread driving :meth:`run` (in practice:
+        from inside the source, which the scheduler itself invokes).
+        """
+        self._cancel_predicates.append(predicate)
+        kept: deque = deque()
+        cancelled = 0
+        for index, job in self._queue:
+            if predicate(job):
+                self._emit.append(("done", index, job,
+                                   self._cancelled_result(job)))
+                cancelled += 1
+            else:
+                kept.append((index, job))
+        self._queue = kept
+        # Pull back not-yet-started work the transport prefetched onto
+        # agents; the grants come home through _requeue, where the
+        # predicate cancels them.
+        self._transport.reclaim()
+        return cancelled
 
     # -- work stealing ----------------------------------------------------
     def _try_steal(self) -> None:
@@ -702,11 +769,16 @@ class Scheduler:
                     self._transport.reclaim()
                     return
             elif not self._queue:
+                if self._source_blocked:
+                    # Temporarily-dry multiplex source: nothing more to
+                    # issue this round; the run loop re-probes next time.
+                    return
                 self._pull_one()
                 continue
             elif len(self._queue) == 1 and free > 1 \
                     and self.split is not None \
-                    and self.split(self._queue[0][1]) is not None:
+                    and self.split(self._queue[0][1]) is not None \
+                    and not self._source_blocked:
                 self._pull_one()
                 continue
             launched = False
@@ -739,7 +811,16 @@ class Scheduler:
         ``worker_id`` None is a steal grant — a live worker voluntarily
         relinquished a not-yet-started task at the tail — which re-enters
         the queue silently (the subsequent split emits its own event).
+
+        A job cancelled by :meth:`cancel_where` between dispatch and
+        return settles as a ``cancelled`` done event here instead of
+        re-entering the queue — the retraction path for a cancelled
+        campaign's prefetched tasks.
         """
+        if self._is_cancelled(job):
+            self._emit.append(("done", index, job,
+                               self._cancelled_result(job)))
+            return
         self._queue.appendleft((index, job))
         if worker_id is not None:
             self._excluded.setdefault(index, set()).add(worker_id)
@@ -763,6 +844,7 @@ class Scheduler:
         """
         try:
             while True:
+                self._source_blocked = False
                 self._fill()
                 METRICS.gauge("scheduler.queue_depth").set(
                     len(self._queue))

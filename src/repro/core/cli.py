@@ -32,6 +32,13 @@ remote worker agents over TCP, verdict-identical to the local pool::
     autosva campaign --transport tcp --listen 127.0.0.1:0 --min-workers 2
     autosva worker --connect 127.0.0.1:PORT --slots auto   # on each host
     autosva campaign --transport tcp --spawn-workers 2     # loopback demo
+
+The ``serve`` subcommand runs the long-lived campaign service — an HTTP
+front door multiplexing many tenants' campaigns onto one shared worker
+fabric with per-tenant quotas and fair sharing (see ``docs/service.md``)::
+
+    autosva serve --listen 127.0.0.1:8420 --workers 2
+    autosva serve --transport tcp --spawn-workers 2 --quotas quotas.json
 """
 
 from __future__ import annotations
@@ -546,6 +553,9 @@ def main(argv: List[str] = None) -> int:
     if argv and argv[0] == "worker":
         from ..dist.worker import worker_main
         return worker_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..service.server import serve_main
+        return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         source = args.rtl.read_text()

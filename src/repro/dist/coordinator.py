@@ -32,6 +32,12 @@ Mechanics:
   ``kill -9`` — is declared dead: its in-flight tasks are handed back to
   the scheduler as requeues **excluded from that worker id**, exactly
   once per death, and the campaign converges on the survivors.
+* **Graceful departures** — an agent stopping on SIGTERM/SIGINT
+  announces its drain with a worker-sent ``shutdown`` frame naming the
+  unstarted tasks it hands back; those requeue immediately (no
+  exclusion — the agent is leaving, not dead), its running tasks finish
+  and report normally, and its eventual EOF is recorded as a clean
+  ``graceful shutdown`` departure rather than a death.
 * **Tail steal grants** — when the scheduler has idle slots and nothing
   queued, :meth:`reclaim` asks busy workers to give back tasks they have
   not *started* (prefetched backlog).  Granted tasks re-enter the
@@ -155,6 +161,10 @@ class _RemoteWorker:
     rtt_total: float = 0.0
     rtt_samples: int = 0
     steal_pending: bool = False
+    #: The agent announced a graceful drain (worker-sent ``shutdown``):
+    #: it gets no new work, its running tasks finish normally, and its
+    #: eventual EOF is a clean departure, not a death.
+    draining: bool = False
     #: Liveness kills are suspended until this time: the agent announced
     #: a first-sight compile (``compile_started``), which runs
     #: synchronously in its event loop and legitimately blocks heartbeat
@@ -173,7 +183,7 @@ class _RemoteWorker:
     departed_at: float = 0.0
 
     def free(self, prefetch: int) -> int:
-        if not self.ready:
+        if not self.ready or self.draining:
             return 0
         return max(0, self.slots + prefetch - len(self.assigned))
 
@@ -301,7 +311,8 @@ class TcpTransport:
         if not self._quorum():
             return 0
         return sum(worker.slots + self.prefetch
-                   for worker in self._ready_workers())
+                   for worker in self._ready_workers()
+                   if not worker.draining)
 
     def free_slots(self) -> int:
         if not self._quorum():
@@ -355,7 +366,7 @@ class TcpTransport:
     def reclaim(self) -> None:
         """Ask busy workers to give back not-yet-started backlog."""
         for worker in self._ready_workers():
-            if worker.steal_pending:
+            if worker.steal_pending or worker.draining:
                 continue
             unstarted = sum(
                 1 for job in worker.assigned.values()
@@ -389,7 +400,14 @@ class TcpTransport:
                 self._kill(worker, f"recv failed: {exc}")
                 continue
             if not data:
-                self._kill(worker, "connection closed")
+                # A draining agent's EOF with nothing left assigned is
+                # the *expected* end of a graceful shutdown; EOF with
+                # work still running means it died mid-drain after all,
+                # so the usual death requeue applies.
+                if worker.draining and not worker.assigned:
+                    self._drop(worker, "graceful shutdown")
+                else:
+                    self._kill(worker, "connection closed")
                 continue
             worker.last_seen = now
             try:
@@ -594,6 +612,21 @@ class TcpTransport:
                 job = worker.assigned.pop(index)
                 worker.load -= worker.costs.pop(index, 0.0)
                 worker.steals_granted += 1
+                self._requeue.append((index, job, None))
+        elif kind == "shutdown":
+            # Worker-initiated graceful drain (SIGTERM/SIGINT on the
+            # agent): its ``task_ids`` are the unstarted tasks it is
+            # handing back — requeue them with no exclusion (this agent
+            # is not dead, just leaving) and stop dispatching here.
+            # Tasks it already started will still report results.
+            worker.draining = True
+            for task_id in message.get("task_ids") or []:
+                index = next((i for i, job in worker.assigned.items()
+                              if job.job_id == task_id), None)
+                if index is None:
+                    continue           # finished while the frame flew
+                job = worker.assigned.pop(index)
+                worker.load -= worker.costs.pop(index, 0.0)
                 self._requeue.append((index, job, None))
         else:
             raise ProtocolError(

@@ -33,7 +33,10 @@ type             sender  meaning
 ``heartbeat``    both    liveness ping (coordinator) / echo (worker)
 ``steal``        coord   give back up to ``max`` not-yet-started tasks
 ``steal_grant``  worker  the task ids actually relinquished (may be empty)
-``shutdown``     coord   drain and exit (``reason`` for logs)
+``shutdown``     both    coord: drain and exit (``reason`` for logs);
+                         worker: graceful-drain announcement — optional
+                         ``task_ids`` name the unstarted tasks handed
+                         back for requeue
 ===============  ======  ====================================================
 
 Version negotiation: the worker's ``hello`` carries

@@ -25,7 +25,13 @@ result pipes through one ``multiprocessing.connection.wait`` call:
   gives back (never a running one — started work always completes or
   times out here);
 * ``shutdown`` (or coordinator EOF) terminates remaining children and
-  exits.
+  exits;
+* ``SIGTERM``/``SIGINT`` trigger a **graceful drain**: the agent sends
+  a ``shutdown`` frame naming its not-yet-started pending tasks (the
+  coordinator requeues them and stops dispatching here), lets running
+  children finish and report normally, then closes the connection — the
+  coordinator records a clean ``graceful shutdown`` departure instead
+  of a false death.
 
 ``--preload module`` imports a module before serving — the hook for
 registering third-party unit codecs/runners via
@@ -105,6 +111,11 @@ class WorkerAgent:
     _children: List[_Child] = field(default_factory=list, repr=False)
     _compiled: Set[str] = field(default_factory=set, repr=False)
     _tasks_done: int = 0
+    #: Set (from a signal handler) to begin a graceful drain; the main
+    #: loop notices on its next iteration — signal handlers themselves
+    #: only flip the flag, they never touch the socket.
+    _draining: bool = field(default=False, repr=False)
+    _drain_sent: bool = field(default=False, repr=False)
 
     # -- plumbing ---------------------------------------------------------
     def _log(self, text: str) -> None:
@@ -217,7 +228,31 @@ class WorkerAgent:
                     "design": design,
                     "wall_time_s": time.perf_counter() - begin})
 
+    def begin_drain(self) -> None:
+        """Request a graceful drain (safe to call from a signal handler)."""
+        self._draining = True
+
+    def _flush_drain(self) -> None:
+        """Hand unstarted pending work back and announce the drain.
+
+        Sent once up front, then again whenever a racing ``task`` frame
+        (dispatched before the coordinator processed our announcement)
+        lands in the pending queue — each frame's ``task_ids`` are
+        requeued coordinator-side, so nothing is lost to the race.
+        """
+        returned = [item.unit.job_id for item in self._pending]
+        self._pending.clear()
+        if returned or not self._drain_sent:
+            self._drain_sent = True
+            self._send({"type": "shutdown", "reason": "draining",
+                        "task_ids": returned})
+            if returned:
+                self._log(f"draining: returned {len(returned)} "
+                          f"unstarted task(s)")
+
     def _start_pending(self) -> None:
+        if self._draining:
+            return
         context = fork_context()
         while self._pending and len(self._children) < self.slots:
             item: _Pending = self._pending.popleft()
@@ -363,6 +398,11 @@ class WorkerAgent:
             self._log(f"connected to {self.host}:{self.port} "
                       f"({self.slots} slot(s))")
             while True:
+                if self._draining:
+                    self._flush_drain()
+                    if not self._children:
+                        raise _Disconnect(
+                            "drained cleanly after signal", code=0)
                 self._start_pending()
                 while self._inbox:
                     self._handle(self._inbox.popleft())
@@ -452,6 +492,19 @@ def worker_main(argv: Sequence[str]) -> int:
     agent = WorkerAgent(host=host, port=port, slots=slots,
                         label=args.label,
                         connect_timeout_s=args.connect_timeout)
+    try:
+        import signal as signal_mod
+
+        # Graceful drain on the usual stop signals (systemd stop,
+        # Ctrl-C, orchestrator scale-down): the handler only flips a
+        # flag; the main loop returns unstarted work and finishes
+        # running children before exiting.
+        signal_mod.signal(signal_mod.SIGTERM,
+                          lambda *_: agent.begin_drain())
+        signal_mod.signal(signal_mod.SIGINT,
+                          lambda *_: agent.begin_drain())
+    except (ImportError, AttributeError, ValueError, OSError):
+        pass       # non-POSIX platform or non-main thread: hard stop only
     return agent.run()
 
 

@@ -1,0 +1,46 @@
+"""``repro.service`` — campaign-as-a-service: the long-lived front door.
+
+Everything below this package was one-shot: ``autosva campaign`` builds
+a scheduler, runs to completion, tears the fabric down.  The service
+keeps all of it alive — ONE worker fabric (local fork pool or TCP
+fleet), one process-global compile cache, one optional artifact cache —
+and multiplexes many tenants' concurrent campaigns onto it over HTTP:
+
+* :mod:`~repro.service.tenancy` — per-tenant quotas (wall budget,
+  memory ceiling, in-flight cap, open-campaign cap, fair-share weight)
+  with structured 403/429 rejections, enforced at admission *and*
+  during execution;
+* :mod:`~repro.service.broker` — the admission-controlled multiplexer:
+  a single long-lived scheduler run over a stride-scheduled fair-share
+  source, per-campaign event feeds, ``cancel_where`` retraction, and a
+  merged report + digest-validated
+  :class:`~repro.obs.record.ExecutionRecord` per settled campaign;
+* :mod:`~repro.service.http` — stdlib HTTP/1.1 parsing and SSE/NDJSON
+  framing;
+* :mod:`~repro.service.server` — the asyncio front door
+  (``autosva serve``) with submit/stream/report/status/cancel routes.
+
+Quick start (and ``make service-smoke`` is the scripted version)::
+
+    autosva serve --listen 127.0.0.1:8420 --workers 2
+    curl -d '{"tenant":"alice","cases":["A1"]}' \\
+        http://127.0.0.1:8420/campaigns
+    curl -N http://127.0.0.1:8420/campaigns/<id>/events
+
+Verdicts are bit-identical to the one-shot CLI by construction — the
+broker reuses the same streaming frontend, scheduler, and merge — and
+the service smoke gate asserts it with
+:func:`~repro.campaign.report.verdict_contract` digests.
+"""
+
+from .broker import Campaign, CampaignBroker, CampaignSpec
+from .server import CampaignServer, serve_main
+from .tenancy import (DEFAULT_QUOTA, QuotaError, TenantQuota,
+                      TenantRegistry, TenantUsage)
+
+__all__ = [
+    "Campaign", "CampaignBroker", "CampaignSpec",
+    "CampaignServer", "serve_main",
+    "DEFAULT_QUOTA", "QuotaError", "TenantQuota", "TenantRegistry",
+    "TenantUsage",
+]

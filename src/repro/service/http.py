@@ -1,0 +1,173 @@
+"""Minimal HTTP/1.1 plumbing for the campaign service (stdlib only).
+
+The service deliberately avoids web frameworks — the repo's
+zero-dependency rule — so this module is the small, boring corner where
+wire bytes are parsed and formatted: request parsing off an asyncio
+stream, JSON responses, and the two streaming framings (SSE and NDJSON).
+Nothing here knows what a campaign is.
+
+Scope is intentionally v1-narrow, matching the fabric's trusted-network
+posture (see ``docs/distributed.md``): HTTP/1.1 only, no TLS, no auth,
+no chunked request bodies, ``Connection: close`` on every response.
+Limits on request-line/header/body sizes keep a confused or hostile
+client from ballooning server memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BadRequest", "Request", "read_request", "response_bytes",
+           "json_response", "sse_frame", "ndjson_frame", "split_path",
+           "stream_headers"]
+
+#: Hard caps on what one request may ship (bytes).
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """The client sent something unparseable; maps to a 400."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """Parse the body as JSON; :class:`BadRequest` on garbage."""
+        if not self.body:
+            raise BadRequest("request body is empty; expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        query[name] = value
+    return query
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request off the stream; None on clean EOF before any byte.
+
+    Raises :class:`BadRequest` on malformed input and
+    ``asyncio.LimitOverrunError``-free: all reads are bounded.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request line")
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request line too long")
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    path, _, raw_query = target.partition("?")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise BadRequest("truncated headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("malformed Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"body too large ({length} bytes; limit "
+                             f"{MAX_BODY_BYTES})")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("truncated body")
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked request bodies are not supported")
+
+    return Request(method=method.upper(), path=path,
+                   query=_parse_query(raw_query), headers=headers,
+                   body=body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    """A complete non-streaming HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: object) -> bytes:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n") \
+        .encode("utf-8")
+    return response_bytes(status, body)
+
+
+def stream_headers(content_type: str) -> bytes:
+    """Response head for an unbounded stream (no Content-Length)."""
+    return (f"HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Cache-Control: no-store\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+
+
+def sse_frame(payload: object) -> bytes:
+    """One Server-Sent-Events frame: ``data: <json>\\n\\n``."""
+    return (f"data: {json.dumps(payload, sort_keys=True)}\n\n") \
+        .encode("utf-8")
+
+
+def ndjson_frame(payload: object) -> bytes:
+    """One newline-delimited-JSON line (the SSE fallback framing)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """``/campaigns/c1/events`` -> ``("campaigns", "c1", "events")``."""
+    return tuple(part for part in path.split("/") if part)

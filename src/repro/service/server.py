@@ -1,0 +1,378 @@
+"""The campaign service front door: ``autosva serve``.
+
+An asyncio HTTP/1.1 server (stdlib only) over the
+:class:`~repro.service.broker.CampaignBroker`.  The event loop owns the
+sockets; the broker's single background thread owns the scheduler and
+the worker fabric; they meet only in short lock-guarded broker calls, so
+a slow compile never blocks an HTTP response and a slow client never
+blocks verification.
+
+Routes (see ``docs/service.md`` for the full API reference)::
+
+    POST   /campaigns              submit a campaign        -> 201 + id
+    GET    /campaigns              list campaigns
+    GET    /campaigns/{id}         one campaign's summary
+    GET    /campaigns/{id}/events  live TaskEvent stream (SSE; add
+                                   ?format=ndjson for plain JSON lines)
+    GET    /campaigns/{id}/report  Table-III report (202 while running)
+    GET    /campaigns/{id}/record  digest-validated ExecutionRecord
+    DELETE /campaigns/{id}         cancel a campaign
+    GET    /status                 fleet + queue + tenant quota gauges
+
+Quota rejections arrive as structured JSON with the
+:class:`~repro.service.tenancy.QuotaError` code and a matching 403/429
+status, and provably consume no fabric slot.  Event streams replay the
+campaign's full backlog first, then follow live — a reconnecting client
+misses nothing — and terminate with a ``campaign_done`` marker frame.
+
+Like the TCP worker fabric, v1 of the service trusts its network: no
+TLS, no authentication — bind to loopback or a private interface only
+(``docs/distributed.md`` states the shared posture).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from .broker import CampaignBroker, CampaignSpec
+from .http import (BadRequest, Request, json_response, ndjson_frame,
+                   read_request, response_bytes, split_path, sse_frame,
+                   stream_headers)
+from .tenancy import QuotaError, TenantRegistry
+
+__all__ = ["CampaignServer", "serve_main", "build_serve_parser"]
+
+
+class CampaignServer:
+    """Routes HTTP requests onto a running :class:`CampaignBroker`."""
+
+    def __init__(self, broker: CampaignBroker) -> None:
+        self.broker = broker
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._client, host, port)
+
+    @property
+    def address(self):
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- connection handling ----------------------------------------------
+    async def _client(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except BadRequest as exc:
+                writer.write(json_response(
+                    400, {"error": "bad_request", "detail": str(exc)}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _route(self, request: Request,
+                     writer: asyncio.StreamWriter) -> None:
+        parts = split_path(request.path)
+        try:
+            if parts == ("status",) and request.method == "GET":
+                writer.write(json_response(200, self.broker.status()))
+            elif parts == ("campaigns",):
+                if request.method == "POST":
+                    await self._submit(request, writer)
+                elif request.method == "GET":
+                    writer.write(json_response(
+                        200, {"campaigns": self.broker.list_campaigns()}))
+                else:
+                    writer.write(json_response(
+                        405, {"error": "method_not_allowed"}))
+            elif len(parts) >= 2 and parts[0] == "campaigns":
+                await self._campaign(request, writer, parts[1], parts[2:])
+            else:
+                writer.write(json_response(
+                    404, {"error": "not_found",
+                          "detail": f"no route for {request.path}"}))
+        except QuotaError as exc:
+            writer.write(json_response(exc.http_status, exc.as_dict()))
+        except BadRequest as exc:
+            writer.write(json_response(
+                400, {"error": "bad_request", "detail": str(exc)}))
+        except KeyError as exc:
+            writer.write(json_response(
+                404, {"error": "unknown_campaign",
+                      "detail": f"no campaign {exc.args[0]!r}"}))
+        except ValueError as exc:
+            writer.write(json_response(
+                400, {"error": "invalid_submission", "detail": str(exc)}))
+        await writer.drain()
+
+    async def _submit(self, request: Request,
+                      writer: asyncio.StreamWriter) -> None:
+        spec = CampaignSpec.from_json(request.json())
+        campaign = self.broker.submit(spec)
+        writer.write(json_response(201, {
+            "id": campaign.id,
+            "tenant": campaign.tenant,
+            "status": campaign.status,
+            "jobs": len(campaign.jobs),
+            "links": {
+                "self": f"/campaigns/{campaign.id}",
+                "events": f"/campaigns/{campaign.id}/events",
+                "report": f"/campaigns/{campaign.id}/report",
+                "record": f"/campaigns/{campaign.id}/record",
+            },
+        }))
+
+    async def _campaign(self, request: Request,
+                        writer: asyncio.StreamWriter,
+                        campaign_id: str, rest) -> None:
+        if not rest:
+            if request.method == "GET":
+                campaign = self.broker.get(campaign_id)
+                writer.write(json_response(200, campaign.summary()))
+            elif request.method == "DELETE":
+                campaign = self.broker.cancel(campaign_id)
+                writer.write(json_response(202, campaign.summary()))
+            else:
+                writer.write(json_response(
+                    405, {"error": "method_not_allowed"}))
+            return
+        if request.method != "GET":
+            writer.write(json_response(405,
+                                       {"error": "method_not_allowed"}))
+            return
+        if rest == ("events",):
+            await self._events(request, writer, campaign_id)
+        elif rest == ("report",):
+            campaign = self.broker.get(campaign_id)
+            if not campaign.finished:
+                writer.write(json_response(202, {
+                    "status": campaign.status,
+                    "detail": "campaign still running; stream "
+                              f"/campaigns/{campaign_id}/events or poll",
+                }))
+            elif campaign.report_dict is None:
+                writer.write(json_response(409, {
+                    "error": "no_report", "status": campaign.status,
+                    "cancel_reason": campaign.cancel_reason,
+                    "detail": campaign.error
+                    or "cancelled campaigns produce no report",
+                }))
+            else:
+                writer.write(json_response(200, campaign.report_dict))
+        elif rest == ("record",):
+            campaign = self.broker.get(campaign_id)
+            if campaign.record_dict is None:
+                status = 202 if not campaign.finished else 409
+                writer.write(json_response(status, {
+                    "error": "no_record", "status": campaign.status,
+                }))
+            else:
+                writer.write(json_response(200, campaign.record_dict))
+        else:
+            writer.write(json_response(
+                404, {"error": "not_found",
+                      "detail": f"no route for {request.path}"}))
+
+    async def _events(self, request: Request,
+                      writer: asyncio.StreamWriter,
+                      campaign_id: str) -> None:
+        """Stream a campaign's events: full replay, then live, then EOF.
+
+        The broker invokes subscriber callbacks from its own thread;
+        ``call_soon_threadsafe`` hops each payload onto the loop, so the
+        stream needs no polling and delivers within one loop tick.
+        """
+        ndjson = request.query.get("format") == "ndjson"
+        frame = ndjson_frame if ndjson else sse_frame
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def deliver(payload) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, payload)
+
+        replay = self.broker.subscribe(campaign_id, deliver)
+        writer.write(stream_headers(
+            "application/x-ndjson" if ndjson else "text/event-stream"))
+        finished = False
+        for payload in replay:
+            writer.write(frame(payload))
+            if payload.get("kind") == "campaign_done":
+                finished = True
+        await writer.drain()
+        try:
+            while not finished:
+                payload = await queue.get()
+                writer.write(frame(payload))
+                await writer.drain()
+                if payload.get("kind") == "campaign_done":
+                    finished = True
+        finally:
+            self.broker.unsubscribe(campaign_id, deliver)
+
+
+# -- CLI ------------------------------------------------------------------
+
+def build_serve_parser():
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="autosva serve",
+        description="Run the long-lived campaign service: accept "
+                    "campaign submissions over HTTP, multiplex them onto "
+                    "one shared worker fabric with per-tenant fair "
+                    "sharing and quotas, and stream TaskEvents back over "
+                    "SSE.  v1 trusts its network (no TLS/auth): bind to "
+                    "loopback or a private interface only.")
+    parser.add_argument("--listen", default="127.0.0.1:8420",
+                        metavar="HOST:PORT",
+                        help="HTTP listen address (default "
+                             "127.0.0.1:8420; port 0 = ephemeral, "
+                             "printed at start)")
+    parser.add_argument("--workers", default="2", metavar="N|auto",
+                        help="local fork-pool size (ignored with "
+                             "--transport tcp); 'auto' = CPU count")
+    parser.add_argument("--transport", choices=("local", "tcp"),
+                        default="local",
+                        help="shared fabric backing all campaigns: "
+                             "'local' (default) forks on this host; "
+                             "'tcp' waits for autosva worker agents")
+    parser.add_argument("--fabric-listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="coordinator address for --transport tcp")
+    parser.add_argument("--min-workers", type=int, default=None, metavar="N",
+                        help="hold dispatch until N agents joined "
+                             "(--transport tcp; default: --spawn-workers "
+                             "count, else 1)")
+    parser.add_argument("--spawn-workers", type=int, default=0, metavar="N",
+                        help="spawn N loopback worker agents "
+                             "(--transport tcp convenience)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-task wall-clock bound, fabric-wide")
+    parser.add_argument("--memory-limit", type=int, default=None,
+                        metavar="MB",
+                        help="per-task address-space bound, fabric-wide "
+                             "(tenant memory quotas are admission "
+                             "ceilings on top of this)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="shared artifact cache directory (campaign "
+                             "results + shard plans, all tenants)")
+    parser.add_argument("--quotas", type=Path, default=None, metavar="FILE",
+                        help="tenant quota JSON ({'default': {...}, "
+                             "'tenants': {name: {...}}}); see "
+                             "docs/service.md")
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """Entry point for ``autosva serve``."""
+    from ..campaign import ArtifactCache, resolve_worker_count
+    from ..dist import parse_address
+
+    try:
+        args = build_serve_parser().parse_args(argv)
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 1
+    try:
+        host, port = parse_address(args.listen)
+        workers = resolve_worker_count(args.workers)
+    except ValueError as exc:
+        print(f"autosva serve: error: {exc}", file=sys.stderr)
+        return 1
+    tenants = None
+    if args.quotas is not None:
+        try:
+            tenants = TenantRegistry.from_file(args.quotas)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"autosva serve: error: --quotas: {exc}",
+                  file=sys.stderr)
+            return 1
+    transport = None
+    if args.transport == "tcp":
+        from ..dist import TcpTransport
+        try:
+            fabric = parse_address(args.fabric_listen)
+        except ValueError as exc:
+            print(f"autosva serve: error: --fabric-listen: {exc}",
+                  file=sys.stderr)
+            return 1
+        min_workers = args.min_workers or max(1, args.spawn_workers)
+        try:
+            transport = TcpTransport(listen=fabric,
+                                     min_workers=min_workers)
+        except OSError as exc:
+            print(f"autosva serve: error: cannot listen on "
+                  f"{args.fabric_listen}: {exc}", file=sys.stderr)
+            return 1
+        fh, fp = transport.address
+        print(f"Fabric coordinator on {fh}:{fp} — attach workers with: "
+              f"autosva worker --connect {fh}:{fp}", flush=True)
+        if args.spawn_workers:
+            transport.spawn_local(args.spawn_workers)
+            print(f"Spawned {args.spawn_workers} loopback worker "
+                  f"agent(s)", flush=True)
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    broker = CampaignBroker(workers=workers, transport=transport,
+                            cache=cache, tenants=tenants,
+                            timeout_s=args.timeout,
+                            memory_limit_mb=args.memory_limit)
+    try:
+        return asyncio.run(_serve(broker, host, port))
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _serve(broker: CampaignBroker, host: str, port: int) -> int:
+    broker.start()
+    server = CampaignServer(broker)
+    try:
+        await server.start(host, port)
+    except OSError as exc:
+        print(f"autosva serve: error: cannot listen on {host}:{port}: "
+              f"{exc}", file=sys.stderr)
+        broker.close(cancel_pending=True)
+        return 1
+    bound_host, bound_port = server.address
+    print(f"Campaign service listening on http://{bound_host}:"
+          f"{bound_port} — POST /campaigns to submit "
+          f"(docs/service.md has the API)", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, ValueError):
+            pass  # non-main thread / platform without signal support
+    await stop.wait()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.remove_signal_handler(signum)
+        except (NotImplementedError, ValueError):
+            pass  # a second signal now aborts the drain
+    print("autosva serve: shutting down (draining open campaigns; "
+          "interrupt again to abort)...", flush=True)
+    await server.close()
+    await asyncio.to_thread(broker.close, False, None)
+    return 0

@@ -1,0 +1,255 @@
+"""Multi-tenant admission control: quotas, usage accounting, rejections.
+
+The campaign service multiplexes every tenant onto ONE worker fabric and
+one compile/artifact cache, so fairness and containment cannot be left to
+politeness.  This module is the resource-accounting half of that story
+(the exemplars are veronica-core's ``ExecutionContext`` — limits that are
+*enforced*, not just reported — and Vera-AI's ``resources.py`` quota
+layer):
+
+* :class:`TenantQuota` — the per-tenant policy: wall-clock budget,
+  memory ceiling, max in-flight tasks, max open campaigns, and a fair-
+  share ``weight`` that scales the tenant's slice of the fabric;
+* :class:`TenantUsage` — the mutable counters the broker charges as work
+  actually executes (wall seconds spent, tasks in flight, open
+  campaigns) plus the stride-scheduling virtual time that implements
+  weighted fair sharing;
+* :class:`TenantRegistry` — quota lookup (a default policy plus
+  per-tenant overrides, optionally loaded from a JSON file) and the
+  admission checks themselves, raising :class:`QuotaError` with an
+  HTTP-shaped structured rejection (403 for policy violations, 429 for
+  pressure).
+
+Enforcement happens twice, deliberately: at **admission** (a request
+that can never fit — over the memory ceiling, budget already exhausted,
+too many open campaigns — is rejected before it touches a single fabric
+slot) and **during execution** (the broker stops issuing a tenant's
+tasks the moment its in-flight cap is reached, and cancels its open
+campaigns when the wall budget runs dry mid-run).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["QuotaError", "TenantQuota", "TenantRegistry", "TenantUsage",
+           "DEFAULT_QUOTA"]
+
+
+class QuotaError(Exception):
+    """A structured admission/containment rejection.
+
+    ``code`` is a stable machine-readable identifier, ``http_status`` the
+    HTTP status the service front door maps it to (403 = the request can
+    *never* be admitted under current policy, 429 = back off and retry),
+    and ``detail`` the human-facing explanation.
+    """
+
+    def __init__(self, code: str, http_status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.code = code
+        self.http_status = http_status
+        self.detail = detail
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"error": self.code, "status": self.http_status,
+                "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Immutable per-tenant policy (None = unbounded on that axis)."""
+
+    #: Total verification wall-clock seconds the tenant may consume
+    #: (summed over task wall times, fabric-side).
+    wall_budget_s: Optional[float] = None
+    #: Largest per-task memory bound a campaign may request, MB.
+    memory_limit_mb: Optional[int] = None
+    #: Max tasks this tenant may have issued-but-unsettled at once.
+    max_in_flight: Optional[int] = None
+    #: Max campaigns open (admitted, not yet settled) at once.
+    max_open_campaigns: Optional[int] = None
+    #: Fair-share weight: a weight-2 tenant gets twice the slice of a
+    #: weight-1 tenant under contention (stride scheduling).
+    weight: float = 1.0
+    #: Kill switch: a disallowed tenant is rejected outright.
+    allowed: bool = True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"wall_budget_s": self.wall_budget_s,
+                "memory_limit_mb": self.memory_limit_mb,
+                "max_in_flight": self.max_in_flight,
+                "max_open_campaigns": self.max_open_campaigns,
+                "weight": self.weight, "allowed": self.allowed}
+
+
+#: The policy tenants get unless the registry says otherwise: generous
+#: but bounded, so a misbehaving anonymous client cannot wedge the fleet.
+DEFAULT_QUOTA = TenantQuota(wall_budget_s=None, memory_limit_mb=None,
+                            max_in_flight=None, max_open_campaigns=8)
+
+
+@dataclass
+class TenantUsage:
+    """Mutable per-tenant accounting the broker charges as work runs."""
+
+    #: Wall seconds of verification work executed on the tenant's behalf.
+    wall_spent_s: float = 0.0
+    #: Tasks issued to the scheduler and not yet settled.
+    in_flight: int = 0
+    #: Campaigns admitted and not yet settled.
+    open_campaigns: int = 0
+    #: Stride-scheduling virtual time; the broker picks the runnable
+    #: tenant with the smallest vtime and charges cost/weight per task.
+    vtime: float = 0.0
+    #: Lifetime counters (observability, never enforced on).
+    campaigns_total: int = 0
+    campaigns_rejected: int = 0
+    tasks_total: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"wall_spent_s": round(self.wall_spent_s, 3),
+                "in_flight": self.in_flight,
+                "open_campaigns": self.open_campaigns,
+                "campaigns_total": self.campaigns_total,
+                "campaigns_rejected": self.campaigns_rejected,
+                "tasks_total": self.tasks_total}
+
+
+class TenantRegistry:
+    """Quota lookup + usage accounting for every tenant the service saw.
+
+    Thread-safe on its own lock for the usage maps; the broker holds its
+    own lock across multi-step admission sequences, so the registry's
+    methods stay simple and reentrant-free.
+    """
+
+    def __init__(self, default: TenantQuota = DEFAULT_QUOTA,
+                 overrides: Optional[Dict[str, TenantQuota]] = None) -> None:
+        self.default = default
+        self.overrides: Dict[str, TenantQuota] = dict(overrides or {})
+        self._usage: Dict[str, TenantUsage] = {}
+        self._lock = threading.Lock()
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_file(cls, path) -> "TenantRegistry":
+        """Load quotas from JSON: ``{"default": {...}, "tenants": {...}}``.
+
+        Unknown keys are rejected (a typo'd quota silently defaulting to
+        unbounded is exactly the failure mode a quota file exists to
+        prevent).
+        """
+        data = json.loads(open(path, "r", encoding="utf-8").read())
+        if not isinstance(data, dict):
+            raise ValueError("quota file must be a JSON object")
+
+        def parse(entry, label):
+            if not isinstance(entry, dict):
+                raise ValueError(f"{label}: quota must be an object")
+            known = {"wall_budget_s", "memory_limit_mb", "max_in_flight",
+                     "max_open_campaigns", "weight", "allowed"}
+            unknown = sorted(set(entry) - known)
+            if unknown:
+                raise ValueError(f"{label}: unknown quota key(s): "
+                                 f"{', '.join(unknown)}")
+            return TenantQuota(**entry)
+
+        default = parse(data.get("default", {}), "default") \
+            if "default" in data else DEFAULT_QUOTA
+        overrides = {name: parse(entry, f"tenants[{name!r}]")
+                     for name, entry in (data.get("tenants") or {}).items()}
+        return cls(default=default, overrides=overrides)
+
+    # -- lookup ------------------------------------------------------------
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.overrides.get(tenant, self.default)
+
+    def usage(self, tenant: str) -> TenantUsage:
+        with self._lock:
+            state = self._usage.get(tenant)
+            if state is None:
+                state = self._usage[tenant] = TenantUsage()
+            return state
+
+    def known_tenants(self):
+        with self._lock:
+            return sorted(self._usage)
+
+    # -- admission checks --------------------------------------------------
+    def admit_campaign(self, tenant: str,
+                       memory_limit_mb: Optional[int] = None) -> None:
+        """Raise :class:`QuotaError` unless a new campaign may be admitted.
+
+        Pure check — charging (``open_campaigns`` etc.) is the broker's
+        job once the campaign object actually exists, so a rejection
+        provably consumes nothing.
+        """
+        quota = self.quota(tenant)
+        usage = self.usage(tenant)
+        if not quota.allowed:
+            usage.campaigns_rejected += 1
+            raise QuotaError("tenant_forbidden", 403,
+                             f"tenant {tenant!r} is not allowed to submit "
+                             f"campaigns")
+        if quota.memory_limit_mb is not None and memory_limit_mb is not None \
+                and memory_limit_mb > quota.memory_limit_mb:
+            usage.campaigns_rejected += 1
+            raise QuotaError(
+                "memory_quota_exceeded", 403,
+                f"requested memory_limit_mb={memory_limit_mb} exceeds the "
+                f"tenant ceiling of {quota.memory_limit_mb} MB")
+        if quota.wall_budget_s is not None \
+                and usage.wall_spent_s >= quota.wall_budget_s:
+            usage.campaigns_rejected += 1
+            raise QuotaError(
+                "wall_budget_exhausted", 403,
+                f"tenant {tenant!r} has spent "
+                f"{usage.wall_spent_s:.1f}s of its "
+                f"{quota.wall_budget_s:.1f}s wall-clock budget")
+        if quota.max_open_campaigns is not None \
+                and usage.open_campaigns >= quota.max_open_campaigns:
+            usage.campaigns_rejected += 1
+            raise QuotaError(
+                "too_many_campaigns", 429,
+                f"tenant {tenant!r} already has {usage.open_campaigns} "
+                f"open campaign(s) (limit {quota.max_open_campaigns}); "
+                f"retry after one settles")
+
+    # -- execution-time checks (broker-side) -------------------------------
+    def may_issue(self, tenant: str) -> bool:
+        """May one more task be issued for this tenant right now?"""
+        quota = self.quota(tenant)
+        usage = self.usage(tenant)
+        if quota.max_in_flight is not None \
+                and usage.in_flight >= quota.max_in_flight:
+            return False
+        if quota.wall_budget_s is not None \
+                and usage.wall_spent_s >= quota.wall_budget_s:
+            return False
+        return True
+
+    def over_budget(self, tenant: str) -> bool:
+        quota = self.quota(tenant)
+        if quota.wall_budget_s is None:
+            return False
+        return self.usage(tenant).wall_spent_s >= quota.wall_budget_s
+
+    # -- observability -----------------------------------------------------
+    def report(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant quota-vs-consumption view for ``GET /status``."""
+        view: Dict[str, Dict[str, object]] = {}
+        for tenant in self.known_tenants():
+            quota = self.quota(tenant)
+            usage = self.usage(tenant)
+            entry = usage.as_dict()
+            entry["quota"] = quota.as_dict()
+            if quota.wall_budget_s is not None:
+                entry["wall_budget_s"] = quota.wall_budget_s
+                entry["wall_remaining_s"] = round(
+                    max(0.0, quota.wall_budget_s - usage.wall_spent_s), 3)
+            view[tenant] = entry
+        return view

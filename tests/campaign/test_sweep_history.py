@@ -253,3 +253,49 @@ class TestTimingWorkerIdentity:
         assert timing, "property campaign should append timing samples"
         for sample in timing[0]["samples"]:
             assert ":" in sample["worker"]
+
+
+class TestHistoryAtomicity:
+    def test_concurrent_appends_never_tear_a_line(self, tmp_path):
+        """Many processes appending to one history must interleave whole
+        lines, never fragments — the O_APPEND single-write contract the
+        campaign service relies on when concurrent campaigns settle
+        against a shared history file."""
+        import multiprocessing
+
+        path = tmp_path / "runs.jsonl"
+        writers, each = 4, 25
+        context = multiprocessing.get_context("fork")
+        procs = [context.Process(target=_append_many,
+                                 args=(str(path), writer, each))
+                 for writer in range(writers)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == writers * each
+        seen = set()
+        for line in lines:
+            record = json.loads(line)     # any torn line raises here
+            assert record["samples"][0]["kinds"]["assert"] == 1
+            seen.add((record["label"], record["samples"][0]["seq"]))
+        assert seen == {(f"w{writer}", seq)
+                        for writer in range(writers)
+                        for seq in range(each)}
+
+    def test_fsync_mode_appends_identically(self, tmp_path):
+        hist = CampaignHistory(tmp_path / "runs.jsonl", fsync=True)
+        hist.append_timings(
+            [{"kinds": {"assert": 1}, "wall_time_s": 0.5}], label="d")
+        assert hist.timing_samples()[0]["wall_time_s"] == 0.5
+
+
+def _append_many(path, writer, count):
+    history = CampaignHistory(path)
+    for seq in range(count):
+        history.append_timings(
+            [{"kinds": {"assert": 1}, "wall_time_s": 0.01,
+              "seq": seq, "pad": "x" * 2048}],
+            label=f"w{writer}")

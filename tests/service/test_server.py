@@ -1,0 +1,203 @@
+"""HTTP server round-trip tests against an ephemeral-port service.
+
+Spins the asyncio front door in a background thread over a real
+2-worker broker, then drives it with stdlib ``http.client`` — submit,
+stream (SSE and NDJSON), report, record, status, cancel, rejection
+shapes — exactly the way a curl user would.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.service import (CampaignBroker, CampaignServer, TenantQuota,
+                           TenantRegistry)
+
+
+class _Service:
+    """One CampaignServer running on its own event-loop thread."""
+
+    def __init__(self, broker):
+        self.broker = broker
+        self.server = CampaignServer(broker)
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server never came up"
+
+    def _run(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.server.start("127.0.0.1", 0)
+            self.port = self.server.address[1]
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.close()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+        self.broker.close()
+
+    # -- tiny client -------------------------------------------------------
+    def request(self, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=60.0)
+        try:
+            connection.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None,
+                headers={"Content-Type": "application/json"}
+                if body is not None else {})
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"null")
+        finally:
+            connection.close()
+
+    def stream(self, path):
+        """Read a streaming response to EOF; returns the raw text."""
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=180.0)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            assert response.status == 200
+            return response.read().decode("utf-8")
+        finally:
+            connection.close()
+
+
+@pytest.fixture(scope="module")
+def service():
+    registry = TenantRegistry(
+        overrides={"capped": TenantQuota(max_open_campaigns=0)})
+    service = _Service(CampaignBroker(workers=2, tenants=registry).start())
+    yield service
+    service.close()
+
+
+def _sse_events(text):
+    return [json.loads(line[len("data: "):])
+            for line in text.splitlines() if line.startswith("data: ")]
+
+
+class TestRoundTrip:
+    def test_full_campaign_over_http(self, service):
+        status, body = service.request("GET", "/status")
+        assert status == 200
+        assert body["accepting"]
+        assert body["fleet"]["transport"] == "local"
+        assert body["fleet"]["capacity"] == 2
+
+        status, submitted = service.request(
+            "POST", "/campaigns", {"tenant": "alice", "cases": ["A1"]})
+        assert status == 201
+        cid = submitted["id"]
+        assert submitted["tenant"] == "alice"
+        assert submitted["status"] == "running"
+
+        # The SSE stream replays from the start and ends with the
+        # terminal frame; result events arrive in completion order.
+        events = _sse_events(service.stream(f"/campaigns/{cid}/events"))
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "compile_started"
+        assert kinds[-1] == "campaign_done"
+        assert events[-1]["status"] == "completed"
+        results = [event for event in events if event["kind"] == "result"]
+        assert results and all(event["status"] == "ok"
+                               for event in results)
+
+        # A second subscription after completion replays identically
+        # (NDJSON framing this time).
+        replay = [json.loads(line) for line in service.stream(
+            f"/campaigns/{cid}/events?format=ndjson").splitlines()]
+        assert replay == events
+
+        status, report = service.request("GET", f"/campaigns/{cid}/report")
+        assert status == 200
+        assert report["campaign"] == cid
+        assert report["tenant"] == "alice"
+        assert "phases" in report
+        assert "wall_spent_s" in report["tenant_usage"]
+        assert report["rows"]
+
+        status, record = service.request("GET", f"/campaigns/{cid}/record")
+        assert status == 200
+        assert record["config"]["campaign"] == cid
+        assert record["config"]["service"] is True
+
+        status, listing = service.request("GET", "/campaigns")
+        assert status == 200
+        assert any(entry["id"] == cid for entry in listing["campaigns"])
+
+        # The fleet-wide status now folds this campaign's phases and
+        # tenant spend in.
+        status, body = service.request("GET", "/status")
+        assert status == 200
+        assert body["phases"].get("wall_s", 0) > 0
+        assert body["tenants"]["alice"]["wall_spent_s"] > 0
+        assert body["service"]["service.campaigns_completed"] >= 1
+
+    def test_cancel_over_http(self, service):
+        status, submitted = service.request(
+            "POST", "/campaigns", {"tenant": "alice", "cases": ["A2"]})
+        assert status == 201
+        cid = submitted["id"]
+        status, body = service.request("DELETE", f"/campaigns/{cid}")
+        assert status == 202
+        events = _sse_events(service.stream(f"/campaigns/{cid}/events"))
+        assert events[-1]["kind"] == "campaign_done"
+        assert events[-1]["status"] == "cancelled"
+        # A cancelled campaign has no report to serve.
+        status, body = service.request("GET", f"/campaigns/{cid}/report")
+        assert status == 409
+        assert body["error"] == "no_report"
+
+
+class TestRejectionShapes:
+    def test_over_quota_submission_is_structured_429(self, service):
+        before = len(service.broker.list_campaigns())
+        status, body = service.request(
+            "POST", "/campaigns", {"tenant": "capped", "cases": ["A1"]})
+        assert status == 429
+        assert body["error"] == "too_many_campaigns"
+        assert body["status"] == 429
+        assert body["detail"]
+        # Nothing was admitted or allocated.
+        assert len(service.broker.list_campaigns()) == before
+
+    def test_unknown_case_is_400(self, service):
+        status, body = service.request(
+            "POST", "/campaigns", {"tenant": "alice", "cases": ["ZZ"]})
+        assert status == 400
+        assert body["error"] == "invalid_submission"
+
+    def test_garbage_body_is_400(self, service):
+        connection = http.client.HTTPConnection("127.0.0.1", service.port,
+                                                timeout=30.0)
+        try:
+            connection.request("POST", "/campaigns", body=b"not json",
+                               headers={"Content-Type": "text/plain"})
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_unknown_campaign_is_404(self, service):
+        status, body = service.request("GET", "/campaigns/nope/report")
+        assert status == 404
+        assert body["error"] == "unknown_campaign"
+
+    def test_unknown_route_is_404(self, service):
+        status, body = service.request("GET", "/nope")
+        assert status == 404
+        assert body["error"] == "not_found"

@@ -1,0 +1,108 @@
+"""Tenancy unit tests: quota parsing, admission checks, rejection codes."""
+
+import json
+
+import pytest
+
+from repro.service import (DEFAULT_QUOTA, QuotaError, TenantQuota,
+                           TenantRegistry)
+
+
+class TestQuotaShapes:
+    def test_default_quota_bounds_open_campaigns_only(self):
+        assert DEFAULT_QUOTA.wall_budget_s is None
+        assert DEFAULT_QUOTA.memory_limit_mb is None
+        assert DEFAULT_QUOTA.max_in_flight is None
+        assert DEFAULT_QUOTA.max_open_campaigns == 8
+        assert DEFAULT_QUOTA.allowed
+
+    def test_quota_error_as_dict_is_the_http_body(self):
+        error = QuotaError("too_many_campaigns", 429, "8 open already")
+        assert error.as_dict() == {"error": "too_many_campaigns",
+                                   "status": 429,
+                                   "detail": "8 open already"}
+
+
+class TestAdmission:
+    def test_forbidden_tenant_is_403(self):
+        registry = TenantRegistry(
+            overrides={"mallory": TenantQuota(allowed=False)})
+        with pytest.raises(QuotaError) as info:
+            registry.admit_campaign("mallory")
+        assert info.value.code == "tenant_forbidden"
+        assert info.value.http_status == 403
+        assert registry.usage("mallory").campaigns_rejected == 1
+
+    def test_memory_ceiling_is_403(self):
+        registry = TenantRegistry(
+            overrides={"small": TenantQuota(memory_limit_mb=256)})
+        registry.admit_campaign("small", memory_limit_mb=256)  # at the cap
+        with pytest.raises(QuotaError) as info:
+            registry.admit_campaign("small", memory_limit_mb=512)
+        assert info.value.code == "memory_quota_exceeded"
+        assert info.value.http_status == 403
+
+    def test_exhausted_wall_budget_is_403(self):
+        registry = TenantRegistry(
+            overrides={"dave": TenantQuota(wall_budget_s=10.0)})
+        registry.usage("dave").wall_spent_s = 10.0
+        with pytest.raises(QuotaError) as info:
+            registry.admit_campaign("dave")
+        assert info.value.code == "wall_budget_exhausted"
+        assert info.value.http_status == 403
+
+    def test_open_campaign_cap_is_429(self):
+        registry = TenantRegistry(
+            overrides={"carol": TenantQuota(max_open_campaigns=1)})
+        registry.admit_campaign("carol")
+        registry.usage("carol").open_campaigns = 1
+        with pytest.raises(QuotaError) as info:
+            registry.admit_campaign("carol")
+        assert info.value.code == "too_many_campaigns"
+        assert info.value.http_status == 429
+
+    def test_in_flight_cap_gates_issue_not_admission(self):
+        registry = TenantRegistry(
+            overrides={"busy": TenantQuota(max_in_flight=2)})
+        registry.admit_campaign("busy")      # admission unaffected
+        usage = registry.usage("busy")
+        assert registry.may_issue("busy")
+        usage.in_flight = 2
+        assert not registry.may_issue("busy")
+        usage.in_flight = 1
+        assert registry.may_issue("busy")
+
+
+class TestQuotaFile:
+    def test_roundtrip_with_default_and_overrides(self, tmp_path):
+        path = tmp_path / "quotas.json"
+        path.write_text(json.dumps({
+            "default": {"max_open_campaigns": 2},
+            "tenants": {
+                "alice": {"wall_budget_s": 60.0, "weight": 2.0},
+                "mallory": {"allowed": False},
+            },
+        }))
+        registry = TenantRegistry.from_file(path)
+        assert registry.default.max_open_campaigns == 2
+        assert registry.quota("alice").wall_budget_s == 60.0
+        assert registry.quota("alice").weight == 2.0
+        assert not registry.quota("mallory").allowed
+        # Unlisted tenants fall back to the file's default.
+        assert registry.quota("nobody").max_open_campaigns == 2
+
+    def test_unknown_quota_key_is_rejected(self, tmp_path):
+        path = tmp_path / "quotas.json"
+        path.write_text(json.dumps(
+            {"tenants": {"alice": {"wall_budget": 60.0}}}))
+        with pytest.raises(ValueError, match="unknown quota key"):
+            TenantRegistry.from_file(path)
+
+    def test_report_includes_quota_and_remaining_budget(self):
+        registry = TenantRegistry(
+            overrides={"alice": TenantQuota(wall_budget_s=100.0)})
+        registry.usage("alice").wall_spent_s = 25.0
+        report = registry.report()
+        entry = report["alice"]
+        assert entry["quota"]["wall_budget_s"] == 100.0
+        assert entry["wall_remaining_s"] == 75.0
