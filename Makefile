@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test corpus-check smoke-campaign smoke-property pipeline-smoke \
-	dist-smoke obs-smoke service-smoke campaign bench-campaign \
-	bench-hotpath perf-smoke serve verify
+	dist-smoke obs-smoke service-smoke chaos-smoke campaign \
+	bench-campaign bench-hotpath perf-smoke serve verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,13 @@ obs-smoke:
 # consumes zero fabric slots; every ExecutionRecord must re-validate.
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py --workers 2
+
+# Crash-safety gate: kill -9 the server mid-journal-append, kill -9 a
+# worker mid-task, and drop frames under --reconnect agents — every
+# scenario must converge verdict-digest-identical to a fault-free
+# baseline with zero tasks lost or double-reported (docs/chaos.md).
+chaos-smoke:
+	$(PYTHON) benchmarks/chaos_smoke.py
 
 # The long-lived front door itself (docs/service.md).
 serve:

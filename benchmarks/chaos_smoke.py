@@ -1,0 +1,367 @@
+#!/usr/bin/env python
+"""Chaos smoke gate: seeded faults must not change a single verdict.
+
+Four out-of-process rehearsals of the campaign service's crash story,
+each gated on **verdict-digest equality** with a fault-free baseline run
+(digest = per-property verdicts of every result event; wall times,
+workers and cache hits are excluded by construction):
+
+1. **baseline** — ``autosva serve --state-dir`` on a local 2-worker
+   pool; one campaign, streamed to its terminal frame.
+2. **server kill -9** — the serve process is armed with
+   ``journal.torn_append:after=N,count=1,exit=57``: it dies mid-append,
+   leaving a torn journal line.  A clean restart on the same state dir
+   must resume the campaign, re-run only unjournaled tasks, and
+   converge on the baseline digest with zero lost or double-reported
+   task ids.
+3. **worker kill -9** — a TCP fabric where one of two agents is armed
+   with ``worker.crash_before_result:count=1,exit=9``: it dies before
+   sending its first verdict.  The fabric requeues and the survivor
+   converges on the baseline digest.
+4. **flaky network** — both agents run ``--reconnect`` and are armed
+   with deterministic ``dist.frame_drop`` faults: each loses its
+   connection mid-campaign, dials back with backoff, resumes its
+   session, and the campaign converges on the baseline digest with the
+   fleet report showing the reconnects (not extra corpses).
+
+``--record`` additionally measures the ``--state-dir`` fsync tax on
+journal appends and appends the run to ``BENCH_campaign.json``.
+
+Every fault is seeded and counted (``AUTOSVA_FAULTS`` /
+``AUTOSVA_FAULT_SEED``, docs/chaos.md), so a failing scenario replays
+bit-identically.
+
+Usage::
+
+    python benchmarks/chaos_smoke.py
+    python benchmarks/chaos_smoke.py --case O1 --record
+"""
+
+import argparse
+import hashlib
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_campaign.json"
+SERVER_EXIT = 57   # the armed serve process's os._exit code
+WORKER_EXIT = 9
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _child_env(faults: str = "", seed: int = 0) -> dict:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+    env.pop("AUTOSVA_FAULTS", None)
+    env.pop("AUTOSVA_FAULT_SEED", None)
+    if faults:
+        env["AUTOSVA_FAULTS"] = faults
+        env["AUTOSVA_FAULT_SEED"] = str(seed)
+    return env
+
+
+def _serve(port, state_dir, cache_dir, faults="", transport="local",
+           fabric_port=None, min_workers=None):
+    command = [sys.executable, "-m", "repro.core.cli", "serve",
+               "--listen", f"127.0.0.1:{port}", "--workers", "2",
+               "--state-dir", str(state_dir),
+               "--cache-dir", str(cache_dir)]
+    if transport == "tcp":
+        command += ["--transport", "tcp",
+                    "--fabric-listen", f"127.0.0.1:{fabric_port}",
+                    "--min-workers", str(min_workers)]
+    return subprocess.Popen(command, env=_child_env(faults),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def _worker(fabric_port, faults="", seed=0, reconnect=False):
+    command = [sys.executable, "-m", "repro.dist.worker",
+               "--connect", f"127.0.0.1:{fabric_port}"]
+    if reconnect:
+        command += ["--reconnect", "--reconnect-max-delay", "2"]
+    return subprocess.Popen(command, env=_child_env(faults, seed),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def _request(port, method, path, body=None, timeout=60.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request(
+            method, path,
+            body=json.dumps(body) if body is not None else None)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"null")
+    finally:
+        connection.close()
+
+
+def _wait_http(port, process, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"serve exited {process.returncode} before answering")
+        try:
+            status, _ = _request(port, "GET", "/status", timeout=5.0)
+            if status == 200:
+                return
+        except OSError:
+            time.sleep(0.2)
+    raise RuntimeError(f"serve on port {port} never answered /status")
+
+
+def _stream_events(port, campaign_id, timeout=600.0):
+    """Drain the ndjson event stream to its terminal frame."""
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request(
+            "GET", f"/campaigns/{campaign_id}/events?format=ndjson")
+        response = connection.getresponse()
+        assert response.status == 200, f"events HTTP {response.status}"
+        return [json.loads(line)
+                for line in response.read().decode().splitlines()]
+    finally:
+        connection.close()
+
+
+def _result_rows(events):
+    return sorted(
+        (e["task_id"], e["status"],
+         json.dumps(e.get("results", []), sort_keys=True))
+        for e in events
+        if e.get("kind") == "result" and e.get("task_id"))
+
+
+def _digest(events) -> str:
+    return hashlib.sha256(
+        json.dumps(_result_rows(events)).encode()).hexdigest()
+
+
+def _submit(port, case, depth, frames):
+    status, body = _request(port, "POST", "/campaigns", {
+        "tenant": "chaos", "cases": [case],
+        "variants": ["fixed", "buggy"], "depth": depth, "frames": frames})
+    assert status == 201, f"submit failed: {status} {body}"
+    return body["id"]
+
+
+def _stop(process, sig=signal.SIGTERM, timeout=30.0):
+    if process.poll() is None:
+        process.send_signal(sig)
+        try:
+            process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    return process.returncode
+
+
+def _check(name, events, truth):
+    """The gate: digest-identical, every task exactly once."""
+    rows = _result_rows(events)
+    ids = [task_id for task_id, _, _ in rows]
+    assert len(ids) == len(set(ids)), \
+        f"{name}: task(s) double-reported: {ids}"
+    truth_ids = [task_id for task_id, _, _ in _result_rows(truth)]
+    assert sorted(ids) == sorted(truth_ids), \
+        f"{name}: task set diverged\n  expected {sorted(truth_ids)}\n" \
+        f"  got      {sorted(ids)}"
+    got, want = _digest(events), _digest(truth)
+    assert got == want, \
+        f"{name}: verdict digest diverged ({got[:16]}… != {want[:16]}…)"
+    print(f"chaos-smoke: {name}: digest {got[:16]}… == baseline, "
+          f"{len(ids)} task(s), none lost or duplicated")
+
+
+# -- scenarios ------------------------------------------------------------
+
+def scenario_baseline(tmp, case, depth, frames):
+    port = _free_port()
+    server = _serve(port, tmp / "base-state", tmp / "base-cache")
+    try:
+        _wait_http(port, server)
+        campaign_id = _submit(port, case, depth, frames)
+        events = _stream_events(port, campaign_id)
+        terminal = events[-1]
+        assert terminal.get("kind") == "campaign_done" \
+            and terminal.get("status") == "completed", terminal
+        return events
+    finally:
+        _stop(server)
+
+
+def scenario_server_crash(tmp, case, depth, frames, truth):
+    state, cache = tmp / "crash-state", tmp / "crash-cache"
+    port = _free_port()
+    # after=4: the admission + 3 verdicts are journaled whole, then the
+    # 4th verdict append is torn and the server dies like kill -9.
+    server = _serve(port, state, cache,
+                    faults=f"journal.torn_append:after=4,count=1,"
+                           f"exit={SERVER_EXIT}")
+    _wait_http(port, server)
+    campaign_id = _submit(port, case, depth, frames)
+    code = server.wait(timeout=600)
+    assert code == SERVER_EXIT, f"server exited {code}, not the fault"
+    raw = (state / "journal.jsonl").read_text()
+    assert not raw.endswith("\n"), "journal tail should be torn"
+    print(f"chaos-smoke: server killed mid-append (exit {code}), "
+          f"journal tail torn")
+
+    port = _free_port()
+    server = _serve(port, state, cache)   # clean restart, same state
+    try:
+        _wait_http(port, server)
+        status, summary = _request(port, "GET",
+                                   f"/campaigns/{campaign_id}")
+        assert status == 200, f"campaign lost across restart: {status}"
+        events = _stream_events(port, campaign_id)
+        assert events[-1].get("status") == "completed", events[-1]
+        _check("server-crash", events, truth)
+    finally:
+        _stop(server)
+
+
+def scenario_worker_crash(tmp, case, depth, frames, truth):
+    port, fabric = _free_port(), _free_port()
+    server = _serve(port, tmp / "wkill-state", tmp / "wkill-cache",
+                    transport="tcp", fabric_port=fabric, min_workers=2)
+    doomed = _worker(fabric, faults=f"worker.crash_before_result:"
+                                    f"count=1,exit={WORKER_EXIT}")
+    survivor = _worker(fabric)
+    try:
+        _wait_http(port, server)
+        campaign_id = _submit(port, case, depth, frames)
+        events = _stream_events(port, campaign_id)
+        assert events[-1].get("status") == "completed", events[-1]
+        assert any(e.get("kind") == "requeue" for e in events), \
+            "no requeue event — the doomed worker never held a task"
+        assert doomed.wait(timeout=60) == WORKER_EXIT
+        _check("worker-crash", events, truth)
+    finally:
+        _stop(server)
+        _stop(doomed)
+        _stop(survivor)
+
+
+def scenario_flaky_network(tmp, case, depth, frames, truth):
+    port, fabric = _free_port(), _free_port()
+    server = _serve(port, tmp / "flaky-state", tmp / "flaky-cache",
+                    transport="tcp", fabric_port=fabric, min_workers=2)
+    # Each agent deterministically loses one frame mid-campaign and must
+    # reconnect-with-backoff and resume its session.
+    workers = [
+        _worker(fabric, faults="dist.frame_drop:after=2,count=1",
+                seed=1, reconnect=True),
+        _worker(fabric, faults="dist.frame_drop:after=4,count=1",
+                seed=2, reconnect=True),
+    ]
+    try:
+        _wait_http(port, server)
+        campaign_id = _submit(port, case, depth, frames)
+        events = _stream_events(port, campaign_id)
+        assert events[-1].get("status") == "completed", events[-1]
+        status, doc = _request(port, "GET", "/status")
+        stats = doc.get("fleet", {}).get("workers", [])
+        reconnects = sum(w.get("reconnects", 0) for w in stats)
+        assert reconnects >= 1, \
+            f"no reconnects recorded in fleet stats: {stats}"
+        assert len(stats) <= 2, \
+            f"reconnected agents double-counted: {stats}"
+        _check("flaky-network", events, truth)
+        print(f"chaos-smoke: flaky-network: {reconnects} reconnect(s), "
+              f"{len(stats)} agent(s) in the fleet report")
+    finally:
+        _stop(server)
+        for worker in workers:
+            _stop(worker)
+
+
+def measure_fsync_tax(tmp, appends=300):
+    """The --state-dir durability price: fsync'd vs plain appends."""
+    from repro.campaign.history import atomic_append
+
+    record = (json.dumps({"kind": "event", "campaign": "c0000-bench",
+                          "event": {"task_id": "x" * 32,
+                                    "status": "ok"}}) + "\n").encode()
+    timings = {}
+    for label, fsync in (("plain", False), ("fsync", True)):
+        path = tmp / f"bench-{label}.jsonl"
+        begin = time.perf_counter()
+        for _ in range(appends):
+            atomic_append(path, record, fsync=fsync)
+        timings[label] = (time.perf_counter() - begin) / appends * 1000
+    overhead = timings["fsync"] / max(timings["plain"], 1e-9)
+    print(f"chaos-smoke: journal append: {timings['plain']:.4f} ms plain, "
+          f"{timings['fsync']:.4f} ms fsync'd ({overhead:.1f}x)")
+    return {"appends": appends,
+            "plain_ms": round(timings["plain"], 4),
+            "fsync_ms": round(timings["fsync"], 4),
+            "overhead_x": round(overhead, 1)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--case", default="O1",
+                        help="corpus case for every scenario")
+    parser.add_argument("--depth", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=10)
+    parser.add_argument("--record", action="store_true",
+                        help="append the run (and the journal fsync "
+                             "tax) to BENCH_campaign.json")
+    args = parser.parse_args(argv)
+
+    import tempfile
+    tmp = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    begin = time.monotonic()
+    truth = scenario_baseline(tmp, args.case, args.depth, args.frames)
+    print(f"chaos-smoke: baseline: {len(_result_rows(truth))} task(s), "
+          f"digest {_digest(truth)[:16]}…")
+    scenario_server_crash(tmp, args.case, args.depth, args.frames, truth)
+    scenario_worker_crash(tmp, args.case, args.depth, args.frames, truth)
+    scenario_flaky_network(tmp, args.case, args.depth, args.frames, truth)
+    wall = time.monotonic() - begin
+
+    fsync_tax = measure_fsync_tax(tmp)
+    if args.record:
+        entries = json.loads(BASELINE_PATH.read_text())
+        entries.append({
+            "label": f"chaos-{time.strftime('%Y%m%d')}",
+            "timestamp": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "cases": args.case, "depth": args.depth,
+            "frames": args.frames, "workers": 2,
+            "chaos_wall_s": round(wall, 2),
+            "verdict_digest": _digest(truth),
+            "journal_fsync": fsync_tax,
+        })
+        BASELINE_PATH.write_text(json.dumps(entries, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"chaos-smoke: recorded to {BASELINE_PATH.name}")
+
+    print(f"chaos-smoke: OK — kill -9 (server, worker) and a flaky "
+          f"network all converge digest-identical in {wall:5.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

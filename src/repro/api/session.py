@@ -187,7 +187,8 @@ class VerificationSession:
                  precompile: bool = True,
                  steal: bool = False,
                  cost_model=None,
-                 transport=None) -> None:
+                 transport=None,
+                 retry=None) -> None:
         self._source = tasks
         self._static = isinstance(tasks, (list, tuple))
         #: Every task that produced (or will produce) a result event.  For
@@ -206,6 +207,10 @@ class VerificationSession:
             not getattr(transport, "remote", transport is not None)
         self.steal = steal
         self.cost_model = cost_model
+        #: Optional :class:`~repro.campaign.scheduler.RetryPolicy` —
+        #: transient worker deaths re-run bounded times before the error
+        #: verdict surfaces.
+        self.retry = retry
         self.events: List[TaskEvent] = []
         self.steal_counts: Dict[str, int] = {}
         self.requeue_counts: Dict[str, int] = {}
@@ -258,7 +263,8 @@ class VerificationSession:
             split=(lambda task: task.split()) if self.steal else None,
             combine=_combine_payloads if self.steal else None,
             cost_of=self._cost_of,
-            transport=self.transport)
+            transport=self.transport,
+            retry=self.retry)
         try:
             for item in scheduler.run():
                 tag = item[0]
@@ -282,6 +288,12 @@ class VerificationSession:
                         task_id=task.task_id, design=task.design,
                         variant=task.variant, status="ok", kind="requeue",
                         worker=worker_id)
+                elif tag == "retry":
+                    _, task, _attempt, failed = item
+                    event = TaskEvent(
+                        task_id=task.task_id, design=task.design,
+                        variant=task.variant, status="ok", kind="retry",
+                        error=failed.error)
                 else:  # "steal"
                     _, parent, _halves = item
                     self.steal_counts[parent.design] = \

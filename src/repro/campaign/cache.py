@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..testing.faults import FAULTS
 from .jobs import CampaignJob
 
 __all__ = ["ArtifactCache", "CacheEntry"]
@@ -154,6 +155,11 @@ class ArtifactCache:
             {"schema": _SCHEMA_VERSION, "payload": payload,
              "wall_time_s": wall_time_s},
             sort_keys=True)
+        if FAULTS.enabled and FAULTS.maybe_fire("cache.torn_write"):
+            # Chaos rehearsal of a crash mid-write that still got renamed
+            # into place (or a pre-envelope torn file): readers must treat
+            # the half-entry as a miss and the next writer repairs it.
+            data = data[: max(1, len(data) // 2)]
         with tmp.open("w") as handle:
             handle.write(data)
             if self.fsync:

@@ -34,9 +34,29 @@ from typing import Dict, List, Optional
 
 from .report import CampaignReport
 
-__all__ = ["CampaignHistory"]
+__all__ = ["CampaignHistory", "atomic_append"]
 
 _FORMAT_VERSION = 1
+
+
+def atomic_append(path: Path, data: bytes, fsync: bool = False) -> None:
+    """Append ``data`` to ``path`` as one atomic write.
+
+    ``O_APPEND`` + a single ``os.write`` lands the bytes as one
+    contiguous range (POSIX), so concurrent appenders can interleave
+    records but never tear one; a buffered ``open("a")`` could flush a
+    record in pieces.  ``fsync=True`` forces the record to stable
+    storage before returning — the durability primitive the service
+    journal (:mod:`repro.service.journal`) is built on.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _row_record(row) -> Dict[str, object]:
@@ -105,19 +125,8 @@ class CampaignHistory:
         return runs[-1] if runs else None
 
     def _write(self, record: Dict[str, object]) -> Dict[str, object]:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        # O_APPEND + one write() = one atomic line, even with several
-        # processes appending to the same history concurrently; a
-        # buffered open("a") could flush a record in pieces and tear it.
-        fd = os.open(str(self.path),
-                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, data)
-            if self.fsync:
-                os.fsync(fd)
-        finally:
-            os.close(fd)
+        atomic_append(self.path, data, fsync=self.fsync)
         return record
 
     def append(self, report: CampaignReport,

@@ -93,7 +93,8 @@ from ..obs import METRICS, TRACER, absorb_obs, collect_obs
 from .cache import ArtifactCache
 from .jobs import CampaignJob, execute_job
 
-__all__ = ["JobResult", "LocalTransport", "Scheduler", "SourceNotice",
+__all__ = ["JobResult", "LocalTransport", "RetryPolicy", "Scheduler",
+           "SourceNotice", "classify_failure",
            "iter_campaign", "resolve_worker_count", "run_campaign"]
 
 #: Upper bound on how long a worker's deadline may overshoot: the pool
@@ -184,6 +185,39 @@ class SourceNotice:
     design: str
     wall_time_s: float = 0.0
     from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded automatic retry of *transient* job failures.
+
+    A worker process dying mid-task (signal, OOM kill, injected chaos,
+    a flaky fabric connection) says nothing about the job itself — the
+    same task re-run on a healthy worker usually succeeds.  A traceback,
+    a wall-clock timeout or the in-process memory cap, by contrast, is
+    the *job's* deterministic verdict and retrying it just burns a slot
+    reproducing it.  :func:`classify_failure` draws that line;
+    ``max_retries`` bounds how often a transient failure re-enters the
+    queue before its error result surfaces anyway (so a task that is
+    somehow poison to every worker still terminates the campaign).
+    """
+
+    max_retries: int = 2
+
+
+def classify_failure(result: JobResult) -> str:
+    """``"transient"`` (retry may help) or ``"deterministic"``.
+
+    Only worker-death errors — ``reap_child``'s "worker died with exit
+    code N", produced when a child vanishes without reporting — classify
+    as transient.  Timeouts, tracebacks and the enforced memory limit
+    reproduce on re-run.  (A kernel OOM kill also reads as a death and
+    will retry; the retry bound keeps that cheap and terminal.)
+    """
+    if result.status == "error" and result.error \
+            and result.error.startswith("worker died with exit code"):
+        return "transient"
+    return "deterministic"
 
 
 def _safe_collect_obs():
@@ -467,6 +501,10 @@ class Scheduler:
     * ``("requeue", job, worker_id)`` — the transport lost a worker with
       this job in flight; the job is back in the queue, excluded from
       the dead worker (remote transports only).
+    * ``("retry", job, attempt, result)`` — a :class:`RetryPolicy`
+      classified this failure as transient and re-queued the job instead
+      of surfacing the error (its eventual outcome still arrives as
+      exactly one ``done``).
 
     Exactly one ``done`` event is emitted per admitted job, except jobs
     consumed by a steal — their verdicts arrive through the halves'
@@ -485,7 +523,8 @@ class Scheduler:
                  split: Optional[Callable] = None,
                  combine: Optional[Callable] = None,
                  cost_of: Optional[Callable] = None,
-                 transport=None) -> None:
+                 transport=None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if timeout_s is not None and timeout_s <= 0:
@@ -502,10 +541,15 @@ class Scheduler:
         self.split = split
         self.combine = combine
         self.cost_of = cost_of
+        self.retry = retry
         #: Jobs re-split by work stealing during the run.
         self.steal_count = 0
         #: job_id -> times it was requeued after losing its worker.
         self.requeue_counts: Dict[str, int] = {}
+        #: job_id -> times a transient failure was retried.
+        self.retry_counts: Dict[str, int] = {}
+        #: admission index -> transient-failure attempts consumed.
+        self._attempts: Dict[int, int] = {}
 
         self._transport = transport if transport is not None \
             else LocalTransport(workers)
@@ -832,6 +876,36 @@ class Scheduler:
                                  "worker": worker_id})
             self._emit.append(("requeue", job, worker_id))
 
+    def _should_retry(self, index: int, job, result: JobResult) -> bool:
+        """Re-queue a transient failure instead of surfacing it.
+
+        Emits ``("retry", job, attempt, result)`` and returns True when
+        the job went back to the queue — the caller must then *not*
+        yield a ``done`` event (exactly-one-done is preserved: the
+        retried attempt produces it later).  The worker is deliberately
+        not excluded — it is alive (its *child* died), and excluding it
+        would starve a one-worker fleet.
+        """
+        if self.retry is None or result.ok or result.from_cache:
+            return False
+        if self._is_cancelled(job):
+            return False
+        if classify_failure(result) != "transient":
+            return False
+        attempt = self._attempts.get(index, 0) + 1
+        if attempt > self.retry.max_retries:
+            return False
+        self._attempts[index] = attempt
+        self.retry_counts[job.job_id] = \
+            self.retry_counts.get(job.job_id, 0) + 1
+        METRICS.counter("scheduler.retries").inc()
+        TRACER.instant("retry", cat="scheduler",
+                       args={"job_id": job.job_id, "attempt": attempt,
+                             "error": result.error})
+        self._queue.appendleft((index, job))
+        self._emit.append(("retry", job, attempt, result))
+        return True
+
     # -- the run loop ------------------------------------------------------
     def run(self) -> Iterator[tuple]:
         """Execute the source to completion, yielding tagged events.
@@ -865,6 +939,8 @@ class Scheduler:
                 for index, job, worker_id in requeued:
                     self._requeue(index, job, worker_id)
                 for index, job, result in finished:
+                    if self._should_retry(index, job, result):
+                        continue
                     yield ("done", index, job, self._finish(index, result))
                     self._fill()
                     while self._emit:

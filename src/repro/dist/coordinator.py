@@ -63,9 +63,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..campaign.scheduler import _IDLE_WAIT_S, JobResult
 from ..obs import METRICS, TRACER, absorb_obs
+from ..testing.faults import FAULTS
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
                        encode_frame, encode_unit, negotiate_version,
-                       validate_message)
+                       transmit, validate_message)
 
 __all__ = ["TcpTransport", "parse_address", "spawn_local_workers"]
 
@@ -86,7 +87,8 @@ def parse_address(text: str) -> Tuple[str, int]:
 def spawn_local_workers(address: Tuple[str, int], count: int,
                         slots: int = 1,
                         preload: Sequence[str] = (),
-                        quiet: bool = True) -> List[subprocess.Popen]:
+                        quiet: bool = True,
+                        reconnect: bool = False) -> List[subprocess.Popen]:
     """Start ``count`` worker agents on this host as subprocesses.
 
     A convenience for the loopback quickstart, tests and CI — production
@@ -106,6 +108,8 @@ def spawn_local_workers(address: Tuple[str, int], count: int,
                              if existing else package_root)
     command = [sys.executable, "-m", "repro.dist.worker",
                "--connect", f"{host}:{port}", "--slots", str(slots)]
+    if reconnect:
+        command += ["--reconnect"]
     for module in preload:
         command += ["--preload", module]
     sink = subprocess.DEVNULL if quiet else None
@@ -174,6 +178,11 @@ class _RemoteWorker:
     costs: Dict[int, float] = field(default_factory=dict)
     started: set = field(default_factory=set)   # job_ids seen starting
     load: float = 0.0
+    #: Agent-chosen session id from the hello (stable across that
+    #: process's reconnects); None for agents predating the field.
+    session: Optional[str] = None
+    #: Times this agent resumed its session on a fresh connection.
+    reconnects: int = 0
     # lifetime stats (survive into worker_stats after departure)
     tasks_done: int = 0
     busy_s: float = 0.0
@@ -217,6 +226,7 @@ class _RemoteWorker:
             "steals_granted": self.steals_granted,
             "compiles": self.compiles,
             "heartbeat_rtt_ms": rtt,
+            "reconnects": self.reconnects,
             "departed": self.departed,
         }
 
@@ -341,9 +351,15 @@ class TcpTransport:
             return False
         ready = self._ready_workers()
         cost = float(self.cost_of(job)) if self.cost_of is not None else 1.0
+        # Exclusion marks workers that *died* holding the job.  An agent
+        # that resumed its session is the same living process back on a
+        # new connection — the "death" was the wire, not the task — so
+        # it is eligible again; honoring a stale exclusion could starve
+        # a one-agent fleet forever.
         candidates = [worker for worker in ready
                       if worker.free(self.prefetch) > 0
-                      and worker.worker_id not in excluded]
+                      and (worker.worker_id not in excluded
+                           or worker.reconnects > 0)]
         while candidates:
             target = min(candidates,
                          key=lambda w: ((w.load + cost) / w.slots, w.seq))
@@ -461,11 +477,13 @@ class TcpTransport:
 
     # -- conveniences ------------------------------------------------------
     def spawn_local(self, count: int, slots: int = 1,
-                    preload: Sequence[str] = ()) -> None:
+                    preload: Sequence[str] = (),
+                    reconnect: bool = False) -> None:
         """Spawn loopback worker agents owned (and closed) by this
         transport — the quickstart/CI path."""
         self._spawned.extend(spawn_local_workers(
-            self.address, count, slots=slots, preload=preload))
+            self.address, count, slots=slots, preload=preload,
+            reconnect=reconnect))
 
     def wait_for_workers(self, count: int,
                          timeout_s: float = 30.0) -> None:
@@ -481,7 +499,7 @@ class TcpTransport:
     # -- internals ---------------------------------------------------------
     def _send(self, worker: _RemoteWorker,
               message: Dict[str, object]) -> None:
-        worker.sock.sendall(encode_frame(message))
+        transmit(worker.sock, message)
 
     def _wait_timeout(self, now: float) -> float:
         next_ping = min(
@@ -507,6 +525,14 @@ class TcpTransport:
 
     def _maintain(self, now: float) -> None:
         for worker in list(self._workers):
+            if worker.ready and FAULTS.enabled \
+                    and FAULTS.maybe_fire("coordinator.heartbeat_stall"):
+                # Chaos: falsely declare a live agent dead, exactly as a
+                # stalled heartbeat would — its tasks requeue and the
+                # agent (if --reconnect) resumes its session.
+                self._kill(worker,
+                           "heartbeat timeout (injected stall)")
+                continue
             window = self.liveness_timeout_s
             if worker.ready and now - worker.last_seen > window \
                     and now > worker.grace_until:
@@ -553,12 +579,22 @@ class TcpTransport:
             worker.slots = max(1, int(message.get("slots", 1)))
             worker.label = message.get("label")
             worker.ready = True
+            # "session" is a minor optional field: a --reconnect agent
+            # carries a stable id across connections so a return is
+            # recognized instead of double-counted as a fresh worker.
+            session = message.get("session")
+            if isinstance(session, str) and session:
+                worker.session = session
+                self._resume_session(worker)
             # "trace" is a minor ack field: a tracing coordinator asks
             # the agent to record spans too; old agents ignore it.
-            self._send(worker, {"type": "hello",
-                                "version": PROTOCOL_VERSION,
-                                "role": "coordinator",
-                                "trace": TRACER.enabled})
+            try:
+                self._send(worker, {"type": "hello",
+                                    "version": PROTOCOL_VERSION,
+                                    "role": "coordinator",
+                                    "trace": TRACER.enabled})
+            except OSError:
+                self._kill(worker, "send failed")
         elif kind == "result":
             task_id = message["task_id"]
             index = next((i for i, job in worker.assigned.items()
@@ -631,6 +667,48 @@ class TcpTransport:
         else:
             raise ProtocolError(
                 f"worker sent a coordinator-only message: {kind}")
+
+    def _resume_session(self, worker: _RemoteWorker) -> None:
+        """Merge a returning agent's history into its new connection.
+
+        A live entry with the same session is a zombie: the process
+        behind it reconnected, so its old socket will never speak again
+        — kill it now (requeueing anything it still held, exactly the
+        existing death path, just sooner than the liveness timeout).  A
+        *departed* entry with the session is this agent's previous life:
+        fold its lifetime stats into the new connection and remove it,
+        so the fleet report shows one agent with ``reconnects`` N
+        instead of N corpses — the death is not double-counted.
+        """
+        resumed = False
+        for other in list(self._workers):
+            if other is not worker and other.session == worker.session:
+                self._kill(other, "superseded by reconnect")
+                resumed = True
+        for departed in list(self._departed):
+            if departed.session != worker.session:
+                continue
+            resumed = True
+            worker.reconnects += departed.reconnects + 1
+            worker.tasks_done += departed.tasks_done
+            worker.busy_s += departed.busy_s
+            worker.compiles += departed.compiles
+            worker.steals_granted += departed.steals_granted
+            worker.connected_at = min(worker.connected_at,
+                                      departed.connected_at)
+            worker.rtt_samples += departed.rtt_samples
+            worker.rtt_total += departed.rtt_total
+            if departed.rtt_min is not None and \
+                    (worker.rtt_min is None
+                     or departed.rtt_min < worker.rtt_min):
+                worker.rtt_min = departed.rtt_min
+            if departed.rtt_max is not None and \
+                    (worker.rtt_max is None
+                     or departed.rtt_max > worker.rtt_max):
+                worker.rtt_max = departed.rtt_max
+            self._departed.remove(departed)
+        if resumed:
+            METRICS.counter("fabric.reconnects").inc()
 
     def _kill(self, worker: _RemoteWorker, reason: str) -> None:
         """A worker died: requeue its in-flight work, excluded from it."""

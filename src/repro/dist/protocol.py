@@ -63,8 +63,10 @@ import dataclasses
 import json
 from typing import Callable, Dict, List, Tuple, Type
 
+from ..testing.faults import FAULTS
+
 __all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "MESSAGE_TYPES",
-           "ProtocolError", "FrameDecoder", "encode_frame",
+           "ProtocolError", "FrameDecoder", "encode_frame", "transmit",
            "negotiate_version", "validate_message",
            "register_unit", "encode_unit", "decode_unit", "runner_for"]
 
@@ -109,6 +111,37 @@ def encode_frame(message: Dict[str, object]) -> bytes:
             f"frame of {len(data)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit")
     return b"%d\n%s\n" % (len(data), data)
+
+
+def transmit(sock, message: Dict[str, object]) -> None:
+    """Encode and send one frame — through the wire fault sites.
+
+    The single choke point both fabric ends use for every outgoing
+    frame, so chaos rehearsals (:mod:`repro.testing.faults`) can model a
+    flaky network without touching either peer's logic:
+
+    * ``dist.frame_delay`` — sleep before the frame goes out;
+    * ``dist.frame_corrupt`` — flip one payload byte; the receiver's
+      decoder rejects the frame and kills the connection, exactly like
+      real line noise;
+    * ``dist.frame_drop`` — raise ``OSError`` without sending, exactly
+      like a connection reset mid-frame (the frame is *not* half-sent,
+      matching TCP's all-or-nothing delivery of a died connection's
+      tail).
+
+    Either fault ends the connection; recovery is the ordinary death
+    machinery — coordinator requeues, worker reconnects.
+    """
+    data = encode_frame(message)
+    if FAULTS.enabled:
+        FAULTS.lag("dist.frame_delay")
+        if FAULTS.maybe_fire("dist.frame_corrupt"):
+            middle = len(data) // 2
+            data = data[:middle] + bytes([data[middle] ^ 0x5A]) \
+                + data[middle + 1:]
+        if FAULTS.maybe_fire("dist.frame_drop"):
+            raise OSError("injected fault: frame dropped (connection reset)")
+    sock.sendall(data)
 
 
 class FrameDecoder:

@@ -43,9 +43,11 @@ from __future__ import annotations
 import argparse
 import importlib
 import os
+import random
 import socket
 import sys
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -54,19 +56,42 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..campaign.scheduler import (_IDLE_WAIT_S, _child_main, fork_context,
                                   reap_child, resolve_worker_count)
 from ..obs import TRACER, absorb_obs, collect_obs
+from ..testing.faults import FAULTS
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
-                       decode_unit, encode_frame, runner_for,
+                       decode_unit, runner_for, transmit,
                        validate_message)
 
 __all__ = ["WorkerAgent", "worker_main"]
 
 
 class _Disconnect(Exception):
-    """Coordinator went away (EOF, reset, shutdown frame)."""
+    """Coordinator went away (EOF, reset, shutdown frame).
 
-    def __init__(self, reason: str, code: int = 0) -> None:
+    ``retry`` marks connection-level losses (reset, EOF, connect
+    failure) that ``--reconnect`` may heal; deliberate endings — a
+    coordinator ``shutdown`` frame, a version refusal, a completed
+    drain — are final regardless.
+    """
+
+    def __init__(self, reason: str, code: int = 0,
+                 retry: bool = False) -> None:
         super().__init__(reason)
         self.code = code
+        self.retry = retry
+
+
+def _backoff_delay(attempt: int, cap: float, rng: random.Random,
+                   base: float = 0.5) -> float:
+    """Reconnect delay for 1-based ``attempt``: capped exponential
+    backoff with jitter.
+
+    The ceiling doubles per attempt (``base``, ``2*base``, ...) up to
+    ``cap``; the returned delay is uniformly jittered into the upper
+    half of the ceiling so a fleet that lost one coordinator does not
+    reconnect in lockstep.
+    """
+    ceiling = min(cap, base * (2 ** max(0, attempt - 1)))
+    return ceiling * (0.5 + 0.5 * rng.random())
 
 
 @dataclass
@@ -98,6 +123,17 @@ class WorkerAgent:
     #: users (and CI) start the worker before the coordinator is up.
     connect_timeout_s: float = 10.0
     quiet: bool = False
+    #: Survive connection loss: reconnect with capped exponential
+    #: backoff + jitter and resume the session (same ``session`` id in
+    #: the new hello, so the coordinator merges this agent's history
+    #: instead of double-counting a death).  Deliberate shutdowns
+    #: (coordinator ``shutdown`` frame, refusal, completed drain) still
+    #: exit.
+    reconnect: bool = False
+    #: Backoff ceiling between reconnect attempts.
+    reconnect_max_s: float = 30.0
+    #: Stable per-process session id, carried in every hello.
+    session: str = field(default_factory=lambda: uuid.uuid4().hex)
 
     _sock: Optional[socket.socket] = field(default=None, repr=False)
     _decoder: FrameDecoder = field(default_factory=FrameDecoder,
@@ -116,6 +152,9 @@ class WorkerAgent:
     #: only flip the flag, they never touch the socket.
     _draining: bool = field(default=False, repr=False)
     _drain_sent: bool = field(default=False, repr=False)
+    #: True once the current connection completed its hello exchange —
+    #: a session that worked resets the reconnect backoff.
+    _hello_ok: bool = field(default=False, repr=False)
 
     # -- plumbing ---------------------------------------------------------
     def _log(self, text: str) -> None:
@@ -124,9 +163,10 @@ class WorkerAgent:
 
     def _send(self, message: Dict[str, object]) -> None:
         try:
-            self._sock.sendall(encode_frame(message))
+            transmit(self._sock, message)
         except OSError as exc:
-            raise _Disconnect(f"send failed: {exc}", code=1) from None
+            raise _Disconnect(f"send failed: {exc}", code=1,
+                              retry=True) from None
 
     def _connect(self) -> None:
         deadline = time.monotonic() + self.connect_timeout_s
@@ -141,24 +181,28 @@ class WorkerAgent:
                     raise _Disconnect(
                         f"could not connect to {self.host}:{self.port} "
                         f"within {self.connect_timeout_s:.0f}s: {exc}",
-                        code=1) from None
+                        code=1, retry=True) from None
                 time.sleep(0.2)
 
-    def _hello(self) -> None:
+    def _hello(self, resume: bool = False) -> None:
         from .protocol import _UNIT_CODECS
 
+        # ``session``/``resume`` are minor optional fields (no protocol
+        # bump): an old coordinator ignores them and simply treats a
+        # returning agent as a new one.
         self._send({
             "type": "hello", "version": PROTOCOL_VERSION,
             "slots": self.slots, "host": socket.gethostname(),
             "pid": os.getpid(), "label": self.label,
             "units": sorted(_UNIT_CODECS),
+            "session": self.session, "resume": resume,
         })
         deadline = time.monotonic() + max(self.connect_timeout_s, 5.0)
         while not self._inbox:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise _Disconnect("coordinator never answered hello",
-                                  code=1)
+                                  code=1, retry=True)
             if mp_connection.wait([self._sock], timeout=remaining):
                 self._pump()
         # The ack is the first frame a coordinator ever sends; whatever
@@ -189,9 +233,11 @@ class WorkerAgent:
         try:
             data = self._sock.recv(65536)
         except OSError as exc:
-            raise _Disconnect(f"recv failed: {exc}", code=1) from None
+            raise _Disconnect(f"recv failed: {exc}", code=1,
+                              retry=True) from None
         if not data:
-            raise _Disconnect("coordinator closed the connection")
+            raise _Disconnect("coordinator closed the connection",
+                              retry=True)
         self._inbox.extend(self._decoder.feed(data))
 
     # -- execution --------------------------------------------------------
@@ -298,6 +344,10 @@ class WorkerAgent:
         shipped = collect_obs()
         if shipped is not None:
             message["obs"] = shipped
+        # Chaos sites: die with a computed-but-unsent result (the
+        # coordinator must requeue it) or right after sending it (the
+        # coordinator must not double-report it).
+        FAULTS.crash("worker.crash_before_result")
         try:
             self._send(message)
         except (TypeError, ProtocolError) as exc:
@@ -311,6 +361,7 @@ class WorkerAgent:
                 "error": f"result payload not wire-serializable: {exc}",
                 "wall_time_s": message["wall_time_s"],
             })
+        FAULTS.crash("worker.crash_after_result")
 
     def _reap_children(self) -> None:
         # The reap decision (result-beats-deadline, EOF = died, overdue =
@@ -391,12 +442,29 @@ class WorkerAgent:
                    _IDLE_WAIT_S)
 
     # -- entry point ------------------------------------------------------
-    def run(self) -> int:
+    def _serve_once(self, resume: bool = False) -> None:
+        """One connection's lifetime: connect, hello, serve until lost.
+
+        Only raises (:class:`_Disconnect` / :class:`ProtocolError`) —
+        a normal return does not exist.  Per-connection state (decoder,
+        inbox, unstarted pending tasks) resets on entry; running
+        children are terminated on exit because their results can no
+        longer be matched — the coordinator requeued everything this
+        connection had in flight, so finishing them would only produce
+        frames the next connection must not send.  The in-process
+        compile cache survives, so a resumed session keeps its warm
+        designs.
+        """
+        self._decoder = FrameDecoder()
+        self._inbox.clear()
+        self._pending.clear()
+        self._drain_sent = False
         try:
             self._connect()
-            self._hello()
-            self._log(f"connected to {self.host}:{self.port} "
-                      f"({self.slots} slot(s))")
+            self._hello(resume=resume)
+            self._hello_ok = True
+            self._log(f"{'reconnected' if resume else 'connected'} to "
+                      f"{self.host}:{self.port} ({self.slots} slot(s))")
             while True:
                 if self._draining:
                     self._flush_drain()
@@ -414,21 +482,45 @@ class WorkerAgent:
                 if self._sock in ready:
                     self._pump()
                 self._reap_children()
-        except _Disconnect as exc:
-            self._log(f"exiting: {exc} ({self._tasks_done} task(s) done)")
-            return exc.code
-        except ProtocolError as exc:
-            self._log(f"protocol error: {exc}")
-            return 1
         finally:
             for child in self._children:
                 child.process.terminate()
                 child.process.join()
+            self._children = []
             if self._sock is not None:
                 try:
                     self._sock.close()
                 except OSError:
                     pass
+                self._sock = None
+
+    def run(self) -> int:
+        rng = random.Random(self.session)
+        attempt = 0
+        while True:
+            self._hello_ok = False
+            try:
+                self._serve_once(resume=attempt > 0)
+            except _Disconnect as exc:
+                if not (self.reconnect and exc.retry
+                        and not self._draining):
+                    self._log(f"exiting: {exc} "
+                              f"({self._tasks_done} task(s) done)")
+                    return exc.code
+                self._log(f"connection lost: {exc}")
+            except ProtocolError as exc:
+                # A desynced stream is a connection-level failure too:
+                # reconnecting resets the framing on both ends.
+                if not (self.reconnect and not self._draining):
+                    self._log(f"protocol error: {exc}")
+                    return 1
+                self._log(f"protocol error, resetting connection: {exc}")
+            if self._hello_ok:
+                attempt = 0        # the session worked: back off afresh
+            attempt += 1
+            delay = _backoff_delay(attempt, self.reconnect_max_s, rng)
+            self._log(f"reconnecting in {delay:.1f}s (attempt {attempt})")
+            time.sleep(delay)
 
 
 def build_worker_parser() -> argparse.ArgumentParser:
@@ -454,6 +546,14 @@ def build_worker_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="keep retrying the initial connect for S "
                              "seconds (default 10)")
+    parser.add_argument("--reconnect", action="store_true",
+                        help="survive connection loss: retry with capped "
+                             "exponential backoff + jitter and resume the "
+                             "session (coordinator shutdowns still exit)")
+    parser.add_argument("--reconnect-max-delay", type=float, default=30.0,
+                        metavar="S",
+                        help="backoff ceiling between reconnect attempts "
+                             "(default 30)")
     return parser
 
 
@@ -491,7 +591,9 @@ def worker_main(argv: Sequence[str]) -> int:
             return 1
     agent = WorkerAgent(host=host, port=port, slots=slots,
                         label=args.label,
-                        connect_timeout_s=args.connect_timeout)
+                        connect_timeout_s=args.connect_timeout,
+                        reconnect=args.reconnect,
+                        reconnect_max_s=args.reconnect_max_delay)
     try:
         import signal as signal_mod
 

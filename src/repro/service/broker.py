@@ -56,7 +56,7 @@ import threading
 import time
 import uuid
 from collections import deque
-from dataclasses import asdict
+from dataclasses import asdict, fields
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from ..api.session import event_from_result
@@ -64,11 +64,12 @@ from ..api.task import PropertyTask, TaskEvent, execute_task
 from ..campaign.cache import ArtifactCache
 from ..campaign.costmodel import CostModel
 from ..campaign.report import CampaignReport
-from ..campaign.scheduler import Scheduler, SourceNotice
+from ..campaign.scheduler import RetryPolicy, Scheduler, SourceNotice
 from ..campaign.sharding import ShardPlan, merge_shard_results, stream_tasks
 from ..formal.engine import EngineConfig
 from ..obs import METRICS, TRACER
 from ..obs.record import build_record, validate_record
+from .journal import CampaignJournal, JournaledCampaign
 from .tenancy import QuotaError, TenantRegistry
 
 __all__ = ["Campaign", "CampaignBroker", "CampaignSpec"]
@@ -186,6 +187,10 @@ class Campaign:
         self.report_dict: Optional[Dict[str, object]] = None
         self.record_dict: Optional[Dict[str, object]] = None
         self.error: Optional[str] = None
+        #: Monotonic settle time, for the retention policy's TTL check.
+        self.settled_at: Optional[float] = None
+        #: Journal sequence number (restored across restarts).
+        self.seq = 0
 
     # -- event fan-out (call with the broker lock held) --------------------
     def publish(self, payload: Dict[str, object]) -> None:
@@ -237,7 +242,11 @@ class CampaignBroker:
                  tenants: Optional[TenantRegistry] = None,
                  timeout_s: Optional[float] = None,
                  memory_limit_mb: Optional[int] = None,
-                 model: Optional[CostModel] = None) -> None:
+                 model: Optional[CostModel] = None,
+                 journal: Optional[CampaignJournal] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 retain_settled: Optional[int] = 64,
+                 retain_ttl_s: Optional[float] = None) -> None:
         self.workers = workers
         self.transport = transport
         self.cache = cache
@@ -245,6 +254,20 @@ class CampaignBroker:
         self.timeout_s = timeout_s
         self.memory_limit_mb = memory_limit_mb
         self.model = model or CostModel()
+        #: Write-ahead journal: every admission, result event,
+        #: cancellation and terminal verdict is appended *before* it is
+        #: published, so a restarted service can replay open campaigns
+        #: (settled tasks come back from the shared ArtifactCache).
+        self.journal = journal
+        #: Task-level retry policy for transient worker deaths (None
+        #: keeps the pre-PR-8 fail-fast behaviour).
+        self.retry = retry
+        #: Retention policy for *settled* campaigns: keep at most
+        #: ``retain_settled`` (None = unbounded) and none older than
+        #: ``retain_ttl_s`` seconds past settle.  Without this the
+        #: ``_campaigns`` map grows forever in a long-lived service.
+        self.retain_settled = retain_settled
+        self.retain_ttl_s = retain_ttl_s
         self.transport_kind = "tcp" if getattr(transport, "remote", False) \
             else "local"
 
@@ -259,6 +282,7 @@ class CampaignBroker:
         self._thread: Optional[threading.Thread] = None
         self._started = time.monotonic()
         self._fatal: Optional[str] = None
+        self._evicted = 0
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "CampaignBroker":
@@ -272,7 +296,9 @@ class CampaignBroker:
             self._source(), workers=self.workers, cache=self.cache,
             timeout_s=self.timeout_s,
             memory_limit_mb=self.memory_limit_mb,
-            runner=execute_task, transport=transport)
+            runner=execute_task, transport=transport, retry=self.retry)
+        if self.journal is not None:
+            self._recover()
         self._thread = threading.Thread(target=self._run,
                                         name="campaign-broker", daemon=True)
         self._thread.start()
@@ -348,8 +374,14 @@ class CampaignBroker:
                          for c in self._campaigns.values()
                          if not c.settled), default=0.0)
             usage.vtime = max(usage.vtime, floor)
+            campaign.seq = self._seq
             self._campaigns[campaign_id] = campaign
             self._order.append(campaign_id)
+            if self.journal is not None:
+                # Write-ahead: durable before the caller learns the id.
+                self.journal.admitted(campaign_id, self._seq, spec.tenant,
+                                      campaign.submitted_at, spec.as_dict())
+            self._gc_settled()
             METRICS.counter("service.campaigns_submitted").inc()
             METRICS.gauge("service.campaigns_active").set(
                 sum(1 for c in self._campaigns.values() if not c.settled))
@@ -369,6 +401,8 @@ class CampaignBroker:
             if not campaign.settled and not campaign.cancel_requested:
                 campaign.cancel_requested = True
                 campaign.cancel_reason = reason
+                if self.journal is not None:
+                    self.journal.cancelled(campaign_id, reason)
                 METRICS.counter("service.campaigns_cancelled").inc()
                 self._cond.notify_all()
             return campaign
@@ -448,6 +482,17 @@ class CampaignBroker:
                     "queue_depth": gauges.get("scheduler.queue_depth", 0),
                     "in_flight": gauges.get("scheduler.in_flight", 0),
                 },
+                "retention": {
+                    "retain_settled": self.retain_settled,
+                    "retain_ttl_s": self.retain_ttl_s,
+                    "evicted": self._evicted,
+                },
+                "durability": {
+                    "journal": (str(self.journal.path)
+                                if self.journal is not None else None),
+                    "fsync": (self.journal.fsync
+                              if self.journal is not None else False),
+                },
                 "service": {name: value for name, value in counters.items()
                             if name.startswith("service.")},
                 "tenants": self.tenants.report(),
@@ -465,6 +510,9 @@ class CampaignBroker:
                 elif tag == "requeue":
                     _, task, worker_id = event
                     self._on_requeue(task, worker_id)
+                elif tag == "retry":
+                    _, task, attempt, failed = event
+                    self._on_retry(task, attempt, failed)
                 # "steal" cannot happen (split=None); "notice" never
                 # reaches the scheduler — the source converts notices
                 # into per-campaign feed events directly.
@@ -614,7 +662,13 @@ class CampaignBroker:
             campaign.wall_spent_s += result.wall_time_s
             event = event_from_result(task, result)
             campaign.events.append(event)
-            campaign.publish(_serialize_event(event))
+            payload = _serialize_event(event)
+            if self.journal is not None:
+                # Journal the verdict before any subscriber can see it:
+                # a crash after publish but before the append could
+                # otherwise double-report the task across a restart.
+                self.journal.event(campaign.id, payload)
+            campaign.publish(payload)
             # Containment: a tenant that just ran out of wall budget has
             # every open campaign cancelled — enforced, not just
             # reported, veronica-style.
@@ -638,6 +692,21 @@ class CampaignBroker:
             event = TaskEvent(task_id=task.task_id, design=task.design,
                               variant=task.variant, status="ok",
                               kind="requeue", worker=worker_id)
+            campaign.publish(_serialize_event(event))
+
+    def _on_retry(self, task: PropertyTask, attempt: int, failed) -> None:
+        """The scheduler re-queued a transiently-failed task; surface it.
+
+        A retry is progress news, not a verdict: the task stays live and
+        outstanding, so nothing is journaled — only subscribers see it.
+        """
+        with self._cond:
+            campaign = self._owners.get(id(task))
+            if campaign is None:
+                return
+            event = TaskEvent(task_id=task.task_id, design=task.design,
+                              variant=task.variant, status="ok",
+                              kind="retry", error=failed.error)
             campaign.publish(_serialize_event(event))
 
     # -- settle ------------------------------------------------------------
@@ -672,6 +741,12 @@ class CampaignBroker:
                 campaign.status = "cancelled"
                 campaign.error = (f"report assembly failed: "
                                   f"{type(exc).__name__}: {exc}")
+        campaign.settled_at = time.monotonic()
+        if self.journal is not None:
+            self.journal.settled(
+                campaign.id, campaign.status, campaign.error,
+                campaign.cancel_reason, round(campaign.wall_time_s, 3),
+                campaign.report_dict, campaign.record_dict)
         METRICS.counter("service.campaigns_completed"
                         if campaign.status == "completed"
                         else "service.campaigns_failed").inc()
@@ -688,7 +763,34 @@ class CampaignBroker:
             "wall_time_s": round(campaign.wall_time_s, 3),
         })
         campaign.subscribers = []
+        self._gc_settled()
         self._cond.notify_all()
+
+    def _gc_settled(self) -> None:
+        """Evict settled campaigns past the retention policy (lock held).
+
+        Oldest-settled first; open campaigns are never touched.  Each
+        eviction is journaled so a restart does not resurrect the
+        campaign from its admission record.
+        """
+        settled = [c for c in self._campaigns.values()
+                   if c.settled and c.settled_at is not None]
+        settled.sort(key=lambda c: c.settled_at)
+        evict: List[Campaign] = []
+        if self.retain_ttl_s is not None:
+            horizon = time.monotonic() - self.retain_ttl_s
+            evict.extend(c for c in settled if c.settled_at < horizon)
+        if self.retain_settled is not None:
+            keep = [c for c in settled if c not in evict]
+            if len(keep) > self.retain_settled:
+                evict.extend(keep[:len(keep) - self.retain_settled])
+        for campaign in evict:
+            del self._campaigns[campaign.id]
+            self._order.remove(campaign.id)
+            if self.journal is not None:
+                self.journal.evicted(campaign.id)
+            self._evicted += 1
+            METRICS.counter("service.campaigns_evicted").inc()
 
     def _build_outputs(self, campaign: Campaign) -> None:
         """Merged results -> CampaignReport -> validated ExecutionRecord."""
@@ -727,3 +829,137 @@ class CampaignBroker:
         validate_record(data)
         campaign.record_dict = data
         METRICS.counter("service.records_built").inc()
+
+    # -- restart recovery --------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: restore settled campaigns, re-admit open.
+
+        Runs in ``start()`` before the broker thread exists, so no lock
+        is needed.  Re-admitted campaigns re-enter the fair source as
+        ordinary work; their already-settled tasks are filtered out of
+        the task stream (the events replay from the journal, the task
+        *work* replays from the shared :class:`ArtifactCache`), so only
+        genuinely unfinished tasks hit the fabric again.
+        """
+        restored = 0
+        for state in self.journal.replay():
+            try:
+                spec = CampaignSpec.from_json(state.spec)
+            except ValueError:
+                continue  # journal from an incompatible build: skip
+            self._seq = max(self._seq, state.seq)
+            if state.settled is not None:
+                campaign = self._restore_settled(state, spec)
+            else:
+                campaign = self._readmit(state, spec)
+            if campaign is None:
+                continue
+            campaign.seq = state.seq
+            self._campaigns[campaign.id] = campaign
+            self._order.append(campaign.id)
+            restored += 1
+        if restored:
+            METRICS.counter("service.campaigns_recovered").inc(restored)
+            METRICS.gauge("service.campaigns_active").set(
+                sum(1 for c in self._campaigns.values() if not c.settled))
+            TRACER.instant("journal_replayed", cat="service",
+                           args={"restored": restored})
+        self._gc_settled()
+
+    @staticmethod
+    def _event_from_payload(payload: Dict[str, object]) -> TaskEvent:
+        """A journaled event dict back into a TaskEvent.
+
+        Unknown keys are dropped so journals written by a build with
+        extra event fields still replay (missing fields take dataclass
+        defaults).
+        """
+        names = {f.name for f in fields(TaskEvent)}
+        return TaskEvent(**{k: v for k, v in payload.items()
+                            if k in names})
+
+    def _restore_settled(self, state: JournaledCampaign,
+                         spec: CampaignSpec) -> Campaign:
+        """A terminal campaign comes back queryable, never re-run."""
+        settled = state.settled or {}
+        campaign = Campaign(state.campaign_id, spec, jobs=[],
+                            stream=iter(()), plan=ShardPlan())
+        campaign.submitted_at = state.submitted_at
+        campaign.settled = True
+        campaign.stream_done = True
+        campaign.settled_at = time.monotonic()
+        campaign.status = str(settled.get("status", "cancelled"))
+        campaign.error = settled.get("error")
+        campaign.cancel_reason = settled.get("cancel_reason") \
+            or state.cancel_reason
+        campaign.wall_time_s = float(settled.get("wall_time_s") or 0.0)
+        campaign.report_dict = settled.get("report")
+        campaign.record_dict = settled.get("record")
+        events = [self._event_from_payload(p) for p in state.events]
+        campaign.events = events
+        campaign.wall_spent_s = sum(e.wall_time_s for e in events
+                                    if e.is_result)
+        campaign.feed = list(state.events)
+        campaign.feed.append({
+            "kind": "campaign_done", "campaign": campaign.id,
+            "status": campaign.status,
+            "cancel_reason": campaign.cancel_reason,
+            "error": campaign.error,
+            "wall_time_s": round(campaign.wall_time_s, 3),
+        })
+        usage = self.tenants.usage(spec.tenant)
+        usage.campaigns_total += 1
+        usage.wall_spent_s += campaign.wall_spent_s
+        return campaign
+
+    def _readmit(self, state: JournaledCampaign,
+                 spec: CampaignSpec) -> Optional[Campaign]:
+        """An open campaign resumes: stream rebuilt, settled tasks cut."""
+        from ..campaign.jobs import expand_jobs
+        from ..designs import case_by_id
+
+        try:
+            cases = [case_by_id(cid) for cid in spec.case_ids]
+            config = EngineConfig(max_bound=spec.depth,
+                                  max_frames=spec.frames)
+            jobs = expand_jobs(cases=cases, variants=tuple(spec.variants),
+                               config=config)
+        except Exception:
+            return None  # corpus changed under the journal: drop it
+        if not jobs:
+            return None
+        plan = ShardPlan()
+        raw = stream_tasks(jobs, group_size=spec.group_size,
+                           cache=self.cache, schedule=spec.schedule,
+                           model=self.model, plan=plan)
+        done_ids = state.settled_task_ids
+        stream = self._skip_settled(raw, done_ids) if done_ids else raw
+        campaign = Campaign(state.campaign_id, spec, jobs, stream, plan)
+        campaign.submitted_at = state.submitted_at
+        events = [self._event_from_payload(p) for p in state.events]
+        campaign.events = events
+        campaign.wall_spent_s = sum(e.wall_time_s for e in events
+                                    if e.is_result)
+        campaign.feed = list(state.events)
+        if state.cancel_reason is not None:
+            campaign.cancel_requested = True
+            campaign.cancel_reason = state.cancel_reason
+        usage = self.tenants.usage(spec.tenant)
+        usage.open_campaigns += 1
+        usage.campaigns_total += 1
+        usage.wall_spent_s += campaign.wall_spent_s
+        return campaign
+
+    @staticmethod
+    def _skip_settled(stream: Iterator, done_ids: Set[str]) -> Iterator:
+        """Filter journaled-as-settled tasks out of a rebuilt stream.
+
+        Notices pass through (compile progress is real again on this
+        run); the plan still records every task, so the final merge sees
+        the full shard map — replayed events fill the settled slots.
+        """
+        for item in stream:
+            if isinstance(item, SourceNotice):
+                yield item
+            elif getattr(item, "task_id", None) not in done_ids:
+                yield item

@@ -1,0 +1,192 @@
+"""Write-ahead campaign journal: the service's crash-durability layer.
+
+One JSONL file under ``--state-dir`` records everything the broker must
+not forget across a crash:
+
+``admitted``
+    a campaign passed admission control — its id, sequence number,
+    tenant and full :class:`~repro.service.broker.CampaignSpec`;
+``event``
+    a settled task verdict (the serialized ``TaskEvent``) — journaled
+    *before* it is published to subscribers, so anything a client ever
+    saw is durable;
+``cancel``
+    a cancellation request and its reason;
+``settled``
+    the terminal campaign state, including the finished report and the
+    digest-validated ``ExecutionRecord`` wire dicts, so a restarted
+    server serves ``/report`` and ``/record`` for completed campaigns
+    byte-identically;
+``evicted``
+    the retention policy garbage-collected a settled campaign — replay
+    drops it instead of resurrecting it.
+
+Appends ride :func:`repro.campaign.history.atomic_append` (``O_APPEND``
++ single ``write`` = one untearable line; opt-in fsync).  Replay is
+tolerant by construction: a torn trailing line — the crash landed
+mid-append — is skipped exactly like
+:meth:`~repro.campaign.history.CampaignHistory.entries` does, and the
+work it described simply re-runs (cheap: settled tasks replay from the
+shared :class:`~repro.campaign.cache.ArtifactCache`).
+
+The ``journal.torn_append`` fault site rehearses precisely that crash:
+armed, it writes a half-length record and dies mid-append.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..campaign.history import atomic_append
+from ..testing.faults import FAULTS
+
+__all__ = ["CampaignJournal", "JournaledCampaign"]
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass
+class JournaledCampaign:
+    """One campaign's state as reconstructed from the journal."""
+
+    campaign_id: str
+    seq: int
+    tenant: str
+    submitted_at: float
+    spec: Dict[str, object]
+    events: List[Dict[str, object]] = field(default_factory=list)
+    cancel_reason: Optional[str] = None
+    settled: Optional[Dict[str, object]] = None
+    evicted: bool = False
+
+    @property
+    def settled_task_ids(self) -> set:
+        """Task ids whose verdicts are durable — they must not re-run."""
+        return {event["task_id"] for event in self.events
+                if event.get("task_id")}
+
+
+class CampaignJournal:
+    """Append-only write-ahead log for one ``--state-dir``."""
+
+    def __init__(self, state_dir, fsync: bool = True) -> None:
+        self.state_dir = Path(state_dir)
+        self.path = self.state_dir / JOURNAL_NAME
+        self.fsync = fsync
+        self._repair_tail()
+
+    def _repair_tail(self) -> None:
+        """Terminate a torn final line so the next append starts fresh.
+
+        A crash mid-append leaves a partial record with no newline; a
+        naive append would glue the next record onto it and lose *both*
+        lines to the parser.  Sealing the tear with a bare newline keeps
+        the torn record a single skipped line.
+        """
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, 2)
+                torn = handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return  # missing or empty file: nothing to repair
+        if torn:
+            atomic_append(self.path, b"\n", fsync=self.fsync)
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        torn = FAULTS.enabled and FAULTS.maybe_fire("journal.torn_append")
+        if torn:
+            data = data[: max(1, len(data) // 2)]
+        atomic_append(self.path, data, fsync=self.fsync)
+        if torn:
+            FAULTS.die("journal.torn_append")
+
+    def admitted(self, campaign_id: str, seq: int, tenant: str,
+                 submitted_at: float, spec: Dict[str, object]) -> None:
+        self.append({"kind": "admitted", "campaign": campaign_id,
+                     "seq": seq, "tenant": tenant,
+                     "submitted_at": submitted_at, "spec": spec})
+
+    def event(self, campaign_id: str, payload: Dict[str, object]) -> None:
+        self.append({"kind": "event", "campaign": campaign_id,
+                     "event": payload})
+
+    def cancelled(self, campaign_id: str, reason: str) -> None:
+        self.append({"kind": "cancel", "campaign": campaign_id,
+                     "reason": reason})
+
+    def settled(self, campaign_id: str, status: str,
+                error: Optional[str], cancel_reason: Optional[str],
+                wall_time_s: float,
+                report: Optional[Dict[str, object]],
+                record: Optional[Dict[str, object]]) -> None:
+        self.append({"kind": "settled", "campaign": campaign_id,
+                     "status": status, "error": error,
+                     "cancel_reason": cancel_reason,
+                     "wall_time_s": wall_time_s,
+                     "report": report, "record": record})
+
+    def evicted(self, campaign_id: str) -> None:
+        self.append({"kind": "evicted", "campaign": campaign_id})
+
+    # -- replay ------------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """All parseable journal records, oldest first.
+
+        Blank and unparseable lines (the torn tail of a crash that
+        landed mid-append) are skipped — the corresponding work re-runs.
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return []
+        out = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+        return out
+
+    def replay(self) -> List[JournaledCampaign]:
+        """Reconstruct campaign states in admission order.
+
+        Evicted campaigns are dropped; records for campaigns whose
+        admission line was torn away are ignored (nothing to resume —
+        the tenant's submission never got its 201 durably recorded).
+        """
+        campaigns: Dict[str, JournaledCampaign] = {}
+        for record in self.entries():
+            campaign_id = record.get("campaign")
+            kind = record.get("kind")
+            if kind == "admitted":
+                campaigns[campaign_id] = JournaledCampaign(
+                    campaign_id=campaign_id,
+                    seq=int(record.get("seq", 0)),
+                    tenant=str(record.get("tenant", "anonymous")),
+                    submitted_at=float(record.get("submitted_at", 0.0)),
+                    spec=record.get("spec") or {})
+                continue
+            state = campaigns.get(campaign_id)
+            if state is None:
+                continue
+            if kind == "event":
+                payload = record.get("event")
+                if isinstance(payload, dict):
+                    state.events.append(payload)
+            elif kind == "cancel":
+                state.cancel_reason = str(record.get("reason") or "cancelled")
+            elif kind == "settled":
+                state.settled = record
+            elif kind == "evicted":
+                state.evicted = True
+        return [state for state in campaigns.values() if not state.evicted]

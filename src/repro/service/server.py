@@ -276,17 +276,44 @@ def build_serve_parser():
                              "ceilings on top of this)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         help="shared artifact cache directory (campaign "
-                             "results + shard plans, all tenants)")
+                             "results + shard plans, all tenants); "
+                             "defaults to STATE_DIR/cache when "
+                             "--state-dir is set")
     parser.add_argument("--quotas", type=Path, default=None, metavar="FILE",
                         help="tenant quota JSON ({'default': {...}, "
                              "'tenants': {name: {...}}}); see "
                              "docs/service.md")
+    parser.add_argument("--state-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="durable service state: a write-ahead "
+                             "campaign journal (fsync'd appends) plus, "
+                             "unless --cache-dir overrides it, an fsync'd "
+                             "artifact cache.  On restart the journal is "
+                             "replayed: settled campaigns stay queryable, "
+                             "open ones resume with settled tasks served "
+                             "from the journal/cache (docs/service.md, "
+                             "Durability)")
+    parser.add_argument("--task-retries", type=int, default=2, metavar="N",
+                        help="retry a task up to N times when its worker "
+                             "died mid-run (transient failures only; "
+                             "timeouts and real errors never retry; "
+                             "0 disables; default 2)")
+    parser.add_argument("--retain-settled", type=int, default=64,
+                        metavar="N",
+                        help="keep at most N settled campaigns queryable "
+                             "before evicting oldest-first (default 64; "
+                             "negative = unbounded)")
+    parser.add_argument("--retain-ttl", type=float, default=None,
+                        metavar="S",
+                        help="additionally evict settled campaigns older "
+                             "than S seconds (default: no TTL)")
     return parser
 
 
 def serve_main(argv: List[str]) -> int:
     """Entry point for ``autosva serve``."""
     from ..campaign import ArtifactCache, resolve_worker_count
+    from ..campaign.scheduler import RetryPolicy
     from ..dist import parse_address
 
     try:
@@ -328,15 +355,36 @@ def serve_main(argv: List[str]) -> int:
         print(f"Fabric coordinator on {fh}:{fp} — attach workers with: "
               f"autosva worker --connect {fh}:{fp}", flush=True)
         if args.spawn_workers:
-            transport.spawn_local(args.spawn_workers)
+            # Service-owned agents auto-reconnect: the fabric heals
+            # itself after transient connection loss.
+            transport.spawn_local(args.spawn_workers, reconnect=True)
             print(f"Spawned {args.spawn_workers} loopback worker "
                   f"agent(s)", flush=True)
 
-    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    journal = None
+    cache_dir = args.cache_dir
+    cache_fsync = False
+    if args.state_dir is not None:
+        from .journal import CampaignJournal
+        # --state-dir implies fsync on both the journal and the cache:
+        # durability is the point, and the bench suite records the
+        # overhead (BENCH_campaign.json, journal_fsync entries).
+        journal = CampaignJournal(args.state_dir, fsync=True)
+        if cache_dir is None:
+            cache_dir = args.state_dir / "cache"
+        cache_fsync = True
+    cache = ArtifactCache(cache_dir, fsync=cache_fsync) \
+        if cache_dir else None
+    retry = RetryPolicy(max_retries=args.task_retries) \
+        if args.task_retries > 0 else None
+    retain = None if args.retain_settled < 0 else args.retain_settled
     broker = CampaignBroker(workers=workers, transport=transport,
                             cache=cache, tenants=tenants,
                             timeout_s=args.timeout,
-                            memory_limit_mb=args.memory_limit)
+                            memory_limit_mb=args.memory_limit,
+                            journal=journal, retry=retry,
+                            retain_settled=retain,
+                            retain_ttl_s=args.retain_ttl)
     try:
         return asyncio.run(_serve(broker, host, port))
     except KeyboardInterrupt:

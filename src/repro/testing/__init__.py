@@ -1,0 +1,11 @@
+"""Test-support substrate shipped with the package.
+
+Lives under ``repro.testing`` (not ``tests/``) because production code
+imports it: the fault-injection registry must be addressable from the
+wire protocol, the coordinator, worker agents, the artifact cache and
+the service journal — everywhere a crash can be rehearsed.
+"""
+
+from .faults import FAULTS, FaultInjected, FaultRegistry
+
+__all__ = ["FAULTS", "FaultInjected", "FaultRegistry"]

@@ -1,0 +1,203 @@
+"""Deterministic, seeded fault injection for chaos rehearsals.
+
+``FAULTS`` is a process-wide registry of named fault *sites* — places in
+production code where a crash, a dropped frame, or a torn write can be
+provoked on purpose.  Sites follow the ``TRACER`` contract: **strictly
+no-op when disarmed** (one attribute check, no allocation, no locking),
+so shipping them in hot paths costs nothing.
+
+A site is armed with a spec string::
+
+    FAULTS.arm("dist.frame_drop:p=0.05;worker.crash_before_result:count=1,exit=9")
+
+or through the environment (read once at import, so ``autosva serve``
+and spawned ``autosva worker`` subprocesses inherit the arming)::
+
+    AUTOSVA_FAULTS="journal.torn_append:after=3,count=1,exit=57"
+    AUTOSVA_FAULT_SEED=7
+
+Per-site options:
+
+``p=<float>``
+    fire probability per eligible call (default 1.0 — always);
+``count=<int>``
+    maximum number of fires (default unlimited);
+``after=<int>``
+    skip the first N eligible calls before firing becomes possible;
+``exit=<int>``
+    for crash-style sites, die via ``os._exit(N)`` instead of raising
+    :class:`FaultInjected` — indistinguishable from ``kill -9``;
+``delay=<float>``
+    sleep duration in seconds for ``FAULTS.lag`` sites (default 0.05).
+
+Determinism: each site draws from its own ``random.Random`` seeded with
+``f"{seed}:{site}"``, so a given (seed, call sequence) always fires the
+same calls regardless of which other sites are armed.  Forked children
+inherit the parent's RNG state — deterministic, but siblings forked from
+the same state draw identical sequences; arm crash sites with ``count=``
+when that matters.
+
+Known sites (see docs/chaos.md):
+
+=============================  ==============================================
+``dist.frame_drop``            sender raises OSError instead of sending —
+                               the connection dies exactly like a mid-frame
+                               network reset
+``dist.frame_corrupt``         one payload byte is flipped before send; the
+                               receiver's decoder rejects the frame and the
+                               connection is killed
+``dist.frame_delay``           sender sleeps ``delay`` seconds before the
+                               frame goes out
+``coordinator.heartbeat_stall``  the coordinator falsely declares a live
+                               worker dead (heartbeat timeout) — its tasks
+                               requeue, the agent may reconnect
+``worker.crash_before_result``  the agent dies after computing a result but
+                               before sending it
+``worker.crash_after_result``   the agent dies right after sending a result
+``cache.torn_write``           an artifact-cache entry is written half-length
+                               (reader must treat it as a miss)
+``journal.torn_append``        a journal record is written half-length and
+                               the process dies mid-append
+=============================  ==============================================
+"""
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["FAULTS", "FaultInjected", "FaultRegistry"]
+
+ENV_SPEC = "AUTOSVA_FAULTS"
+ENV_SEED = "AUTOSVA_FAULT_SEED"
+
+
+class FaultInjected(Exception):
+    """Raised by a fired crash-style site with no ``exit=`` code."""
+
+
+@dataclass
+class _Site:
+    name: str
+    probability: float = 1.0
+    count: Optional[int] = None
+    after: int = 0
+    exit_code: Optional[int] = None
+    delay_s: float = 0.05
+    calls: int = 0
+    fires: int = 0
+    rng: random.Random = field(default=None, repr=False)  # type: ignore
+
+
+def _parse_site(text: str) -> _Site:
+    name, _, options = text.partition(":")
+    site = _Site(name=name.strip())
+    for option in filter(None, (o.strip() for o in options.split(","))):
+        key, _, value = option.partition("=")
+        key = key.strip()
+        if key == "p":
+            site.probability = float(value)
+        elif key == "count":
+            site.count = int(value)
+        elif key == "after":
+            site.after = int(value)
+        elif key == "exit":
+            site.exit_code = int(value)
+        elif key == "delay":
+            site.delay_s = float(value)
+        else:
+            raise ValueError(f"unknown fault option {key!r} in {text!r}")
+    if not site.name:
+        raise ValueError(f"fault spec {text!r} has no site name")
+    return site
+
+
+class FaultRegistry:
+    """Seeded registry of armable fault sites (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, _Site] = {}
+        self._seed = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sites)
+
+    def arm(self, spec: str, seed: int = 0) -> None:
+        """Arm sites from a ``site:k=v,k=v;site2:...`` spec string."""
+        sites = {}
+        for chunk in filter(None, (c.strip() for c in spec.split(";"))):
+            site = _parse_site(chunk)
+            site.rng = random.Random(f"{seed}:{site.name}")
+            sites[site.name] = site
+        with self._lock:
+            self._seed = seed
+            self._sites.update(sites)
+
+    def arm_from_env(self, environ=os.environ) -> bool:
+        spec = environ.get(ENV_SPEC, "").strip()
+        if not spec:
+            return False
+        self.arm(spec, seed=int(environ.get(ENV_SEED, "0")))
+        return True
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._sites = {}
+
+    def maybe_fire(self, name: str) -> bool:
+        """Decide whether the site fires on this call.
+
+        The disarmed fast path is a single truthiness check on a dict —
+        no lock, no allocation — so call sites may run unconditionally.
+        """
+        if not self._sites:
+            return False
+        with self._lock:
+            site = self._sites.get(name)
+            if site is None:
+                return False
+            site.calls += 1
+            if site.calls <= site.after:
+                return False
+            if site.count is not None and site.fires >= site.count:
+                return False
+            if site.probability < 1.0 and site.rng.random() >= site.probability:
+                return False
+            site.fires += 1
+            return True
+
+    def die(self, name: str) -> None:
+        """Execute the configured death for ``name`` unconditionally.
+
+        ``exit=N`` specs call ``os._exit`` (no cleanup — equivalent to
+        ``kill -9`` at the injection point); otherwise raises
+        :class:`FaultInjected`.
+        """
+        site = self._sites.get(name)
+        if site is not None and site.exit_code is not None:
+            os._exit(site.exit_code)
+        raise FaultInjected(name)
+
+    def crash(self, name: str) -> None:
+        """``maybe_fire`` + ``die`` in one call, for crash-style sites."""
+        if self._sites and self.maybe_fire(name):
+            self.die(name)
+
+    def lag(self, name: str) -> None:
+        """``maybe_fire`` + sleep the site's ``delay`` if it fired."""
+        if self._sites and self.maybe_fire(name):
+            time.sleep(self._sites[name].delay_s)
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-site call/fire counters (for gates and diagnostics)."""
+        with self._lock:
+            return {name: {"calls": site.calls, "fires": site.fires}
+                    for name, site in self._sites.items()}
+
+
+FAULTS = FaultRegistry()
+FAULTS.arm_from_env()

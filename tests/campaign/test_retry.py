@@ -1,0 +1,113 @@
+"""Task-retry policy: transient worker deaths retry, real failures don't.
+
+The classification boundary is deliberate: only "worker died with exit
+code N" — the one failure shape that says nothing about the *task* —
+is transient.  Timeouts, tracebacks and memory kills are properties of
+the work and would fail identically on retry.
+"""
+
+import os
+from pathlib import Path
+
+from repro.campaign.scheduler import (JobResult, RetryPolicy, Scheduler,
+                                      classify_failure)
+from repro.formal import EngineConfig
+
+FAST_CONFIG = EngineConfig(max_bound=6, max_frames=25)
+
+
+def _result(status="error", error="worker died with exit code 9"):
+    return JobResult(job_id="j", status=status, payload=None, error=error)
+
+
+class TestClassification:
+    def test_worker_death_is_transient(self):
+        assert classify_failure(_result()) == "transient"
+        assert classify_failure(
+            _result(error="worker died with exit code -9")) == "transient"
+
+    def test_timeout_is_deterministic(self):
+        result = _result(status="timeout",
+                         error="wall-clock limit (0.5s) exceeded")
+        assert classify_failure(result) == "deterministic"
+
+    def test_traceback_is_deterministic(self):
+        result = _result(error="ValueError: no such file")
+        assert classify_failure(result) == "deterministic"
+
+    def test_ok_is_deterministic(self):
+        result = JobResult(job_id="j", status="ok", payload={}, error=None)
+        assert classify_failure(result) == "deterministic"
+
+
+# -- runners (top-level: fork/spawn safe) ---------------------------------
+def _flaky_runner(job):
+    """Dies abruptly on the first attempt per job, succeeds after.
+
+    A marker file records the first attempt; forked pool workers share
+    the filesystem, so the flag survives whichever worker retries.
+    """
+    marker = Path(os.environ["RETRY_TEST_DIR"]) / f"{job.job_id}.seen"
+    if not marker.exists():
+        marker.touch()
+        os._exit(9)
+    return {"job_id": job.job_id, "attempt": 2}
+
+
+def _doomed_runner(job):
+    os._exit(9)
+
+
+def _jobs(ids):
+    from repro.campaign import CampaignJob
+
+    return [CampaignJob(job_id=job_id, case_id="X", case_name="dummy",
+                        dut_module="tlb", variant="fixed",
+                        dut_file="ariane/tlb.sv", extra_files=(),
+                        engine_config=FAST_CONFIG)
+            for job_id in ids]
+
+
+def _drive(scheduler):
+    """Run to completion, collecting done results and retry events."""
+    done, retries = {}, []
+    for event in scheduler.run():
+        if event[0] == "done":
+            _, _, job, result = event
+            done[job.job_id] = result
+        elif event[0] == "retry":
+            _, job, attempt, failed = event
+            retries.append((job.job_id, attempt, failed.error))
+    return done, retries
+
+
+class TestSchedulerRetry:
+    def test_transient_death_retries_and_succeeds(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("RETRY_TEST_DIR", str(tmp_path))
+        scheduler = Scheduler(_jobs(["a", "b"]), workers=2,
+                              runner=_flaky_runner,
+                              retry=RetryPolicy(max_retries=2))
+        done, retries = _drive(scheduler)
+        # Exactly one done event per job, all successful after 1 retry.
+        assert sorted(done) == ["a", "b"]
+        assert all(result.ok for result in done.values())
+        assert sorted(job_id for job_id, _, _ in retries) == ["a", "b"]
+        assert all("exit code" in error for _, _, error in retries)
+        assert scheduler.retry_counts == {"a": 1, "b": 1}
+
+    def test_retries_are_bounded(self):
+        scheduler = Scheduler(_jobs(["doom"]), workers=1,
+                              runner=_doomed_runner,
+                              retry=RetryPolicy(max_retries=2))
+        done, retries = _drive(scheduler)
+        assert done["doom"].status == "error"
+        assert "exit code" in done["doom"].error
+        assert len(retries) == 2  # max_retries attempts, then surfaced
+
+    def test_no_policy_means_fail_fast(self):
+        scheduler = Scheduler(_jobs(["doom"]), workers=1,
+                              runner=_doomed_runner)
+        done, retries = _drive(scheduler)
+        assert done["doom"].status == "error"
+        assert retries == []

@@ -1,0 +1,140 @@
+"""Campaign-journal contract: atomic appends, tolerant replay.
+
+The journal is the service's write-ahead log; its replay rules decide
+what a restarted server resurrects.  The invariants pinned here:
+
+* records round-trip byte-exactly (append -> entries);
+* a torn trailing line (crash mid-append) is skipped, everything before
+  it replays;
+* replay reconstructs per-campaign state in admission order: events
+  accumulate, a cancel sticks, a settled record is terminal, an evicted
+  campaign is gone;
+* records for a campaign whose admission line was torn are ignored.
+"""
+
+import json
+
+from repro.service.journal import CampaignJournal, JournaledCampaign
+
+
+def _journal(tmp_path):
+    return CampaignJournal(tmp_path / "state", fsync=False)
+
+
+def _admit(journal, campaign_id="c0001-abc", seq=1, tenant="t"):
+    journal.admitted(campaign_id, seq, tenant, 123.0,
+                     {"tenant": tenant, "cases": ["A2"],
+                      "variants": ["fixed"]})
+
+
+class TestAppendAndEntries:
+    def test_round_trip(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal)
+        journal.event("c0001-abc", {"task_id": "A2::fixed::g0",
+                                    "status": "ok"})
+        entries = journal.entries()
+        assert [e["kind"] for e in entries] == ["admitted", "event"]
+        assert entries[1]["event"]["task_id"] == "A2::fixed::g0"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert _journal(tmp_path).entries() == []
+
+    def test_torn_tail_skipped(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal)
+        with journal.path.open("a") as handle:
+            handle.write('{"kind": "event", "campaign": "c0001-a')
+        entries = journal.entries()
+        assert [e["kind"] for e in entries] == ["admitted"]
+
+    def test_torn_middle_line_skipped_rest_replays(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal)
+        lines = journal.path.read_text().splitlines()
+        lines.insert(1, '{"kind": "event", "campa')
+        journal.path.write_text("\n".join(lines) + "\n")
+        journal.cancelled("c0001-abc", "client asked")
+        kinds = [e["kind"] for e in journal.entries()]
+        assert kinds == ["admitted", "cancel"]
+
+
+class TestReplay:
+    def test_open_campaign_with_events(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal, seq=3)
+        journal.event("c0001-abc", {"task_id": "t1", "status": "ok"})
+        journal.event("c0001-abc", {"task_id": "t2", "status": "ok"})
+        states = journal.replay()
+        assert len(states) == 1
+        state = states[0]
+        assert isinstance(state, JournaledCampaign)
+        assert state.seq == 3
+        assert state.settled is None
+        assert state.settled_task_ids == {"t1", "t2"}
+
+    def test_cancel_sticks(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal)
+        journal.cancelled("c0001-abc", "client asked")
+        (state,) = journal.replay()
+        assert state.cancel_reason == "client asked"
+
+    def test_settled_is_terminal(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal)
+        journal.settled("c0001-abc", "completed", None, None, 4.2,
+                        {"verdicts": []}, {"record_version": 1})
+        (state,) = journal.replay()
+        assert state.settled is not None
+        assert state.settled["status"] == "completed"
+        assert state.settled["report"] == {"verdicts": []}
+
+    def test_evicted_campaign_dropped(self, tmp_path):
+        journal = _journal(tmp_path)
+        _admit(journal, "c0001-aaa", seq=1)
+        _admit(journal, "c0002-bbb", seq=2)
+        journal.evicted("c0001-aaa")
+        states = journal.replay()
+        assert [s.campaign_id for s in states] == ["c0002-bbb"]
+
+    def test_orphan_records_ignored(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.event("ghost", {"task_id": "t1"})
+        journal.settled("ghost", "completed", None, None, 1.0, None, None)
+        assert journal.replay() == []
+
+    def test_admission_order_preserved(self, tmp_path):
+        journal = _journal(tmp_path)
+        for index in range(3):
+            _admit(journal, f"c{index}", seq=index + 1)
+        assert [s.campaign_id for s in journal.replay()] \
+            == ["c0", "c1", "c2"]
+
+
+class TestFaultSite:
+    def test_torn_append_writes_half_and_dies(self, tmp_path):
+        from repro.testing.faults import FAULTS, FaultInjected
+
+        journal = _journal(tmp_path)
+        _admit(journal)
+        FAULTS.arm("journal.torn_append:count=1")
+        try:
+            try:
+                journal.event("c0001-abc", {"task_id": "t1"})
+                raise AssertionError("torn_append did not fire")
+            except FaultInjected:
+                pass
+        finally:
+            FAULTS.disarm()
+        # The half-written record is skipped; the admission survives.
+        kinds = [e["kind"] for e in journal.entries()]
+        assert kinds == ["admitted"]
+        raw = journal.path.read_text()
+        assert not raw.endswith("}\n")  # the tail really is torn
+        # The "restarted" process opens the journal anew: the torn tail
+        # is sealed so the next append is not glued onto it.
+        reopened = CampaignJournal(journal.state_dir, fsync=False)
+        reopened.event("c0001-abc", {"task_id": "t2", "status": "ok"})
+        (state,) = reopened.replay()
+        assert state.settled_task_ids == {"t2"}

@@ -1,0 +1,121 @@
+"""Fault-registry contract: strictly no-op disarmed, deterministic armed.
+
+The registry follows the TRACER discipline: production call sites pay a
+single dict-truthiness check when no faults are armed, and armed
+behaviour is a pure function of (seed, site name, call index) so a chaos
+scenario that fails replays bit-identically from its seed.
+"""
+
+import pytest
+
+from repro.testing.faults import ENV_SEED, ENV_SPEC, FaultInjected, \
+    FaultRegistry
+
+
+class TestDisarmed:
+    def test_registry_starts_disarmed(self):
+        registry = FaultRegistry()
+        assert not registry.enabled
+        assert registry.maybe_fire("dist.frame_drop") is False
+        assert registry.report() == {}
+
+    def test_crash_and_lag_are_noops_when_disarmed(self):
+        registry = FaultRegistry()
+        registry.crash("worker.crash_before_result")  # must not raise
+        registry.lag("dist.frame_delay")              # must not sleep
+
+    def test_disarm_restores_noop(self):
+        registry = FaultRegistry()
+        registry.arm("cache.torn_write")
+        assert registry.enabled
+        registry.disarm()
+        assert not registry.enabled
+        assert registry.maybe_fire("cache.torn_write") is False
+
+
+class TestSpecParsing:
+    def test_bare_site_fires_every_call(self):
+        registry = FaultRegistry()
+        registry.arm("journal.torn_append")
+        assert registry.maybe_fire("journal.torn_append") is True
+        assert registry.maybe_fire("journal.torn_append") is True
+        assert registry.maybe_fire("other.site") is False
+
+    def test_count_caps_total_fires(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:count=2")
+        fires = [registry.maybe_fire("a.b") for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+
+    def test_after_skips_leading_calls(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:after=3,count=1")
+        fires = [registry.maybe_fire("a.b") for _ in range(5)]
+        assert fires == [False, False, False, True, False]
+
+    def test_multiple_sites_one_spec(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:count=1;c.d:after=1")
+        assert registry.maybe_fire("a.b") is True
+        assert registry.maybe_fire("c.d") is False
+        assert registry.maybe_fire("c.d") is True
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRegistry().arm("a.b:bogus=1")
+
+    def test_report_counts_calls_and_fires(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:count=1")
+        for _ in range(3):
+            registry.maybe_fire("a.b")
+        assert registry.report() == {"a.b": {"calls": 3, "fires": 1}}
+
+
+class TestDeterminism:
+    def _pattern(self, seed, n=64):
+        registry = FaultRegistry()
+        registry.arm("a.b:p=0.3", seed=seed)
+        return tuple(registry.maybe_fire("a.b") for _ in range(n))
+
+    def test_same_seed_same_pattern(self):
+        assert self._pattern(7) == self._pattern(7)
+
+    def test_different_seed_different_pattern(self):
+        assert self._pattern(7) != self._pattern(8)
+
+    def test_probability_zero_never_fires(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:p=0.0")
+        assert not any(registry.maybe_fire("a.b") for _ in range(32))
+
+
+class TestDie:
+    def test_die_raises_without_exit_code(self):
+        registry = FaultRegistry()
+        registry.arm("a.b")
+        with pytest.raises(FaultInjected):
+            registry.die("a.b")
+
+    def test_crash_fires_then_raises(self):
+        registry = FaultRegistry()
+        registry.arm("a.b:count=1")
+        with pytest.raises(FaultInjected):
+            registry.crash("a.b")
+        registry.crash("a.b")  # count exhausted: no-op
+
+
+class TestEnvArming:
+    def test_arm_from_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_SPEC, "a.b:count=1")
+        monkeypatch.setenv(ENV_SEED, "5")
+        registry = FaultRegistry()
+        registry.arm_from_env()
+        assert registry.enabled
+        assert registry.maybe_fire("a.b") is True
+
+    def test_no_env_stays_disarmed(self, monkeypatch):
+        monkeypatch.delenv(ENV_SPEC, raising=False)
+        registry = FaultRegistry()
+        registry.arm_from_env()
+        assert not registry.enabled
