@@ -46,6 +46,9 @@ obs-smoke:
 # one shared 2-worker fleet must be verdict-identical (digests) to
 # one-shot runs; an over-quota submission must be a structured 429 that
 # consumes zero fabric slots; every ExecutionRecord must re-validate.
+# Also the operator surface: /readyz flips unstarted->serving->drain,
+# every mid-campaign /metrics scrape is validator-clean, autosva top
+# renders, and 10 Hz scraping costs <=5% (+0.5s) on a warm round.
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py --workers 2
 

@@ -39,6 +39,11 @@ fabric with per-tenant quotas and fair sharing (see ``docs/service.md``)::
 
     autosva serve --listen 127.0.0.1:8420 --workers 2
     autosva serve --transport tcp --spawn-workers 2 --quotas quotas.json
+
+The ``top`` subcommand is the matching operator dashboard — a live
+ANSI view over a running service's /status and /metrics/history::
+
+    autosva top --connect 127.0.0.1:8420
 """
 
 from __future__ import annotations
@@ -556,6 +561,9 @@ def main(argv: List[str] = None) -> int:
     if argv and argv[0] == "serve":
         from ..service.server import serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        from ..service.top import top_main
+        return top_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     try:
         source = args.rtl.read_text()

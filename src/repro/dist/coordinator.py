@@ -63,12 +63,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..campaign.scheduler import _IDLE_WAIT_S, JobResult
 from ..obs import METRICS, TRACER, absorb_obs
+from ..obs.log import get_logger
 from ..testing.faults import FAULTS
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
                        encode_frame, encode_unit, negotiate_version,
                        transmit, validate_message)
 
 __all__ = ["TcpTransport", "parse_address", "spawn_local_workers"]
+
+_LOG = get_logger("dist.coordinator")
 
 
 def parse_address(text: str) -> Tuple[str, int]:
@@ -421,6 +424,8 @@ class TcpTransport:
                 # work still running means it died mid-drain after all,
                 # so the usual death requeue applies.
                 if worker.draining and not worker.assigned:
+                    _LOG.info("worker departed gracefully",
+                              worker=worker.worker_id)
                     self._drop(worker, "graceful shutdown")
                 else:
                     self._kill(worker, "connection closed")
@@ -579,6 +584,8 @@ class TcpTransport:
             worker.slots = max(1, int(message.get("slots", 1)))
             worker.label = message.get("label")
             worker.ready = True
+            _LOG.debug("worker joined", worker=worker.worker_id,
+                       slots=worker.slots, label=worker.label)
             # "session" is a minor optional field: a --reconnect agent
             # carries a stable id across connections so a return is
             # recognized instead of double-counted as a fresh worker.
@@ -709,9 +716,14 @@ class TcpTransport:
             self._departed.remove(departed)
         if resumed:
             METRICS.counter("fabric.reconnects").inc()
+            _LOG.info("worker session resumed", worker=worker.worker_id,
+                      session=(worker.session or "")[:8],
+                      reconnects=worker.reconnects)
 
     def _kill(self, worker: _RemoteWorker, reason: str) -> None:
         """A worker died: requeue its in-flight work, excluded from it."""
+        _LOG.warn("worker death", worker=worker.worker_id,
+                  reason=reason, requeued=len(worker.assigned))
         for index, job in worker.assigned.items():
             self._requeue.append((index, job, worker.worker_id))
         worker.assigned = {}

@@ -56,6 +56,8 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..campaign.scheduler import (_IDLE_WAIT_S, _child_main, fork_context,
                                   reap_child, resolve_worker_count)
 from ..obs import TRACER, absorb_obs, collect_obs
+from ..obs.log import (add_log_arguments, configure_from_args, fatal,
+                       get_logger)
 from ..testing.faults import FAULTS
 from .protocol import (PROTOCOL_VERSION, FrameDecoder, ProtocolError,
                        decode_unit, runner_for, transmit,
@@ -157,9 +159,19 @@ class WorkerAgent:
     _hello_ok: bool = field(default=False, repr=False)
 
     # -- plumbing ---------------------------------------------------------
-    def _log(self, text: str) -> None:
-        if not self.quiet:
-            print(f"autosva worker[{os.getpid()}]: {text}", flush=True)
+    def _log(self, event: str, level: str = "info",
+             **fields: object) -> None:
+        """Structured agent log line, stamped with pid + session id.
+
+        ``quiet`` suppresses routine (info/debug) lines — the mode the
+        one-shot CLI uses for its ephemeral loopback agents — but never
+        warnings or errors.
+        """
+        if self.quiet and level in ("debug", "info"):
+            return
+        logger = get_logger("dist.worker").bind(
+            pid=os.getpid(), session=self.session[:8])
+        getattr(logger, level, logger.info)(event, **fields)
 
     def _send(self, message: Dict[str, object]) -> None:
         try:
@@ -293,8 +305,8 @@ class WorkerAgent:
             self._send({"type": "shutdown", "reason": "draining",
                         "task_ids": returned})
             if returned:
-                self._log(f"draining: returned {len(returned)} "
-                          f"unstarted task(s)")
+                self._log("draining: returned unstarted tasks",
+                          returned=len(returned))
 
     def _start_pending(self) -> None:
         if self._draining:
@@ -422,8 +434,8 @@ class WorkerAgent:
                 granted.append(item.unit.job_id)
             self._send({"type": "steal_grant", "task_ids": granted})
             if granted:
-                self._log(f"granted {len(granted)} task(s) back to the "
-                          f"coordinator")
+                self._log("granted tasks back to the coordinator",
+                          granted=len(granted))
         elif kind == "shutdown":
             raise _Disconnect(
                 f"shutdown: {message.get('reason', 'campaign complete')}")
@@ -463,8 +475,9 @@ class WorkerAgent:
             self._connect()
             self._hello(resume=resume)
             self._hello_ok = True
-            self._log(f"{'reconnected' if resume else 'connected'} to "
-                      f"{self.host}:{self.port} ({self.slots} slot(s))")
+            self._log("reconnected" if resume else "connected",
+                      coordinator=f"{self.host}:{self.port}",
+                      slots=self.slots)
             while True:
                 if self._draining:
                     self._flush_drain()
@@ -504,22 +517,26 @@ class WorkerAgent:
             except _Disconnect as exc:
                 if not (self.reconnect and exc.retry
                         and not self._draining):
-                    self._log(f"exiting: {exc} "
-                              f"({self._tasks_done} task(s) done)")
+                    self._log("exiting", reason=str(exc),
+                              tasks_done=self._tasks_done)
                     return exc.code
-                self._log(f"connection lost: {exc}")
+                self._log("connection lost", level="warn",
+                          reason=str(exc))
             except ProtocolError as exc:
                 # A desynced stream is a connection-level failure too:
                 # reconnecting resets the framing on both ends.
                 if not (self.reconnect and not self._draining):
-                    self._log(f"protocol error: {exc}")
+                    self._log("protocol error", level="error",
+                              detail=str(exc))
                     return 1
-                self._log(f"protocol error, resetting connection: {exc}")
+                self._log("protocol error, resetting connection",
+                          level="warn", detail=str(exc))
             if self._hello_ok:
                 attempt = 0        # the session worked: back off afresh
             attempt += 1
             delay = _backoff_delay(attempt, self.reconnect_max_s, rng)
-            self._log(f"reconnecting in {delay:.1f}s (attempt {attempt})")
+            self._log("reconnecting", delay_s=round(delay, 1),
+                      attempt=attempt)
             time.sleep(delay)
 
 
@@ -554,6 +571,7 @@ def build_worker_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="backoff ceiling between reconnect attempts "
                              "(default 30)")
+    add_log_arguments(parser)
     return parser
 
 
@@ -570,25 +588,24 @@ def worker_main(argv: Sequence[str]) -> int:
         args = build_worker_parser().parse_args(list(argv))
     except SystemExit as exc:
         return 0 if exc.code in (0, None) else 1
+    configure_from_args(args)
     try:
         slots = resolve_worker_count(args.slots, flag="--slots")
     except ValueError as exc:
-        print(f"autosva worker: error: {exc}", file=sys.stderr)
-        return 1
+        return fatal("autosva worker", str(exc))
     from .coordinator import parse_address
 
     try:
         host, port = parse_address(args.connect)
     except ValueError as exc:
-        print(f"autosva worker: error: --connect: {exc}", file=sys.stderr)
-        return 1
+        return fatal("autosva worker", "invalid --connect",
+                     detail=str(exc))
     for module in args.preload:
         try:
             importlib.import_module(module)
         except ImportError as exc:
-            print(f"autosva worker: error: --preload {module}: {exc}",
-                  file=sys.stderr)
-            return 1
+            return fatal("autosva worker", "cannot preload module",
+                         module=module, detail=str(exc))
     agent = WorkerAgent(host=host, port=port, slots=slots,
                         label=args.label,
                         connect_timeout_s=args.connect_timeout,

@@ -14,7 +14,12 @@ without creating import cycles.
 * :mod:`~repro.obs.export` — Chrome trace-event JSON (opens in Perfetto)
   and a JSONL event log;
 * :mod:`~repro.obs.record` — the auditable per-campaign
-  :class:`~repro.obs.record.ExecutionRecord`.
+  :class:`~repro.obs.record.ExecutionRecord`;
+* :mod:`~repro.obs.promexport` — Prometheus text exposition of the
+  registry plus the in-memory :class:`~repro.obs.promexport.MetricsHistory`
+  ring behind ``GET /metrics`` / ``/metrics/history``;
+* :mod:`~repro.obs.log` — the leveled structured logger (text/JSON
+  lines, contextvar correlation fields) the service processes use.
 
 The one cross-process convention lives here: :func:`collect_obs` drains
 this process's telemetry into one plain JSON-able dict (shipped over a
@@ -27,11 +32,16 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .log import fatal, get_logger, log_context
 from .metrics import METRICS, MetricsRegistry
+from .promexport import (MetricsHistory, PROM_CONTENT_TYPE,
+                         render_prometheus, validate_exposition)
 from .trace import TRACER, Span, Tracer
 
 __all__ = ["TRACER", "METRICS", "Tracer", "MetricsRegistry", "Span",
-           "collect_obs", "absorb_obs"]
+           "collect_obs", "absorb_obs", "MetricsHistory",
+           "PROM_CONTENT_TYPE", "render_prometheus", "validate_exposition",
+           "get_logger", "log_context", "fatal"]
 
 
 def collect_obs() -> Optional[Dict[str, object]]:

@@ -1,0 +1,219 @@
+"""Leveled structured logging for the long-lived service processes.
+
+The one-shot CLI is fine with ``print()``: output goes to a terminal,
+the process exits, done.  ``autosva serve`` and ``autosva worker`` run
+for days — their lines need timestamps, levels, and enough correlation
+context (tenant, campaign, task, worker session) that an operator can
+grep one campaign's trail out of an interleaved stream.  This module is
+that layer, stdlib-only, with TRACER discipline: a suppressed level
+costs one integer compare and returns.
+
+Design points:
+
+* **Flat module config.** :func:`configure` sets level / format / sink
+  once per process (from ``--log-level/--log-format/--log-file``);
+  loggers are cheap named views over that shared config, so libraries
+  call :func:`get_logger` at import time without ordering concerns.
+* **Two formats.** ``text`` is the human form (``2026-08-08T12:00:01Z
+  INFO  service.broker campaign admitted tenant=alice``); ``json`` is
+  one object per line for machine capture in chaos/CI runs.  Both carry
+  the same fields.
+* **Correlation via contextvars.** :func:`log_context` pushes fields
+  (``tenant=...``, ``campaign=...``) that every log line inside the
+  ``with`` block inherits — including lines logged by lower layers that
+  know nothing about tenancy.  Works across threads (each thread's
+  context is its own) and asyncio tasks alike.
+* **`fatal()`** is the single CLI error-exit shape: logs at ERROR,
+  flushes, returns 1 for ``sys.exit``.  Both ``serve`` and ``worker``
+  funnel their usage/runtime error paths through it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import contextvars
+import json
+import sys
+import threading
+import time
+from typing import Dict, IO, Iterator, Mapping, Optional
+
+__all__ = ["LEVELS", "configure", "get_logger", "log_context",
+           "current_context", "fatal", "add_log_arguments",
+           "configure_from_args", "Logger"]
+
+#: Level names in severity order; numeric values compare like logging's.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+_LEVEL_NAMES = {value: name.upper() for name, value in LEVELS.items()}
+
+_context: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_log_context", default=())
+
+_config_lock = threading.Lock()
+_level: int = LEVELS["info"]
+_format: str = "text"
+_stream: Optional[IO[str]] = None        # None -> sys.stderr at emit time
+_owned_file: Optional[IO[str]] = None
+
+
+def configure(level: str = "info", format: str = "text",
+              file: Optional[str] = None) -> None:
+    """Set the process-wide log level, format, and sink.
+
+    ``file=None`` logs to stderr (the service convention: stdout stays
+    reserved for command output).  Calling again replaces the previous
+    config and closes any previously opened log file.
+    """
+    global _level, _format, _stream, _owned_file
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(choose from {sorted(LEVELS)})")
+    if format not in ("text", "json"):
+        raise ValueError(f"unknown log format {format!r}")
+    with _config_lock:
+        if _owned_file is not None:
+            try:
+                _owned_file.close()
+            except OSError:
+                pass
+            _owned_file = None
+        _level = LEVELS[level]
+        _format = format
+        if file:
+            _owned_file = open(file, "a", encoding="utf-8")
+            _stream = _owned_file
+        else:
+            _stream = None
+
+
+def current_context() -> Dict[str, object]:
+    """The correlation fields active on this thread/task right now."""
+    return dict(_context.get())
+
+
+@contextlib.contextmanager
+def log_context(**fields: object) -> Iterator[None]:
+    """Push correlation fields for every log line inside the block."""
+    merged = dict(_context.get())
+    merged.update(fields)
+    token = _context.set(tuple(merged.items()))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def _timestamp(now: Optional[float] = None) -> str:
+    if now is None:
+        now = time.time()
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(now))
+    millis = int((now % 1.0) * 1000)
+    return f"{base}.{millis:03d}Z"
+
+
+def _stringify(value: object) -> str:
+    text = str(value)
+    if not text or any(ch.isspace() for ch in text) or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class Logger:
+    """A named view over the module config; ``bind()`` attaches fields."""
+
+    __slots__ = ("name", "_bound")
+
+    def __init__(self, name: str,
+                 bound: Optional[Mapping[str, object]] = None) -> None:
+        self.name = name
+        self._bound: Dict[str, object] = dict(bound or {})
+
+    def bind(self, **fields: object) -> "Logger":
+        """A child logger that stamps ``fields`` on every line."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return Logger(self.name, merged)
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS.get(level, 100) >= _level
+
+    # -- emit --------------------------------------------------------------
+    def _log(self, levelno: int, event: str,
+             fields: Mapping[str, object]) -> None:
+        if levelno < _level:
+            return
+        merged: Dict[str, object] = dict(_context.get())
+        merged.update(self._bound)
+        merged.update(fields)
+        now = time.time()
+        if _format == "json":
+            record = {"ts": _timestamp(now),
+                      "level": _LEVEL_NAMES.get(levelno, str(levelno)),
+                      "logger": self.name, "event": event}
+            record.update({str(k): v for k, v in merged.items()})
+            line = json.dumps(record, default=str, sort_keys=False)
+        else:
+            parts = [_timestamp(now),
+                     f"{_LEVEL_NAMES.get(levelno, str(levelno)):<5}",
+                     self.name + ":", event]
+            parts.extend(f"{key}={_stringify(value)}"
+                         for key, value in merged.items())
+            line = " ".join(parts)
+        with _config_lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass                       # a dead sink never kills the app
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(LEVELS["debug"], event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(LEVELS["info"], event, fields)
+
+    def warn(self, event: str, **fields: object) -> None:
+        self._log(LEVELS["warn"], event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(LEVELS["error"], event, fields)
+
+
+def get_logger(name: str) -> Logger:
+    return Logger(name)
+
+
+def fatal(prog: str, message: str, **fields: object) -> int:
+    """The unified CLI error exit: log at ERROR, return 1.
+
+    Usage: ``return fatal("autosva serve", "state dir not writable",
+    path=str(state_dir))``.  Always emits regardless of the configured
+    level floor — a fatal error is never suppressible.
+    """
+    logger = Logger(prog)
+    logger._log(LEVELS["error"] if _level <= LEVELS["error"] else _level,
+                message, fields)
+    return 1
+
+
+# -- argparse plumbing ----------------------------------------------------
+
+def add_log_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--log-*`` flags to a service-ish subcommand."""
+    group = parser.add_argument_group("logging")
+    group.add_argument("--log-level", choices=sorted(LEVELS),
+                       default="info",
+                       help="minimum level to emit (default: info)")
+    group.add_argument("--log-format", choices=("text", "json"),
+                       default="text",
+                       help="line format: human text or JSON lines")
+    group.add_argument("--log-file", default=None, metavar="PATH",
+                       help="append log lines to PATH instead of stderr")
+
+
+def configure_from_args(args: argparse.Namespace) -> None:
+    configure(level=getattr(args, "log_level", "info"),
+              format=getattr(args, "log_format", "text"),
+              file=getattr(args, "log_file", None))

@@ -26,14 +26,94 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
-           "DEFAULT_BOUNDS"]
+           "DEFAULT_BOUNDS", "labelled", "split_labels"]
 
 #: Default histogram bucket upper bounds (seconds-flavored; a final
 #: overflow bucket catches everything above the last bound).
 DEFAULT_BOUNDS: Tuple[float, ...] = (0.01, 0.1, 1.0, 10.0, 60.0)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt,
+                                                            "\\" + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def labelled(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """The canonical flat registry key for a metric with labels.
+
+    The registry stays a flat ``str -> metric`` map — snapshots remain
+    plain JSON dicts and :meth:`MetricsRegistry.merge` folds label sets
+    from children/agents with zero new machinery.  Labels are encoded
+    into the key in Prometheus sample syntax (sorted keys, escaped
+    values), so ``name{tenant="alice"}`` round-trips through
+    :func:`split_labels` and renders verbatim in the exposition.
+
+    Labels are for **low-cardinality** dimensions only (tenant, engine
+    kind, on/off flags): every distinct label set is its own time
+    series, in this registry and in any scraper's storage alike.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{_escape_label(str(value))}"'
+                     for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def split_labels(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`labelled`: ``name{k="v"}`` -> ``(name, {k: v})``.
+
+    Keys without labels (the overwhelmingly common case) return an empty
+    dict.  A malformed label block is returned un-split rather than
+    raising — exposition rendering must never fail on a weird key.
+    """
+    if not key.endswith("}"):
+        return key, {}
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name, block = key[:brace], key[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(block):
+        eq = block.find('="', index)
+        if eq < 0:
+            return key, {}
+        label = block[index:eq]
+        # Find the closing quote, honoring backslash escapes.
+        end = eq + 2
+        while end < len(block):
+            if block[end] == "\\":
+                end += 2
+                continue
+            if block[end] == '"':
+                break
+            end += 1
+        if end >= len(block) and (not block or block[-1] != '"'):
+            return key, {}
+        labels[label] = _unescape_label(block[eq + 2:end])
+        index = end + 1
+        if index < len(block) and block[index] == ",":
+            index += 1
+    return name, labels
 
 
 class Counter:
@@ -118,7 +198,9 @@ class MetricsRegistry:
             self._pid = pid
 
     # -- get-or-create ----------------------------------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, object]] = None) -> Counter:
+        name = labelled(name, labels)
         with self._lock:
             self._fork_check_locked()
             metric = self._counters.get(name)
@@ -126,7 +208,9 @@ class MetricsRegistry:
                 metric = self._counters[name] = Counter()
             return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        name = labelled(name, labels)
         with self._lock:
             self._fork_check_locked()
             metric = self._gauges.get(name)
@@ -135,7 +219,10 @@ class MetricsRegistry:
             return metric
 
     def histogram(self, name: str,
-                  bounds: Sequence[float] = DEFAULT_BOUNDS) -> Histogram:
+                  bounds: Sequence[float] = DEFAULT_BOUNDS,
+                  labels: Optional[Mapping[str, object]] = None
+                  ) -> Histogram:
+        name = labelled(name, labels)
         with self._lock:
             self._fork_check_locked()
             metric = self._histograms.get(name)

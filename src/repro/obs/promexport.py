@@ -1,0 +1,375 @@
+"""Prometheus text exposition + in-memory history for the live service.
+
+The :data:`~repro.obs.metrics.METRICS` registry was built for *post-hoc*
+export (drain a campaign's counters into a report).  A long-lived
+``autosva serve`` needs the *live* form every metrics stack expects:
+
+* :func:`render_prometheus` turns a registry snapshot into Prometheus
+  text exposition format (version 0.0.4) — ``# HELP``/``# TYPE``
+  preambles, ``_total`` counter suffixes, cumulative histogram
+  ``_bucket``/``_sum``/``_count`` triplets, escaped label values.  The
+  flat registry keys produced by :func:`~repro.obs.metrics.labelled`
+  (``service.tasks_issued{tenant="alice"}``) split back into name +
+  labels here, so low-cardinality dimensions survive to the scraper.
+* :func:`validate_exposition` is the golden-format checker the tests
+  and smoke gates run over every scrape: sample syntax, preamble
+  presence, duplicate detection, and the histogram invariants
+  (cumulative non-decreasing buckets, ``+Inf`` == ``_count``).
+* :class:`MetricsHistory` is a fixed-window ring buffer of snapshot
+  samples — the broker feeds it every couple of seconds so queue-depth
+  and throughput *trends* are visible (``GET /metrics/history``,
+  ``autosva top``) without requiring an external scraper at all.
+
+Naming: registry names are dotted (``scheduler.queue_depth``); the
+exposition flattens dots to underscores under one ``autosva_`` prefix
+(``autosva_scheduler_queue_depth``) so the origin stays greppable in
+both worlds.  Everything here is pure formatting over plain snapshot
+dicts — no locks, no I/O, stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import split_labels
+
+__all__ = ["PROM_CONTENT_TYPE", "prom_name", "render_prometheus",
+           "validate_exposition", "MetricsHistory"]
+
+#: The Content-Type Prometheus scrapers expect from a /metrics endpoint.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every exported family carries this prefix (Prometheus convention:
+#: one namespace per application).
+PREFIX = "autosva_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: [0-9]+)?$")
+_LABEL_PAIR = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+                         r'"(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def prom_name(raw: str) -> str:
+    """Registry name -> exposition family name (prefixed, sanitized)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+    return PREFIX + cleaned
+
+
+def _fmt(value) -> str:
+    """A sample value in exposition syntax (integers stay integral)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return "0"
+    if number != number:                       # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _label_block(labels: Dict[str, str],
+                 extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{key}="{_escape(str(value))}"'
+                          for key, value in pairs) + "}"
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """Registry snapshot (``METRICS.snapshot()``) -> exposition text.
+
+    Metrics sharing a base name but differing in labels collapse into
+    one family (single ``# TYPE`` preamble, one sample line per label
+    set), exactly how a scraper expects multi-series families.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family(raw_base: str, kind: str, suffix: str = "") -> Dict:
+        name = prom_name(raw_base) + suffix
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = {
+                "kind": kind, "raw": raw_base, "lines": []}
+        return entry
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        base, labels = split_labels(key)
+        entry = family(base, "counter", suffix="_total")
+        entry["lines"].append((labels, _fmt(value)))
+    for key, value in (snapshot.get("gauges") or {}).items():
+        base, labels = split_labels(key)
+        entry = family(base, "gauge")
+        entry["lines"].append((labels, _fmt(value)))
+    for key, data in (snapshot.get("histograms") or {}).items():
+        base, labels = split_labels(key)
+        entry = family(base, "histogram")
+        entry["lines"].append((labels, data))
+
+    out: List[str] = []
+    for name in sorted(families):
+        entry = families[name]
+        kind = entry["kind"]
+        out.append(f"# HELP {name} autosva metric {entry['raw']}")
+        out.append(f"# TYPE {name} {kind}")
+        if kind != "histogram":
+            for labels, text in sorted(entry["lines"],
+                                       key=lambda item: sorted(
+                                           item[0].items())):
+                out.append(f"{name}{_label_block(labels)} {text}")
+            continue
+        for labels, data in sorted(entry["lines"],
+                                   key=lambda item: sorted(
+                                       item[0].items())):
+            bounds = [float(b) for b in data.get("bounds", ())]
+            buckets = [int(b) for b in data.get("buckets", [])]
+            count = int(data.get("count", 0))
+            cumulative = 0
+            for bound, bucket in zip(bounds, buckets):
+                cumulative += bucket
+                block = _label_block(labels, ("le", _fmt(bound)))
+                out.append(f"{name}_bucket{block} {cumulative}")
+            block = _label_block(labels, ("le", "+Inf"))
+            out.append(f"{name}_bucket{block} {count}")
+            out.append(f"{name}_sum{_label_block(labels)} "
+                       f"{_fmt(float(data.get('sum', 0.0)))}")
+            out.append(f"{name}_count{_label_block(labels)} {count}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def _parse_labels(block: Optional[str]) -> Dict[str, str]:
+    """Parse a sample line's label block; ValueError on bad syntax."""
+    labels: Dict[str, str] = {}
+    if not block:
+        return labels
+    rest = block
+    while rest:
+        match = _LABEL_PAIR.match(rest)
+        if match is None:
+            raise ValueError(f"malformed label pair at {rest!r}")
+        key = match.group("key")
+        if key in labels:
+            raise ValueError(f"duplicate label {key!r}")
+        labels[key] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"expected ',' between labels at {rest!r}")
+    return labels
+
+
+def validate_exposition(text: str) -> Dict[str, str]:
+    """Golden-format check over one exposition document.
+
+    Raises :class:`ValueError` naming the first violation; returns the
+    ``family -> type`` map when the document is clean.  Checks:
+
+    * every sample line parses (name, optional labels, value);
+    * every sample's family has ``# HELP`` and ``# TYPE`` preambles
+      *before* its first sample, and ``# TYPE`` appears exactly once;
+    * no two samples share (name, label set);
+    * histogram invariants per series: cumulative non-decreasing
+      ``_bucket`` values, a ``+Inf`` bucket equal to ``_count``, and
+      both ``_sum`` and ``_count`` present.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    seen: set = set()
+    # histogram series accounting: family -> label-key -> data
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+    sums: set = set()
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base
+        return name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+            if parts[2] in helps:
+                raise ValueError(
+                    f"line {lineno}: duplicate HELP for {parts[2]}")
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_OK.match(parts[2]) \
+                    or parts[3] not in ("counter", "gauge", "histogram",
+                                        "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if parts[2] in types:
+                raise ValueError(
+                    f"line {lineno}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue                            # free-form comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "-Inf", "NaN"):
+            value = float(raw_value.replace("Inf", "inf"))
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value {raw_value!r}")
+        fam = family_of(name)
+        if fam not in types:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding "
+                f"# TYPE {fam}")
+        if fam not in helps:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding "
+                f"# HELP {fam}")
+        sample_key = (name, tuple(sorted(labels.items())))
+        if sample_key in seen:
+            raise ValueError(
+                f"line {lineno}: duplicate sample {name}"
+                f"{dict(labels) or ''}")
+        seen.add(sample_key)
+        if types.get(fam) == "counter" and not name.endswith("_total"):
+            raise ValueError(
+                f"line {lineno}: counter sample {name!r} lacks the "
+                f"_total suffix")
+        if types.get(fam) == "histogram":
+            series = tuple(sorted((key, val) for key, val in labels.items()
+                                  if key != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(
+                        f"line {lineno}: histogram bucket without le")
+                bound = float("inf") if labels["le"] == "+Inf" \
+                    else float(labels["le"])
+                buckets.setdefault((fam, series), []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[(fam, series)] = value
+            elif name.endswith("_sum"):
+                sums.add((fam, series))
+
+    for (fam, series), pairs in buckets.items():
+        pairs.sort(key=lambda item: item[0])
+        last = -1.0
+        for bound, value in pairs:
+            if value < last:
+                raise ValueError(
+                    f"{fam}: bucket counts not cumulative at le={bound}")
+            last = value
+        if not pairs or pairs[-1][0] != float("inf"):
+            raise ValueError(f"{fam}: histogram series missing +Inf bucket")
+        if (fam, series) not in counts:
+            raise ValueError(f"{fam}: histogram series missing _count")
+        if (fam, series) not in sums:
+            raise ValueError(f"{fam}: histogram series missing _sum")
+        if pairs[-1][1] != counts[(fam, series)]:
+            raise ValueError(
+                f"{fam}: +Inf bucket ({pairs[-1][1]}) != _count "
+                f"({counts[(fam, series)]})")
+    return types
+
+
+class MetricsHistory:
+    """A fixed-window ring of registry snapshots: trends without Prometheus.
+
+    One sample = timestamp + every counter/gauge value + each
+    histogram's ``(count, sum)`` reduction (buckets are dropped — the
+    ring is for trends, and counts/sums difference into rates).  The
+    broker samples on a fixed interval; ``as_dict()`` is the
+    ``GET /metrics/history`` wire form and what ``autosva top`` draws
+    its sparklines from.  Thread-safe; memory is strictly bounded by
+    ``window`` samples.
+    """
+
+    def __init__(self, window: int = 300, interval_s: float = 2.0) -> None:
+        if window < 2:
+            raise ValueError("window must hold at least 2 samples")
+        self.window = window
+        self.interval_s = interval_s
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=window)
+
+    def sample(self, snapshot: Dict[str, object],
+               ts: Optional[float] = None) -> None:
+        entry = {
+            "ts": round(time.time() if ts is None else ts, 3),
+            "counters": dict(snapshot.get("counters") or {}),
+            "gauges": dict(snapshot.get("gauges") or {}),
+            "histograms": {
+                name: {"count": data.get("count", 0),
+                       "sum": round(float(data.get("sum", 0.0)), 6)}
+                for name, data in (snapshot.get("histograms") or {}).items()
+            },
+        }
+        with self._lock:
+            self._samples.append(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            samples = list(self._samples)
+        return {"window": self.window, "interval_s": self.interval_s,
+                "samples": samples}
+
+    def series(self, name: str, kind: str = "counters"
+               ) -> List[Tuple[float, float]]:
+        """One metric's ``(ts, value)`` trail across the ring."""
+        with self._lock:
+            samples = list(self._samples)
+        out: List[Tuple[float, float]] = []
+        for entry in samples:
+            table = entry.get(kind) or {}
+            if name in table:
+                value = table[name]
+                if isinstance(value, dict):
+                    value = value.get("count", 0)
+                out.append((entry["ts"], float(value)))
+        return out
+
+    def rate(self, name: str) -> List[float]:
+        """Per-second deltas of a (cumulative) counter across the ring."""
+        trail = self.series(name)
+        rates: List[float] = []
+        for (t0, v0), (t1, v1) in zip(trail, trail[1:]):
+            dt = max(t1 - t0, 1e-9)
+            rates.append(max(0.0, (v1 - v0) / dt))
+        return rates

@@ -68,11 +68,18 @@ from ..campaign.scheduler import RetryPolicy, Scheduler, SourceNotice
 from ..campaign.sharding import ShardPlan, merge_shard_results, stream_tasks
 from ..formal.engine import EngineConfig
 from ..obs import METRICS, TRACER
+from ..obs.log import get_logger, log_context
+from ..obs.promexport import MetricsHistory
 from ..obs.record import build_record, validate_record
 from .journal import CampaignJournal, JournaledCampaign
 from .tenancy import QuotaError, TenantRegistry
 
 __all__ = ["Campaign", "CampaignBroker", "CampaignSpec"]
+
+_LOG = get_logger("service.broker")
+
+#: Admission-to-settle latency buckets (seconds): campaigns, not tasks.
+SETTLE_BOUNDS = (1.0, 5.0, 15.0, 60.0, 300.0)
 
 #: How long the fair source blocks waiting for admissible work before
 #: yielding the scheduler's "temporarily dry" sentinel.  Bounded so the
@@ -246,7 +253,9 @@ class CampaignBroker:
                  journal: Optional[CampaignJournal] = None,
                  retry: Optional[RetryPolicy] = None,
                  retain_settled: Optional[int] = 64,
-                 retain_ttl_s: Optional[float] = None) -> None:
+                 retain_ttl_s: Optional[float] = None,
+                 history_interval_s: float = 2.0,
+                 history_window: int = 300) -> None:
         self.workers = workers
         self.transport = transport
         self.cache = cache
@@ -283,6 +292,14 @@ class CampaignBroker:
         self._started = time.monotonic()
         self._fatal: Optional[str] = None
         self._evicted = 0
+        #: The /metrics/history ring: the sampler thread snapshots the
+        #: METRICS registry into it every ``history_interval_s`` so
+        #: trends (throughput, queue depth) survive without an external
+        #: scraper.  Near-zero cost: one snapshot dict per tick.
+        self.history = MetricsHistory(window=history_window,
+                                      interval_s=history_interval_s)
+        self._sampler: Optional[threading.Thread] = None
+        self._sampler_stop = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "CampaignBroker":
@@ -302,12 +319,23 @@ class CampaignBroker:
         self._thread = threading.Thread(target=self._run,
                                         name="campaign-broker", daemon=True)
         self._thread.start()
+        self._sampler = threading.Thread(target=self._sample_loop,
+                                         name="metrics-sampler",
+                                         daemon=True)
+        self._sampler.start()
+        _LOG.info("broker started", transport=self.transport_kind,
+                  workers=self.workers)
         return self
 
-    def close(self, cancel_pending: bool = False,
-              timeout_s: Optional[float] = 30.0) -> None:
-        """Stop admitting, finish (or cancel) open campaigns, shut down."""
+    def drain(self, cancel_pending: bool = False) -> None:
+        """Flip to draining: no new admissions, /readyz goes 503.
+
+        Existing campaigns finish (or are cancelled); the broker thread
+        ends once they settle.  Unlike :meth:`close` this does not join,
+        so an HTTP handler can trigger it without deadlocking itself.
+        """
         with self._cond:
+            already = self._closed
             self._closed = True
             if cancel_pending:
                 for campaign in self._campaigns.values():
@@ -316,12 +344,86 @@ class CampaignBroker:
                         campaign.cancel_requested = True
                         campaign.cancel_reason = "service shutdown"
             self._cond.notify_all()
+        if not already:
+            _LOG.info("broker draining", cancel_pending=cancel_pending)
+
+    def close(self, cancel_pending: bool = False,
+              timeout_s: Optional[float] = 30.0) -> None:
+        """Stop admitting, finish (or cancel) open campaigns, shut down."""
+        self.drain(cancel_pending=cancel_pending)
         if self._thread is not None:
             self._thread.join(timeout=timeout_s)
+        self._sampler_stop.set()
+        if self._sampler is not None:
+            self._sampler.join(timeout=5.0)
 
     @property
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
+
+    # -- health / readiness (HTTP threads) ---------------------------------
+    def healthy(self) -> tuple:
+        """Liveness: is the broker worth keeping alive?  (ok, checks)."""
+        checks = {
+            "broker_thread": self._thread is None or self._thread.is_alive()
+            or all(c.settled for c in self._campaigns.values()),
+            "no_fatal": self._fatal is None,
+        }
+        return all(checks.values()), checks
+
+    def ready(self) -> tuple:
+        """Readiness: should a client submit work here?  (ok, checks).
+
+        Ready means: admission is open (not draining), the broker thread
+        is actually running, the fleet has at least one execution slot
+        (quorum), and the journal — if configured — can take an append.
+        A drained or not-yet-started broker reports not ready while
+        staying alive, which is exactly the 503-on-/readyz contract.
+        """
+        transport = self.transport
+        quorum = True
+        if transport is not None:
+            try:
+                quorum = transport.capacity() > 0
+            except Exception:
+                quorum = False
+        checks = {
+            "accepting": not self._closed,
+            "broker_thread": self._thread is not None
+            and self._thread.is_alive(),
+            "fleet_quorum": quorum,
+            "journal_writable": self.journal is None
+            or self.journal.writable(),
+        }
+        return all(checks.values()), checks
+
+    # -- the sampler thread ------------------------------------------------
+    def _sample_loop(self) -> None:
+        """Feed the history ring until close(); also refresh fleet gauges.
+
+        Fleet capacity/in-flight live on the transport, not in METRICS —
+        mirroring them into gauges here makes them scrapeable and gives
+        the ring a utilization trail.
+        """
+        interval = self.history.interval_s
+        while not self._sampler_stop.wait(interval):
+            self._sample_once()
+        self._sample_once()              # one last sample on shutdown
+
+    def _sample_once(self) -> None:
+        METRICS.gauge("service.uptime_s").set(
+            round(time.monotonic() - self._started, 3))
+        transport = self.transport
+        if transport is not None:
+            try:
+                METRICS.gauge("fabric.capacity").set(transport.capacity())
+                METRICS.gauge("fabric.in_flight").set(
+                    transport.in_flight())
+                METRICS.gauge("fabric.free_slots").set(
+                    transport.free_slots())
+            except Exception:
+                pass                     # a closing transport mid-sample
+        self.history.sample(METRICS.snapshot())
 
     # -- admission (HTTP threads) ------------------------------------------
     def submit(self, spec: CampaignSpec) -> Campaign:
@@ -383,11 +485,16 @@ class CampaignBroker:
                                       campaign.submitted_at, spec.as_dict())
             self._gc_settled()
             METRICS.counter("service.campaigns_submitted").inc()
+            METRICS.counter("service.campaigns_submitted",
+                            labels={"tenant": spec.tenant}).inc()
             METRICS.gauge("service.campaigns_active").set(
                 sum(1 for c in self._campaigns.values() if not c.settled))
             TRACER.instant("campaign_admitted", cat="service",
                            args={"campaign": campaign_id,
                                  "tenant": spec.tenant})
+            _LOG.info("campaign admitted", tenant=spec.tenant,
+                      campaign=campaign_id, jobs=len(jobs),
+                      cases=len(spec.case_ids))
             self._cond.notify_all()
             return campaign
 
@@ -404,6 +511,9 @@ class CampaignBroker:
                 if self.journal is not None:
                     self.journal.cancelled(campaign_id, reason)
                 METRICS.counter("service.campaigns_cancelled").inc()
+                _LOG.info("campaign cancel requested",
+                          tenant=campaign.tenant, campaign=campaign_id,
+                          reason=reason)
                 self._cond.notify_all()
             return campaign
 
@@ -448,6 +558,21 @@ class CampaignBroker:
         snapshot = METRICS.snapshot()
         gauges = snapshot.get("gauges", {})
         counters = snapshot.get("counters", {})
+        histograms = snapshot.get("histograms", {})
+        # The PR 8 durability/resilience signals, readable off a live
+        # service: reconnects, retries, requeues, journal append latency.
+        append_stats = None
+        for name, data in histograms.items():
+            if not name.startswith("journal.append_s"):
+                continue
+            count = int(data.get("count", 0))
+            append_stats = {
+                "count": count,
+                "mean_s": round(float(data.get("sum", 0.0))
+                                / count, 6) if count else 0.0,
+                "max_s": data.get("max"),
+            }
+            break
         with self._cond:
             transport = self.transport
             fleet: Dict[str, object] = {"transport": self.transport_kind}
@@ -487,11 +612,18 @@ class CampaignBroker:
                     "retain_ttl_s": self.retain_ttl_s,
                     "evicted": self._evicted,
                 },
+                "fabric": {
+                    "reconnects": counters.get("fabric.reconnects", 0),
+                    "retries": counters.get("scheduler.retries", 0),
+                    "requeues": counters.get("scheduler.requeues", 0),
+                    "steals": counters.get("scheduler.steals", 0),
+                },
                 "durability": {
                     "journal": (str(self.journal.path)
                                 if self.journal is not None else None),
                     "fsync": (self.journal.fsync
                               if self.journal is not None else False),
+                    "append_latency": append_stats,
                 },
                 "service": {name: value for name, value in counters.items()
                             if name.startswith("service.")},
@@ -517,6 +649,8 @@ class CampaignBroker:
                 # reaches the scheduler — the source converts notices
                 # into per-campaign feed events directly.
         except Exception as exc:  # pragma: no cover - defensive
+            _LOG.error("broker thread crashed",
+                       error=f"{type(exc).__name__}: {exc}")
             with self._cond:
                 self._fatal = f"{type(exc).__name__}: {exc}"
                 for campaign in self._campaigns.values():
@@ -598,6 +732,8 @@ class CampaignBroker:
                 usage.vtime += self.model.task_cost(item) \
                     / max(quota.weight, 1e-9)
                 METRICS.counter("service.tasks_issued").inc()
+                METRICS.counter("service.tasks_issued",
+                                labels={"tenant": campaign.tenant}).inc()
             return item
 
     def _pick(self) -> Optional[Campaign]:
@@ -660,6 +796,9 @@ class CampaignBroker:
             usage.in_flight -= 1
             usage.wall_spent_s += result.wall_time_s
             campaign.wall_spent_s += result.wall_time_s
+            METRICS.counter("service.tasks_settled").inc()
+            METRICS.counter("service.tasks_settled",
+                            labels={"tenant": campaign.tenant}).inc()
             event = event_from_result(task, result)
             campaign.events.append(event)
             payload = _serialize_event(event)
@@ -752,9 +891,20 @@ class CampaignBroker:
                         else "service.campaigns_failed").inc()
         METRICS.gauge("service.campaigns_active").set(
             sum(1 for c in self._campaigns.values() if not c.settled))
+        # Admission-to-settle per tenant: the end-to-end latency a
+        # tenant actually experiences, queueing and fair-share included.
+        METRICS.histogram("service.settle_latency_s",
+                          bounds=SETTLE_BOUNDS,
+                          labels={"tenant": campaign.tenant}).observe(
+                              campaign.wall_time_s)
         TRACER.instant("campaign_settled", cat="service",
                        args={"campaign": campaign.id,
                              "status": campaign.status})
+        _LOG.info("campaign settled", tenant=campaign.tenant,
+                  campaign=campaign.id, status=campaign.status,
+                  wall_s=round(campaign.wall_time_s, 3),
+                  tasks=sum(1 for e in campaign.events if e.is_result),
+                  **({"error": campaign.error} if campaign.error else {}))
         campaign.publish({
             "kind": "campaign_done", "campaign": campaign.id,
             "status": campaign.status,
@@ -864,6 +1014,10 @@ class CampaignBroker:
                 sum(1 for c in self._campaigns.values() if not c.settled))
             TRACER.instant("journal_replayed", cat="service",
                            args={"restored": restored})
+            _LOG.info("journal replayed", restored=restored,
+                      open=sum(1 for c in self._campaigns.values()
+                               if not c.settled),
+                      journal=str(self.journal.path))
         self._gc_settled()
 
     @staticmethod

@@ -36,16 +36,24 @@ armed, it writes a half-length record and dies mid-append.
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..campaign.history import atomic_append
+from ..obs import METRICS
 from ..testing.faults import FAULTS
 
 __all__ = ["CampaignJournal", "JournaledCampaign"]
 
 JOURNAL_NAME = "journal.jsonl"
+
+#: Bucket bounds for the append-latency histogram: an in-page-cache
+#: append lands in the first bucket; an fsync on spinning metal in the
+#: last.  This is the live form of the BENCH_campaign.json "fsync tax".
+APPEND_BOUNDS = (0.0001, 0.0005, 0.002, 0.01, 0.05)
 
 
 @dataclass
@@ -95,13 +103,24 @@ class CampaignJournal:
         if torn:
             atomic_append(self.path, b"\n", fsync=self.fsync)
 
+    def writable(self) -> bool:
+        """Can the next append land?  The /readyz journal check."""
+        if self.path.exists():
+            return os.access(self.path, os.W_OK)
+        return os.access(self.state_dir, os.W_OK)
+
     # -- writing -----------------------------------------------------------
     def append(self, record: Dict[str, object]) -> None:
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         torn = FAULTS.enabled and FAULTS.maybe_fire("journal.torn_append")
         if torn:
             data = data[: max(1, len(data) // 2)]
+        started = time.perf_counter()
         atomic_append(self.path, data, fsync=self.fsync)
+        METRICS.histogram(
+            "journal.append_s", bounds=APPEND_BOUNDS,
+            labels={"fsync": "on" if self.fsync else "off"}).observe(
+                time.perf_counter() - started)
         if torn:
             FAULTS.die("journal.torn_append")
 

@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import asyncio
 import signal
-import sys
 from typing import List, Optional
 
+from ..obs import METRICS
+from ..obs.log import (add_log_arguments, configure_from_args, fatal,
+                       get_logger)
+from ..obs.promexport import PROM_CONTENT_TYPE, render_prometheus
 from .broker import CampaignBroker, CampaignSpec
 from .http import (BadRequest, Request, json_response, ndjson_frame,
                    read_request, response_bytes, split_path, sse_frame,
@@ -44,6 +47,8 @@ from .http import (BadRequest, Request, json_response, ndjson_frame,
 from .tenancy import QuotaError, TenantRegistry
 
 __all__ = ["CampaignServer", "serve_main", "build_serve_parser"]
+
+_LOG = get_logger("service.server")
 
 
 class CampaignServer:
@@ -96,6 +101,27 @@ class CampaignServer:
         try:
             if parts == ("status",) and request.method == "GET":
                 writer.write(json_response(200, self.broker.status()))
+            elif parts == ("metrics",) and request.method == "GET":
+                body = render_prometheus(METRICS.snapshot())
+                writer.write(response_bytes(
+                    200, body.encode("utf-8"),
+                    content_type=PROM_CONTENT_TYPE))
+            elif parts == ("metrics", "history") \
+                    and request.method == "GET":
+                writer.write(json_response(
+                    200, self.broker.history.as_dict()))
+            elif parts == ("healthz",) and request.method == "GET":
+                ok, checks = self.broker.healthy()
+                writer.write(json_response(
+                    200 if ok else 503,
+                    {"status": "ok" if ok else "failing",
+                     "checks": checks}))
+            elif parts == ("readyz",) and request.method == "GET":
+                ok, checks = self.broker.ready()
+                writer.write(json_response(
+                    200 if ok else 503,
+                    {"status": "ready" if ok else "not_ready",
+                     "checks": checks}))
             elif parts == ("campaigns",):
                 if request.method == "POST":
                     await self._submit(request, writer)
@@ -307,6 +333,7 @@ def build_serve_parser():
                         metavar="S",
                         help="additionally evict settled campaigns older "
                              "than S seconds (default: no TTL)")
+    add_log_arguments(parser)
     return parser
 
 
@@ -320,46 +347,44 @@ def serve_main(argv: List[str]) -> int:
         args = build_serve_parser().parse_args(argv)
     except SystemExit as exc:
         return 0 if exc.code in (0, None) else 1
+    configure_from_args(args)
     try:
         host, port = parse_address(args.listen)
         workers = resolve_worker_count(args.workers)
     except ValueError as exc:
-        print(f"autosva serve: error: {exc}", file=sys.stderr)
-        return 1
+        return fatal("autosva serve", str(exc))
     tenants = None
     if args.quotas is not None:
         try:
             tenants = TenantRegistry.from_file(args.quotas)
         except (OSError, ValueError, TypeError) as exc:
-            print(f"autosva serve: error: --quotas: {exc}",
-                  file=sys.stderr)
-            return 1
+            return fatal("autosva serve", "invalid --quotas",
+                         detail=str(exc), path=str(args.quotas))
     transport = None
     if args.transport == "tcp":
         from ..dist import TcpTransport
         try:
             fabric = parse_address(args.fabric_listen)
         except ValueError as exc:
-            print(f"autosva serve: error: --fabric-listen: {exc}",
-                  file=sys.stderr)
-            return 1
+            return fatal("autosva serve", "invalid --fabric-listen",
+                         detail=str(exc))
         min_workers = args.min_workers or max(1, args.spawn_workers)
         try:
             transport = TcpTransport(listen=fabric,
                                      min_workers=min_workers)
         except OSError as exc:
-            print(f"autosva serve: error: cannot listen on "
-                  f"{args.fabric_listen}: {exc}", file=sys.stderr)
-            return 1
+            return fatal("autosva serve", "cannot listen for workers",
+                         address=args.fabric_listen, detail=str(exc))
         fh, fp = transport.address
-        print(f"Fabric coordinator on {fh}:{fp} — attach workers with: "
-              f"autosva worker --connect {fh}:{fp}", flush=True)
+        _LOG.info("fabric coordinator listening", address=f"{fh}:{fp}",
+                  attach=f"autosva worker --connect {fh}:{fp}",
+                  min_workers=min_workers)
         if args.spawn_workers:
             # Service-owned agents auto-reconnect: the fabric heals
             # itself after transient connection loss.
             transport.spawn_local(args.spawn_workers, reconnect=True)
-            print(f"Spawned {args.spawn_workers} loopback worker "
-                  f"agent(s)", flush=True)
+            _LOG.info("spawned loopback worker agents",
+                      count=args.spawn_workers)
 
     journal = None
     cache_dir = args.cache_dir
@@ -397,14 +422,13 @@ async def _serve(broker: CampaignBroker, host: str, port: int) -> int:
     try:
         await server.start(host, port)
     except OSError as exc:
-        print(f"autosva serve: error: cannot listen on {host}:{port}: "
-              f"{exc}", file=sys.stderr)
         broker.close(cancel_pending=True)
-        return 1
+        return fatal("autosva serve", "cannot listen",
+                     address=f"{host}:{port}", detail=str(exc))
     bound_host, bound_port = server.address
-    print(f"Campaign service listening on http://{bound_host}:"
-          f"{bound_port} — POST /campaigns to submit "
-          f"(docs/service.md has the API)", flush=True)
+    _LOG.info("campaign service listening",
+              url=f"http://{bound_host}:{bound_port}",
+              docs="docs/service.md")
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -419,8 +443,9 @@ async def _serve(broker: CampaignBroker, host: str, port: int) -> int:
             loop.remove_signal_handler(signum)
         except (NotImplementedError, ValueError):
             pass  # a second signal now aborts the drain
-    print("autosva serve: shutting down (draining open campaigns; "
-          "interrupt again to abort)...", flush=True)
+    _LOG.info("shutting down",
+              detail="draining open campaigns; interrupt again to abort")
+    broker.drain()                  # /readyz flips 503 before we stop
     await server.close()
     await asyncio.to_thread(broker.close, False, None)
     return 0

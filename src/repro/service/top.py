@@ -1,0 +1,204 @@
+"""``autosva top --connect URL``: the live operator dashboard.
+
+A plain-ANSI terminal view over a running ``autosva serve`` — no
+curses, no dependencies, just a full-redraw every ``--interval``
+seconds from two endpoints:
+
+* ``GET /status`` — fleet capacity, queue depth, per-tenant in-flight
+  vs quota, worker utilization and heartbeat RTT, reconnect/retry
+  counters;
+* ``GET /metrics/history`` — the broker's in-memory snapshot ring,
+  differenced into throughput and queue-depth sparklines, so trends
+  are visible without Prometheus.
+
+CI drives the same code with ``--once`` (single frame, no clearing) to
+prove the dashboard renders against a live service; operators just run
+it in a spare terminal.  Exit: ``q``-less — Ctrl-C returns 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.log import fatal
+
+__all__ = ["top_main", "build_top_parser", "render_frame", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """The last ``width`` values as unicode block characters."""
+    tail = list(values)[-width:]
+    if not tail:
+        return "(no data)"
+    top = max(tail)
+    if top <= 0:
+        return "▁" * len(tail)
+    out = []
+    for value in tail:
+        index = int(round((len(_BLOCKS) - 1) * max(0.0, value) / top))
+        out.append(_BLOCKS[max(1, index)])
+    return "".join(out)
+
+
+def _normalize_url(target: str) -> str:
+    if not target.startswith(("http://", "https://")):
+        target = "http://" + target
+    return target.rstrip("/")
+
+
+def _fetch(base: str, path: str, timeout: float = 5.0) -> Dict:
+    with urllib.request.urlopen(base + path, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _series(history: Dict, name: str, kind: str = "counters"
+            ) -> List[float]:
+    out: List[float] = []
+    for entry in history.get("samples") or []:
+        table = entry.get(kind) or {}
+        if name in table:
+            value = table[name]
+            if isinstance(value, dict):
+                value = value.get("count", 0)
+            out.append(float(value))
+    return out
+
+
+def _deltas(values: List[float]) -> List[float]:
+    return [max(0.0, b - a) for a, b in zip(values, values[1:])]
+
+
+def render_frame(status: Dict, history: Dict, url: str) -> str:
+    """One full dashboard frame as a string (testable without a tty)."""
+    lines: List[str] = []
+    fleet = status.get("fleet") or {}
+    queue = status.get("queue") or {}
+    fabric = status.get("fabric") or {}
+    durability = status.get("durability") or {}
+    uptime = float(status.get("uptime_s", 0.0))
+    accepting = status.get("accepting", True)
+    lines.append(f"autosva top — {url}   uptime {uptime:,.0f}s   "
+                 f"{'ACCEPTING' if accepting else 'DRAINING'}")
+    lines.append("─" * 72)
+
+    capacity = fleet.get("capacity", "?")
+    in_flight = fleet.get("in_flight", "?")
+    free = fleet.get("free_slots", "?")
+    lines.append(f"fleet     transport={fleet.get('transport', '?')}  "
+                 f"capacity={capacity}  in_flight={in_flight}  "
+                 f"free={free}")
+    lines.append(f"queue     depth={queue.get('queue_depth', 0)}  "
+                 f"in_flight={queue.get('in_flight', 0)}  "
+                 f"campaigns {queue.get('campaigns_open', 0)} open / "
+                 f"{queue.get('campaigns_total', 0)} total")
+    lines.append(f"fabric    reconnects={fabric.get('reconnects', 0)}  "
+                 f"retries={fabric.get('retries', 0)}  "
+                 f"requeues={fabric.get('requeues', 0)}  "
+                 f"steals={fabric.get('steals', 0)}")
+    append = durability.get("append_latency")
+    if append:
+        lines.append(f"journal   appends={append.get('count', 0)}  "
+                     f"mean={1000.0 * float(append.get('mean_s') or 0):.2f}ms"
+                     f"  fsync={'on' if durability.get('fsync') else 'off'}")
+
+    settled = _series(history, "service.tasks_settled")
+    if len(settled) >= 2:
+        rates = _deltas(settled)
+        lines.append(f"settled   {sparkline(rates)}  "
+                     f"(last {rates[-1]:.0f}/tick, "
+                     f"{settled[-1]:.0f} total)")
+    depth = _series(history, "scheduler.queue_depth", kind="gauges")
+    if depth:
+        lines.append(f"depth     {sparkline(depth)}  (now {depth[-1]:.0f})")
+
+    tenants = status.get("tenants") or {}
+    if tenants:
+        lines.append("")
+        lines.append(f"{'tenant':<14}{'in-flight':>10}{'cap':>7}"
+                     f"{'open':>6}{'tasks':>8}{'wall s':>10}")
+        for name in sorted(tenants):
+            entry = tenants[name]
+            quota = entry.get("quota") or {}
+            cap = quota.get("max_in_flight")
+            lines.append(
+                f"{name:<14}{entry.get('in_flight', 0):>10}"
+                f"{('∞' if cap is None else cap):>7}"
+                f"{entry.get('open_campaigns', 0):>6}"
+                f"{entry.get('tasks_total', 0):>8}"
+                f"{entry.get('wall_spent_s', 0.0):>10.1f}")
+
+    workers = fleet.get("workers") or []
+    if workers:
+        lines.append("")
+        lines.append(f"{'worker':<22}{'slots':>6}{'tasks':>7}{'util':>7}"
+                     f"{'rtt ms':>8}{'reconn':>7}  state")
+        for stats in workers:
+            rtt = stats.get("heartbeat_rtt_ms") or {}
+            mean_rtt = rtt.get("mean")
+            lines.append(
+                f"{str(stats.get('worker', '?')):<22}"
+                f"{stats.get('slots', 0):>6}"
+                f"{stats.get('tasks', 0):>7}"
+                f"{float(stats.get('utilization') or 0.0):>7.0%}"
+                f"{(f'{mean_rtt:.1f}' if mean_rtt is not None else '—'):>8}"
+                f"{stats.get('reconnects', 0):>7}  "
+                f"{stats.get('departed') or 'up'}")
+    return "\n".join(lines)
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="autosva top",
+        description="Live terminal dashboard for a running campaign "
+                    "service: fleet, queues, per-tenant quotas, "
+                    "throughput sparklines.  Polls GET /status and "
+                    "GET /metrics/history; plain ANSI, no curses.")
+    parser.add_argument("--connect", required=True, metavar="URL",
+                        help="service address: HOST:PORT or http://URL")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="seconds between redraws (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render a single frame and exit (CI mode)")
+    parser.add_argument("--iterations", type=int, default=0, metavar="N",
+                        help="exit after N frames (0 = run until Ctrl-C)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing in place")
+    return parser
+
+
+def top_main(argv: Sequence[str]) -> int:
+    try:
+        args = build_top_parser().parse_args(list(argv))
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 1
+    url = _normalize_url(args.connect)
+    frames = 1 if args.once else args.iterations
+    rendered = 0
+    try:
+        while True:
+            try:
+                status = _fetch(url, "/status")
+                history = _fetch(url, "/metrics/history")
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                return fatal("autosva top", "cannot reach service",
+                             url=url, detail=str(exc))
+            frame = render_frame(status, history, url)
+            if not args.no_clear and not args.once:
+                sys.stdout.write(_CLEAR)
+            sys.stdout.write(frame + "\n")
+            sys.stdout.flush()
+            rendered += 1
+            if frames and rendered >= frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0

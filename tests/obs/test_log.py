@@ -1,0 +1,176 @@
+"""Tests for the structured service logger and the fatal() exit helper."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+from repro.obs.log import (Logger, add_log_arguments, configure,
+                           configure_from_args, current_context, fatal,
+                           get_logger, log_context)
+
+
+@pytest.fixture(autouse=True)
+def _restore_config():
+    yield
+    configure()          # back to info/text/stderr for other tests
+
+
+class _LogFile:
+    def __init__(self, path):
+        self.path = path
+
+    def __str__(self):
+        return str(self.path)
+
+    def lines(self):
+        if not self.path.exists():
+            return []
+        return [line for line in self.path.read_text().splitlines()
+                if line]
+
+
+@pytest.fixture()
+def logfile(tmp_path):
+    return _LogFile(tmp_path / "service.log")
+
+
+class TestLevels:
+    def test_level_floor_suppresses(self, logfile):
+        configure(level="warn", file=str(logfile))
+        logger = get_logger("t")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warn("loud")
+        logger.error("loud")
+        assert len(logfile.lines()) == 2
+        assert all("loud" in line for line in logfile.lines())
+
+    def test_enabled_probe(self):
+        configure(level="error")
+        logger = get_logger("t")
+        assert not logger.enabled("info")
+        assert logger.enabled("error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="loud")
+        with pytest.raises(ValueError):
+            configure(format="xml")
+
+
+class TestFormats:
+    def test_text_line_shape(self, logfile):
+        configure(level="info", format="text", file=str(logfile))
+        get_logger("service.broker").info("campaign admitted",
+                                          tenant="alice", jobs=4)
+        (line,) = logfile.lines()
+        assert " INFO " in line
+        assert "service.broker: campaign admitted" in line
+        assert "tenant=alice" in line and "jobs=4" in line
+        assert line[:4].isdigit() and line.split(" ")[0].endswith("Z")
+
+    def test_text_quotes_awkward_values(self, logfile):
+        configure(file=str(logfile))
+        get_logger("t").info("e", path="/tmp/a b")
+        assert 'path="/tmp/a b"' in logfile.lines()[0]
+
+    def test_json_lines(self, logfile):
+        configure(format="json", file=str(logfile))
+        get_logger("dist.worker").warn("worker death",
+                                       worker="h:1", requeued=2)
+        record = json.loads(logfile.lines()[0])
+        assert record["level"] == "WARN"
+        assert record["logger"] == "dist.worker"
+        assert record["event"] == "worker death"
+        assert record["worker"] == "h:1"
+        assert record["requeued"] == 2
+        assert record["ts"].endswith("Z")
+
+
+class TestContext:
+    def test_log_context_fields_attach(self, logfile):
+        configure(format="json", file=str(logfile))
+        with log_context(tenant="alice", campaign="c1"):
+            assert current_context() == {"tenant": "alice",
+                                         "campaign": "c1"}
+            get_logger("t").info("inner")
+        get_logger("t").info("outer")
+        inner, outer = [json.loads(line) for line in logfile.lines()]
+        assert inner["tenant"] == "alice" and inner["campaign"] == "c1"
+        assert "tenant" not in outer
+        assert current_context() == {}
+
+    def test_contexts_nest(self, logfile):
+        configure(format="json", file=str(logfile))
+        with log_context(tenant="alice"):
+            with log_context(task="t9"):
+                get_logger("t").info("deep")
+        record = json.loads(logfile.lines()[0])
+        assert record["tenant"] == "alice" and record["task"] == "t9"
+
+    def test_bind_creates_stamped_child(self, logfile):
+        configure(format="json", file=str(logfile))
+        bound = get_logger("w").bind(session="abc123")
+        bound.info("hello")
+        assert json.loads(logfile.lines()[0])["session"] == "abc123"
+        assert isinstance(bound, Logger)
+
+    def test_explicit_fields_beat_context(self, logfile):
+        configure(format="json", file=str(logfile))
+        with log_context(tenant="alice"):
+            get_logger("t").info("e", tenant="bob")
+        assert json.loads(logfile.lines()[0])["tenant"] == "bob"
+
+
+class TestFatal:
+    def test_returns_one_and_logs_error(self, logfile):
+        configure(format="json", file=str(logfile))
+        code = fatal("autosva serve", "cannot listen",
+                     address="127.0.0.1:1")
+        assert code == 1
+        record = json.loads(logfile.lines()[0])
+        assert record["level"] == "ERROR"
+        assert record["logger"] == "autosva serve"
+        assert record["event"] == "cannot listen"
+        assert record["address"] == "127.0.0.1:1"
+
+    def test_never_suppressed(self, logfile):
+        configure(level="error", file=str(logfile))
+        assert fatal("prog", "boom") == 1
+        assert len(logfile.lines()) == 1
+
+    def test_default_sink_is_stderr(self, capsys):
+        configure()
+        assert fatal("prog", "to stderr") == 1
+        captured = capsys.readouterr()
+        assert "to stderr" in captured.err
+        assert captured.out == ""
+
+
+class TestArgparsePlumbing:
+    def test_flags_round_trip(self, logfile):
+        parser = argparse.ArgumentParser()
+        add_log_arguments(parser)
+        args = parser.parse_args(["--log-level", "debug",
+                                  "--log-format", "json",
+                                  "--log-file", str(logfile)])
+        configure_from_args(args)
+        get_logger("t").debug("visible")
+        assert json.loads(logfile.lines()[0])["event"] == "visible"
+
+    def test_defaults(self):
+        parser = argparse.ArgumentParser()
+        add_log_arguments(parser)
+        args = parser.parse_args([])
+        assert args.log_level == "info"
+        assert args.log_format == "text"
+        assert args.log_file is None
+
+    def test_reconfigure_closes_previous_file(self, tmp_path):
+        first = tmp_path / "a.log"
+        configure(file=str(first))
+        handle = obslog._owned_file
+        configure()
+        assert handle.closed

@@ -1,0 +1,183 @@
+"""Golden-format tests for the Prometheus exposition layer.
+
+The exposition is a wire contract with external scrapers, so these
+tests pin the format itself: preamble placement, counter ``_total``
+suffixes, cumulative histogram invariants, label escaping — and that
+:func:`validate_exposition` actually rejects each way the format can
+rot.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, labelled, split_labels
+from repro.obs.promexport import (MetricsHistory, PROM_CONTENT_TYPE,
+                                  prom_name, render_prometheus,
+                                  validate_exposition)
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("service.tasks_issued").inc(7)
+    registry.counter("service.tasks_issued",
+                     labels={"tenant": "alice"}).inc(4)
+    registry.counter("service.tasks_issued",
+                     labels={"tenant": "bob"}).inc(3)
+    registry.gauge("scheduler.queue_depth").set(5)
+    hist = registry.histogram("fabric.heartbeat_rtt_s",
+                              bounds=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.05, 0.5):
+        hist.observe(value)
+    return registry.snapshot()
+
+
+class TestLabelKeys:
+    def test_round_trip(self):
+        key = labelled("service.tasks_issued", {"tenant": "alice",
+                                                "engine": "pdr"})
+        assert key == 'service.tasks_issued{engine="pdr",tenant="alice"}'
+        name, labels = split_labels(key)
+        assert name == "service.tasks_issued"
+        assert labels == {"tenant": "alice", "engine": "pdr"}
+
+    def test_no_labels_is_identity(self):
+        assert labelled("x.y", None) == "x.y"
+        assert labelled("x.y", {}) == "x.y"
+        assert split_labels("x.y") == ("x.y", {})
+
+    def test_escaping_round_trips(self):
+        nasty = 'a"b\\c\nd'
+        key = labelled("m", {"k": nasty})
+        name, labels = split_labels(key)
+        assert name == "m"
+        assert labels == {"k": nasty}
+
+    def test_malformed_block_returned_unsplit(self):
+        assert split_labels("m{not labels}") == ("m{not labels}", {})
+
+
+class TestRender:
+    def test_families_and_preambles(self):
+        text = render_prometheus(_snapshot())
+        types = validate_exposition(text)
+        assert types == {
+            "autosva_service_tasks_issued_total": "counter",
+            "autosva_scheduler_queue_depth": "gauge",
+            "autosva_fabric_heartbeat_rtt_s": "histogram",
+        }
+        # One TYPE line per family even with three label sets.
+        assert text.count("# TYPE autosva_service_tasks_issued_total") == 1
+        assert 'autosva_service_tasks_issued_total{tenant="alice"} 4' \
+            in text
+        assert "autosva_service_tasks_issued_total 7" in text.splitlines()
+
+    def test_histogram_invariants(self):
+        lines = render_prometheus(_snapshot()).splitlines()
+        buckets = [line for line in lines
+                   if line.startswith("autosva_fabric_heartbeat_rtt_s_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)            # cumulative
+        assert counts[-1] == 4                     # +Inf == observations
+        assert any(line.startswith("autosva_fabric_heartbeat_rtt_s_sum ")
+                   for line in lines)
+        assert "autosva_fabric_heartbeat_rtt_s_count 4" in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labels={"k": 'say "hi"\n'}).inc()
+        text = render_prometheus(registry.snapshot())
+        assert '\\"hi\\"\\n' in text
+        validate_exposition(text)
+
+    def test_prom_name_sanitizes(self):
+        assert prom_name("a.b-c") == "autosva_a_b_c"
+
+    def test_content_type_pinned(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+        assert validate_exposition("") == {}
+
+
+class TestValidatorRejects:
+    def test_sample_without_type(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            validate_exposition("some_metric 1\n")
+
+    def test_malformed_sample(self):
+        text = ("# HELP m x\n# TYPE m gauge\nm{k=unquoted} 1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            validate_exposition(text)
+
+    def test_duplicate_sample(self):
+        text = ("# HELP m x\n# TYPE m gauge\nm 1\nm 2\n")
+        with pytest.raises(ValueError, match="duplicate sample"):
+            validate_exposition(text)
+
+    def test_counter_without_total_suffix(self):
+        text = ("# HELP m x\n# TYPE m counter\nm 1\n")
+        with pytest.raises(ValueError, match="_total"):
+            validate_exposition(text)
+
+    def test_non_cumulative_buckets(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                "h_sum 1\nh_count 3\n")
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_exposition(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\n'
+                "h_sum 1\nh_count 3\n")
+        with pytest.raises(ValueError, match="_count"):
+            validate_exposition(text)
+
+    def test_histogram_missing_sum(self):
+        text = ("# HELP h x\n# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\nh_count 1\n')
+        with pytest.raises(ValueError, match="_sum"):
+            validate_exposition(text)
+
+    def test_rendered_registry_is_always_clean(self):
+        # The renderer and validator agree on every metric shape we use.
+        validate_exposition(render_prometheus(_snapshot()))
+
+
+class TestMetricsHistory:
+    def test_ring_is_bounded(self):
+        history = MetricsHistory(window=3, interval_s=0.5)
+        for tick in range(5):
+            history.sample({"counters": {"c": tick}}, ts=float(tick))
+        data = history.as_dict()
+        assert data["window"] == 3
+        assert data["interval_s"] == 0.5
+        assert [entry["counters"]["c"] for entry in data["samples"]] \
+            == [2, 3, 4]
+
+    def test_histograms_reduced_to_count_sum(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        history = MetricsHistory(window=4)
+        history.sample(registry.snapshot(), ts=1.0)
+        sample = history.as_dict()["samples"][0]
+        assert sample["histograms"]["h"] == {"count": 1, "sum": 0.5}
+        assert "buckets" not in sample["histograms"]["h"]
+
+    def test_series_and_rate(self):
+        history = MetricsHistory(window=8)
+        for tick, total in enumerate((0, 10, 30)):
+            history.sample({"counters": {"done": total}}, ts=float(tick))
+        assert history.series("done") == [(0.0, 0.0), (1.0, 10.0),
+                                         (2.0, 30.0)]
+        assert history.rate("done") == [10.0, 20.0]
+
+    def test_rate_clamps_counter_resets(self):
+        history = MetricsHistory(window=8)
+        history.sample({"counters": {"done": 10}}, ts=0.0)
+        history.sample({"counters": {"done": 2}}, ts=1.0)   # restart
+        assert history.rate("done") == [0.0]
+
+    def test_window_floor(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(window=1)

@@ -1,0 +1,248 @@
+"""Live-service observability round trips: /metrics, probes, history, top.
+
+Same harness as ``test_server.py`` — a real ephemeral-port asyncio
+server over a 2-worker broker, driven with stdlib ``http.client`` —
+but aimed at the operator surface: the Prometheus scrape must be
+validator-clean mid-flight, the probes must track quorum/drain state
+(503 while draining), the history ring must fill, and ``autosva top``
+must render a frame from the same endpoints.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs import METRICS
+from repro.obs.promexport import PROM_CONTENT_TYPE, validate_exposition
+from repro.service import CampaignBroker, CampaignServer
+from repro.service.top import render_frame, sparkline, top_main
+
+
+class _Service:
+    """One CampaignServer running on its own event-loop thread."""
+
+    def __init__(self, broker):
+        self.broker = broker
+        self.server = CampaignServer(broker)
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server never came up"
+
+    def _run(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            await self.server.start("127.0.0.1", 0)
+            self.port = self.server.address[1]
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.close()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+        self.broker.close()
+
+    def request(self, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=60.0)
+        try:
+            connection.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None,
+                headers={"Content-Type": "application/json"}
+                if body is not None else {})
+            response = connection.getresponse()
+            return response.status, json.loads(response.read() or b"null")
+        finally:
+            connection.close()
+
+    def raw(self, path):
+        """GET returning (status, content-type, text) — for /metrics."""
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=60.0)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return (response.status, response.getheader("Content-Type"),
+                    response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+
+@pytest.fixture(scope="module")
+def service():
+    METRICS.reset()
+    broker = CampaignBroker(workers=2, history_interval_s=0.2).start()
+    service = _Service(broker)
+    yield service
+    service.close()
+
+
+def _wait_settled(service, cid):
+    for _ in range(600):
+        status, body = service.request("GET", f"/campaigns/{cid}")
+        assert status == 200
+        if body["status"] != "running":
+            return body
+        import time
+        time.sleep(0.1)
+    raise AssertionError("campaign never settled")
+
+
+class TestScrape:
+    def test_metrics_exposition_is_validator_clean(self, service):
+        status, submitted = service.request(
+            "POST", "/campaigns", {"tenant": "alice", "cases": ["A1"]})
+        assert status == 201
+        _wait_settled(service, submitted["id"])
+
+        status, content_type, text = service.raw("/metrics")
+        assert status == 200
+        assert content_type == PROM_CONTENT_TYPE
+        families = validate_exposition(text)
+        # The acceptance surface: scheduler, service and per-tenant
+        # series all present in one clean exposition.
+        assert "autosva_scheduler_queue_depth" in families
+        assert "autosva_service_tasks_issued_total" in families
+        assert "autosva_service_campaigns_submitted_total" in families
+        assert "autosva_service_settle_latency_s" in families
+        assert 'autosva_service_tasks_issued_total{tenant="alice"}' in text
+        assert 'autosva_service_settle_latency_s_bucket{tenant="alice",' \
+            'le=' in text
+
+    def test_history_ring_fills(self, service):
+        import time
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            status, history = service.request("GET", "/metrics/history")
+            assert status == 200
+            if len(history["samples"]) >= 2:
+                break
+            time.sleep(0.2)
+        assert history["interval_s"] == 0.2
+        assert history["window"] == 300
+        sample = history["samples"][-1]
+        assert set(sample) == {"ts", "counters", "gauges", "histograms"}
+        assert "service.tasks_settled" in sample["counters"]
+        assert "service.uptime_s" in sample["gauges"]
+
+    def test_metrics_route_rejects_post(self, service):
+        status, _ = service.request("POST", "/metrics", {})
+        assert status == 404
+
+
+class TestProbes:
+    def test_live_and_ready_while_serving(self, service):
+        status, body = service.request("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["checks"]["no_fatal"]
+
+        status, body = service.request("GET", "/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+        assert body["checks"] == {"accepting": True,
+                                  "broker_thread": True,
+                                  "fleet_quorum": True,
+                                  "journal_writable": True}
+
+    def test_unstarted_broker_is_not_ready(self):
+        broker = CampaignBroker(workers=1)
+        ok, checks = broker.ready()
+        assert not ok
+        assert not checks["broker_thread"]
+
+
+class TestDrain:
+    """Drain flips /readyz to 503 while /healthz and /metrics keep
+    serving — runs last in the module (the fixture broker is shared)."""
+
+    def test_zz_drain_transitions(self, service):
+        service.broker.drain()
+        status, body = service.request("GET", "/readyz")
+        assert status == 503
+        assert body["status"] == "not_ready"
+        assert body["checks"]["accepting"] is False
+
+        # Still alive, still scrapeable, but refusing new work.
+        status, _ = service.request("GET", "/healthz")
+        assert status == 200
+        status, _, text = service.raw("/metrics")
+        assert status == 200
+        validate_exposition(text)
+        status, body = service.request(
+            "POST", "/campaigns", {"tenant": "alice", "cases": ["A1"]})
+        assert status == 503
+        assert body["error"] == "service_shutting_down"
+
+
+class TestTop:
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == "(no data)"
+        assert sparkline([0, 0]) == "▁▁"
+        line = sparkline([1, 5, 10])
+        assert len(line) == 3 and line[-1] == "█"
+
+    def test_render_frame_from_live_service(self, service):
+        _, status_doc = service.request("GET", "/status")
+        _, history = service.request("GET", "/metrics/history")
+        frame = render_frame(status_doc, history,
+                             f"http://127.0.0.1:{service.port}")
+        assert "autosva top" in frame
+        assert "fleet" in frame and "queue" in frame
+        assert "alice" in frame          # tenant table
+
+    def test_top_main_once_against_live_service(self, service, capsys):
+        code = top_main(["--connect", f"127.0.0.1:{service.port}",
+                         "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autosva top" in out
+        assert "fabric" in out
+
+    def test_top_main_unreachable_is_fatal(self):
+        assert top_main(["--connect", "127.0.0.1:1", "--once"]) == 1
+
+
+class TestFatalCli:
+    """serve/worker usage errors all exit 1 through the one fatal()
+    helper: a leveled ERROR line on stderr, nothing on stdout."""
+
+    def test_serve_bad_listen(self, capsys):
+        from repro.service.server import serve_main
+        assert serve_main(["--listen", "nonsense"]) == 1
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.err
+        assert "autosva serve" in captured.err
+        assert captured.out == ""
+
+    def test_serve_missing_quotas_file(self, tmp_path, capsys):
+        from repro.service.server import serve_main
+        missing = tmp_path / "nope.json"
+        assert serve_main(["--quotas", str(missing)]) == 1
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.err
+        assert "invalid --quotas" in captured.err
+
+    def test_worker_bad_connect(self, capsys):
+        from repro.dist.worker import worker_main
+        assert worker_main(["--connect", "nonsense"]) == 1
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.err
+        assert "autosva worker" in captured.err
+        assert captured.out == ""
+
+    def test_worker_bad_slots(self, capsys):
+        from repro.dist.worker import worker_main
+        assert worker_main(["--connect", "127.0.0.1:1",
+                            "--slots", "0"]) == 1
+        assert "ERROR" in capsys.readouterr().err
